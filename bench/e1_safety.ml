@@ -1,0 +1,52 @@
+(* E1 — at-most-once safety (Lemma 4.1, Theorem 6.3).
+
+   Samples many (scheduler, crash-pattern, seed) combinations for KKβ
+   and IterativeKK and counts safety violations; the claim is an
+   absolute zero across every execution. *)
+
+open Exp_common
+
+let run () =
+  section ~id:"E1" ~title:"at-most-once safety"
+    ~claim:
+      "no execution performs any job twice (Lemma 4.1; Thm 6.3 for the \
+       iterated algorithm)";
+  let violations = ref 0 and runs = ref 0 in
+  let check dos = incr runs; if not (amo_ok dos) then incr violations in
+  (* KK over a (m, beta, f, seed) grid *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun beta_of_m ->
+          let beta = beta_of_m m in
+          List.iter
+            (fun seed ->
+              let f = seed mod m in
+              let s = kk_random_run ~seed ~n:512 ~m ~beta ~f in
+              check s.Core.Harness.dos)
+            (seeds 12))
+        [ (fun m -> m); (fun m -> 2 * m); (fun m -> 3 * m * m) ])
+    m_grid;
+  (* IterativeKK *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun seed ->
+          let rng = Util.Prng.of_int seed in
+          let f = seed mod m in
+          let adversary =
+            if f = 0 then Shm.Adversary.none
+            else Shm.Adversary.random rng ~f ~m ~horizon:20_000
+          in
+          let s =
+            Core.Harness.iterative
+              ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
+              ~adversary ~n:1024 ~m ~epsilon_inv:2 ()
+          in
+          check s.Core.Harness.dos)
+        (seeds 6))
+    [ 2; 4; 8 ];
+  table
+    ~header:[ "executions"; "safety violations" ]
+    [ [ I !runs; I !violations ] ];
+  verdict (!violations = 0) "0 violations over %d randomized executions" !runs

@@ -1,0 +1,78 @@
+(* E4 — work complexity of KKβ for β = 3m² (Theorem 5.6).
+
+   Claim: W = O(n · m · log n · log m).  We measure the weighted work
+   (the paper's basic-operation ledger, see Shm.Metrics) over a grid:
+   scaling in n at fixed m, and scaling in m at fixed n, and report
+   measured_work / (n·m·log n·log m).  Reproduction succeeds if that
+   ratio stays bounded (spread across the grid below a small
+   constant) — the shape, not the absolute value, is the claim. *)
+
+open Exp_common
+
+let predicted ~n ~m =
+  float_of_int
+    (n * m * Core.Params.log2_ceil n * Core.Params.log2_ceil m)
+
+let measure ~n ~m =
+  let beta = 3 * m * m in
+  (* a bursty schedule provokes collisions; work must stay bounded *)
+  let s =
+    Core.Harness.kk
+      ~scheduler:(Shm.Schedule.bursty (Util.Prng.of_int (n + m)) ~max_burst:256)
+      ~n ~m ~beta ()
+  in
+  float_of_int (Shm.Metrics.total_work s.Core.Harness.metrics)
+
+let run () =
+  section ~id:"E4" ~title:"work complexity of KK(3m^2)"
+    ~claim:"W = O(n m log n log m) for beta >= 3m^2 (Theorem 5.6)";
+  let n_grid = [ 1024; 2048; 4096; 8192; 16384 ] in
+  let points = ref [] in
+  let rows_n =
+    List.map
+      (fun n ->
+        let m = 4 in
+        let w = measure ~n ~m in
+        let p = predicted ~n ~m in
+        points := (p, w) :: !points;
+        [ I n; I m; F w; F p; F (w /. p) ])
+      n_grid
+  in
+  let rows_m =
+    List.filter_map
+      (fun m ->
+        let n = 8192 in
+        if 3 * m * m >= n then None
+        else begin
+          let w = measure ~n ~m in
+          let p = predicted ~n ~m in
+          points := (p, w) :: !points;
+          Some [ I n; I m; F w; F p; F (w /. p) ]
+        end)
+      [ 2; 4; 8; 16; 32 ]
+  in
+  table
+    ~header:[ "n"; "m"; "work(measured)"; "n*m*logn*logm"; "ratio" ]
+    (rows_n @ rows_m);
+  (* the claim is an upper bound: measured / predicted must be bounded
+     above (slack below, e.g. at large m, is fine) *)
+  let max_ratio =
+    List.fold_left (fun acc (p, w) -> Float.max acc (w /. p)) 0. !points
+  in
+  (* also check the asymptotic degree in n is ~1 (log factors allowed) *)
+  let n_pts =
+    List.map2
+      (fun n row ->
+        match row with
+        | _ :: _ :: F w :: _ -> (float_of_int n, w)
+        | _ -> assert false)
+      n_grid rows_n
+  in
+  let slope = Util.Stats.loglog_slope (Array.of_list n_pts) in
+  Printf.printf "\n  work-vs-n log-log slope: %.2f (1.0 = linear)\n" slope;
+  Printf.printf "  max measured/predicted ratio: %.2f\n" max_ratio;
+  verdict
+    (max_ratio < 8. && slope < 1.35)
+    "work scales ~linearly in n (slope %.2f) and stays below a constant \
+     multiple (%.1fx) of n*m*logn*logm"
+    slope max_ratio

@@ -1,0 +1,75 @@
+(* E6 — IterativeKK(ε): effectiveness and work (Theorem 6.4).
+
+   Claims: effectiveness n − O(m² log n log m), and work
+   O(n + m^(3+ε) log n).  We sweep n, m and ε; for each point we
+   report jobs lost vs the concrete loss bound, and work/n.
+
+   The m^(3+ε) log n work term is a *constant in n*: at small n it
+   dominates (the last IterStepKK level handles ≈ 3m²·log n·log m
+   individual jobs regardless of n), so work/n first looks large and
+   then decays as n grows — the m = 8 group includes a 2^18 point to
+   show the turn.  The reproduction criterion is that each group's
+   work/n stops growing: the largest-n ratio must not exceed twice
+   the group's maximum at smaller n, and losses stay within the
+   concrete m² log n log m budget. *)
+
+open Exp_common
+
+let run () =
+  section ~id:"E6" ~title:"IterativeKK(eps): effectiveness and work"
+    ~claim:
+      "effectiveness n - O(m^2 log n log m); work O(n + m^(3+eps) log n) \
+       (Theorem 6.4)";
+  let all_ok = ref true in
+  let groups =
+    [
+      (2, 1, [ 4096; 16384; 65536 ]);
+      (4, 2, [ 4096; 16384; 65536 ]);
+      (8, 2, [ 4096; 16384; 65536; 262144 ]);
+      (4, 3, [ 4096; 16384; 65536 ]);
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (m, eps_inv, ns) ->
+      let ratios =
+        List.map
+          (fun n ->
+            let s = Core.Harness.iterative ~n ~m ~epsilon_inv:eps_inv () in
+            let lost = n - s.Core.Harness.do_count in
+            let bound =
+              Core.Iterative.predicted_loss_bound ~n ~m ~epsilon_inv:eps_inv
+            in
+            let work = Shm.Metrics.total_work s.Core.Harness.metrics in
+            if not (amo_ok s.Core.Harness.dos) then all_ok := false;
+            if lost > bound then all_ok := false;
+            let ratio = float_of_int work /. float_of_int n in
+            rows :=
+              [
+                I n;
+                I m;
+                S (Printf.sprintf "1/%d" eps_inv);
+                I s.Core.Harness.do_count;
+                I lost;
+                I bound;
+                I work;
+                F ratio;
+              ]
+              :: !rows;
+            ratio)
+          ns
+      in
+      (* work/n must stop growing within each (m, eps) group *)
+      match List.rev ratios with
+      | last :: earlier when earlier <> [] ->
+          let peak = List.fold_left Float.max 0. earlier in
+          if last > 2. *. peak then all_ok := false
+      | _ -> ())
+    groups;
+  table
+    ~header:
+      [ "n"; "m"; "eps"; "done"; "lost"; "loss bound"; "work"; "work/n" ]
+    (List.rev !rows);
+  verdict !all_ok
+    "losses stay under the m^2 log n log m budget and work/n stops growing \
+     with n (the n term dominates asymptotically)"

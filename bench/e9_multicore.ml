@@ -1,0 +1,73 @@
+(* E9 — model-to-hardware sanity.
+
+   The simulator is where the paper's adversarial claims are checked;
+   this experiment runs the same KKβ on real OCaml 5 domains with
+   atomic registers and verifies that (a) at-most-once holds on real
+   parallel interleavings, (b) effectiveness respects Theorem 4.4's
+   guarantee, (c) all processes make progress (throughput). *)
+
+open Exp_common
+
+let run () =
+  section ~id:"E9" ~title:"KK on real domains (atomics)"
+    ~claim:
+      "safety and the effectiveness guarantee are properties of the \
+       algorithm, not of the simulator";
+  let all_ok = ref true in
+  let rows =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun n ->
+            let r = Multicore.Runner.run_kk ~n ~m ~beta:m () in
+            let safe = amo_ok r.Multicore.Runner.dos in
+            let done_ = Core.Spec.do_count r.Multicore.Runner.dos in
+            let guarantee = n - (2 * m) + 2 in
+            if (not safe) || done_ < guarantee then all_ok := false;
+            let throughput =
+              float_of_int done_ /. r.Multicore.Runner.wall_seconds /. 1000.
+            in
+            [
+              I n;
+              I m;
+              S (if safe then "ok" else "VIOLATED");
+              I done_;
+              I guarantee;
+              F r.Multicore.Runner.wall_seconds;
+              F throughput;
+            ])
+          [ 5000; 20000 ])
+      [ 2; 4 ]
+  in
+  table
+    ~header:
+      [ "n"; "m"; "amo"; "done"; "guarantee"; "wall(s)"; "kjobs/s" ]
+    rows;
+  (* the full iterated algorithm on real domains *)
+  let it = Multicore.Runner.run_iterative ~n:16384 ~m:4 ~epsilon_inv:2 () in
+  let it_safe = amo_ok it.Multicore.Runner.dos in
+  let it_done = Core.Spec.do_count it.Multicore.Runner.dos in
+  let it_bound = Core.Iterative.predicted_loss_bound ~n:16384 ~m:4 ~epsilon_inv:2 in
+  Printf.printf
+    "\n  IterativeKK(1/2) on domains (n=16384, m=4): amo=%s done=%d lost=%d \
+     (bound %d) in %.2fs\n"
+    (if it_safe then "ok" else "VIOLATED")
+    it_done (16384 - it_done) it_bound it.Multicore.Runner.wall_seconds;
+  if (not it_safe) || 16384 - it_done > it_bound then all_ok := false;
+
+  (* budget-emulated crashes on real domains *)
+  let r =
+    Multicore.Runner.run_kk ~n:10000 ~m:4 ~beta:4
+      ~job_budget:(fun ~pid -> if pid <= 2 then 50 else max_int)
+      ()
+  in
+  let safe = amo_ok r.Multicore.Runner.dos in
+  let done_ = Core.Spec.do_count r.Multicore.Runner.dos in
+  Printf.printf "\n  with 2 budget-crashed domains: amo=%s done=%d (>= %d)\n"
+    (if safe then "ok" else "VIOLATED")
+    done_
+    (10000 - 8 + 2);
+  if (not safe) || done_ < 10000 - 8 + 2 then all_ok := false;
+  verdict !all_ok
+    "at-most-once and the effectiveness guarantee hold on real hardware \
+     parallelism"

@@ -1,0 +1,72 @@
+(* Shared infrastructure for the experiment harness: section headers,
+   aligned tables, and pass/fail verdict lines.  Each experiment Ei
+   regenerates one of the paper's theorems (the paper's "evaluation"
+   is its set of theorems — see DESIGN.md §5) and prints a
+   measured-vs-predicted table plus a verdict. *)
+
+(* When set (bench main's --csv DIR), every printed table is also
+   written to DIR/<experiment-id>.csv. *)
+let csv_dir : string option ref = ref None
+
+let current_id = ref ""
+
+let section ~id ~title ~claim =
+  current_id := id;
+  Printf.printf "\n=== %s: %s ===\n" id title;
+  Printf.printf "    paper claim: %s\n\n" claim
+
+type cell = S of string | I of int | F of float
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.2f" f
+
+let table ~header rows =
+  let rows = List.map (List.map cell_to_string) rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w s -> max w (String.length s)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row cells =
+    List.iter2 (fun w s -> Printf.printf "  %*s" w s) widths cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  match !csv_dir with
+  | Some dir ->
+      let path = Filename.concat dir (String.lowercase_ascii !current_id ^ ".csv") in
+      Analysis.Csv.write_file ~path ~header rows
+  | None -> ()
+
+let verdict ok fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.printf "  %s %s\n" (if ok then "[REPRODUCED]" else "[MISMATCH]") msg;
+      ok)
+    fmt
+
+(* Standard parameter grids, shared across experiments so tables are
+   comparable. *)
+let m_grid = [ 2; 4; 8; 16 ]
+
+let seeds k = List.init k (fun i -> 1000 + (17 * i))
+
+let amo_ok dos =
+  match Core.Spec.check_at_most_once dos with Ok () -> true | Error _ -> false
+
+(* Run one KK configuration under a seeded random scheduler with f
+   random crashes. *)
+let kk_random_run ~seed ~n ~m ~beta ~f =
+  let rng = Util.Prng.of_int seed in
+  let adversary =
+    if f = 0 then Shm.Adversary.none
+    else Shm.Adversary.random rng ~f ~m ~horizon:(4 * n)
+  in
+  Core.Harness.kk
+    ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
+    ~adversary ~trace_level:`Outcomes ~n ~m ~beta ()

@@ -1,0 +1,71 @@
+(* Benchmark harness entry point.
+
+   Each experiment regenerates one of the paper's theorems (the
+   paper's evaluation section *is* its theorems; the experiment index
+   lives in DESIGN.md §5 and the recorded outcomes in EXPERIMENTS.md).
+
+     dune exec bench/main.exe            # run everything (E1-E9 + timing)
+     dune exec bench/main.exe -- e4      # run one experiment
+     dune exec bench/main.exe -- bechamel# timing series only *)
+
+let experiments =
+  [
+    ("e1", E1_safety.run);
+    ("e2", E2_effectiveness.run);
+    ("e3", E3_baselines.run);
+    ("e4", E4_work.run);
+    ("e5", E5_collisions.run);
+    ("e6", E6_iterative.run);
+    ("e7", E7_writeall.run);
+    ("e8", E8_policy.run);
+    ("e9", E9_multicore.run);
+    ("e10", E10_exhaustive.run);
+    ("e11", E11_nesting.run);
+    ("e12", E12_message_passing.run);
+    ("bechamel", Timing.run);
+  ]
+
+let usage () =
+  prerr_endline "usage: main.exe [--csv DIR] [e1|...|e12|bechamel]...";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --csv DIR: also write every experiment table to DIR/<id>.csv *)
+  let rec take_csv acc = function
+    | "--csv" :: dir :: rest ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+          Printf.eprintf "--csv: %s is not a directory\n" dir;
+          exit 2
+        end;
+        Exp_common.csv_dir := Some dir;
+        take_csv acc rest
+    | a :: rest -> take_csv (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = take_csv [] args in
+  let requested =
+    match args with
+    | [] -> List.map fst experiments
+    | args ->
+        List.iter
+          (fun a -> if not (List.mem_assoc a experiments) then usage ())
+          args;
+        args
+  in
+  Printf.printf
+    "at-most-once reproduction benches (Kentros & Kiayias, TCS 2013)\n";
+  Printf.printf "experiments: %s\n" (String.concat ", " requested);
+  let results =
+    List.map (fun id -> (id, (List.assoc id experiments) ())) requested
+  in
+  Printf.printf "\n=== summary ===\n";
+  List.iter
+    (fun (id, ok) ->
+      Printf.printf "  %-9s %s\n" id (if ok then "REPRODUCED" else "MISMATCH"))
+    results;
+  if List.for_all snd results then Printf.printf "\nall experiments reproduced.\n"
+  else begin
+    Printf.printf "\nsome experiments did NOT reproduce.\n";
+    exit 1
+  end

@@ -1,0 +1,130 @@
+(* Wall-clock timing series (Bechamel).
+
+   One Test.make per experiment configuration: the simulator-level
+   experiments E1-E8 measure work in the paper's basic-operation
+   ledger; this series ties those counts to actual seconds on the
+   host, one benchmark per algorithm/table, plus microbenchmarks of
+   the order-statistic substrate the algorithm leans on. *)
+
+open Bechamel
+open Toolkit
+
+let kk_test ~name ~n ~m ~beta =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Core.Harness.kk ~trace_level:`Silent ~n ~m ~beta ())))
+
+(* end-to-end KK over an alternative set backend: same algorithm, same
+   schedule; only the balanced tree changes *)
+let kk_backend_test (type s) ~name
+    (module Set : Set_intf.S with type t = s) =
+  let module K = Core.Kk.Make (Set) in
+  let n = 1024 and m = 4 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let metrics = Shm.Metrics.create ~m in
+         let shared = K.make_shared ~metrics ~m ~capacity:n ~name:"kk" () in
+         let handles =
+           Array.init m (fun i ->
+               K.handle
+                 (K.create ~shared ~pid:(i + 1) ~beta:m
+                    ~policy:Core.Policy.Rank_split ~free:(Set.of_range 1 n)
+                    ~mode:Core.Kk.Standalone ()))
+         in
+         ignore
+           (Shm.Executor.run ~trace_level:`Silent
+              ~scheduler:(Shm.Schedule.round_robin ())
+              ~adversary:Shm.Adversary.none handles)))
+
+let tests =
+  Test.make_grouped ~name:"amo" ~fmt:"%s %s"
+    [
+      kk_test ~name:"kk n=1024 m=4 beta=m" ~n:1024 ~m:4 ~beta:4;
+      kk_test ~name:"kk n=1024 m=4 beta=3m^2" ~n:1024 ~m:4 ~beta:48;
+      kk_test ~name:"kk n=4096 m=8 beta=m" ~n:4096 ~m:8 ~beta:8;
+      Test.make ~name:"iterative n=4096 m=4 eps=1/2"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Harness.iterative ~trace_level:`Silent ~n:4096 ~m:4
+                  ~epsilon_inv:2 ())));
+      Test.make ~name:"wa-iterative n=4096 m=4 eps=1/2"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Harness.writeall_iterative ~trace_level:`Silent ~n:4096
+                  ~m:4 ~epsilon_inv:2 ())));
+      Test.make ~name:"trivial n=4096 m=4"
+        (Staged.stage (fun () ->
+             ignore (Core.Harness.trivial ~trace_level:`Silent ~n:4096 ~m:4 ())));
+      Test.make ~name:"pairing n=4096 m=4"
+        (Staged.stage (fun () ->
+             ignore (Core.Harness.pairing ~trace_level:`Silent ~n:4096 ~m:4 ())));
+      Test.make ~name:"ostree of_range n=4096"
+        (Staged.stage (fun () -> ignore (Ostree.of_range 1 4096)));
+      Test.make ~name:"ostree rank_diff (|s2|=8, n=4096)"
+        (let s1 = Ostree.of_range 1 4096 in
+         let s2 = Ostree.of_list [ 5; 100; 600; 1200; 2000; 2500; 3000; 4000 ] in
+         Staged.stage (fun () -> ignore (Ostree.rank_diff s1 s2 2048)));
+      (* the two backing structures, racing on the algorithm's access
+         pattern: interleaved add/remove/select churn *)
+      Test.make ~name:"ostree(avl) churn 512 ops"
+        (Staged.stage (fun () ->
+             let t = ref (Ostree.of_range 1 256) in
+             for i = 1 to 256 do
+               t := Ostree.remove i !t;
+               t := Ostree.add (256 + i) !t;
+               ignore (Ostree.select !t ((i mod Ostree.cardinal !t) + 1))
+             done));
+      Test.make ~name:"rbtree churn 512 ops"
+        (Staged.stage (fun () ->
+             let t = ref (Rbtree.of_range 1 256) in
+             for i = 1 to 256 do
+               t := Rbtree.remove i !t;
+               t := Rbtree.add (256 + i) !t;
+               ignore (Rbtree.select !t ((i mod Rbtree.cardinal !t) + 1))
+             done));
+      Test.make ~name:"2-3 tree churn 512 ops"
+        (Staged.stage (fun () ->
+             let t = ref (Twothree.of_range 1 256) in
+             for i = 1 to 256 do
+               t := Twothree.remove i !t;
+               t := Twothree.add (256 + i) !t;
+               ignore (Twothree.select !t ((i mod Twothree.cardinal !t) + 1))
+             done));
+      kk_backend_test ~name:"kk n=1024 m=4 (red-black backend)"
+        (module Rbtree);
+      kk_backend_test ~name:"kk n=1024 m=4 (2-3 tree backend)"
+        (module Twothree);
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let run () =
+  Printf.printf "\n=== T1: wall-clock timings (Bechamel, monotonic clock) ===\n\n";
+  let results = benchmark () in
+  let clock = Measure.label Instance.monotonic_clock in
+  let tbl = Hashtbl.find results clock in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    tbl;
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e6 then Printf.printf "  %-40s %10.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "  %-40s %10.1f ns/run\n" name ns)
+    (List.sort compare !rows);
+  true

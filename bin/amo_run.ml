@@ -1,0 +1,332 @@
+(* amo_run: command-line driver for every algorithm in the library.
+
+   Examples:
+     amo_run kk --jobs 1000 --procs 8
+     amo_run kk --jobs 1000 --procs 8 --beta 192 --sched random --seed 7 --crashes 3
+     amo_run worst --jobs 1000 --procs 8
+     amo_run iterative --jobs 65536 --procs 8 --eps-inv 2
+     amo_run wa --jobs 65536 --procs 8 --eps-inv 2
+     amo_run trivial --jobs 1000 --procs 8 --crashes 2
+     amo_run pairing --jobs 1000 --procs 8 --crashes 2
+     amo_run multicore --jobs 20000 --procs 4 *)
+
+open Cmdliner
+
+let pp_summary ~label ~n ~m ~f:_ (s : Core.Harness.summary) =
+  (* report the crashes that actually happened, not the requested budget *)
+  let f = List.length s.crashed in
+  let upper = Core.Params.effectiveness_upper_bound ~n ~f in
+  (match Core.Spec.check_at_most_once s.dos with
+  | Ok () -> Fmt.pr "at-most-once    : OK@."
+  | Error v ->
+      Fmt.pr "at-most-once    : VIOLATED (%a)@." Fmt.string
+        (Format.asprintf "%a" Core.Spec.pp_violation v));
+  Fmt.pr "algorithm       : %s@." label;
+  Fmt.pr "jobs performed  : %d / %d (upper bound with f=%d crashes: %d)@."
+    s.do_count n f upper;
+  Fmt.pr "wait-free       : %b@." s.wait_free;
+  Fmt.pr "steps           : %d@." s.steps;
+  Fmt.pr "crashed procs   : [%s]@."
+    (String.concat "; " (List.map string_of_int s.crashed));
+  Fmt.pr "work (weighted) : %d@." (Shm.Metrics.total_work s.metrics);
+  Fmt.pr "shared reads    : %d@." (Shm.Metrics.total_reads s.metrics);
+  Fmt.pr "shared writes   : %d@." (Shm.Metrics.total_writes s.metrics);
+  Fmt.pr "collisions      : %d@." (Core.Collision.total s.collision);
+  ignore m
+
+let exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt
+    (s : Core.Harness.summary) =
+  let timeline () = Analysis.Timeline.of_trace ~m s.trace in
+  (match csv_dos with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Analysis.Csv.of_do_events s.dos);
+      close_out oc;
+      Fmt.pr "do-log CSV      : %s@." path
+  | None -> ());
+  (match csv_timeline with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Analysis.Csv.of_timeline (timeline ()));
+      close_out oc;
+      Fmt.pr "timeline CSV    : %s@." path
+  | None -> ());
+  if show_timeline then
+    Fmt.pr "timeline:@.%a" Analysis.Timeline.pp (timeline ());
+  if show_gantt then
+    Fmt.pr "gantt (D=do, X=crash, T=terminate):@.%s"
+      (Analysis.Gantt.render ~m s.trace)
+
+(* ---- common options ---- *)
+
+let jobs =
+  let doc = "Number of jobs n." in
+  Arg.(value & opt int 1000 & info [ "jobs"; "n" ] ~docv:"N" ~doc)
+
+let procs =
+  let doc = "Number of processes m." in
+  Arg.(value & opt int 8 & info [ "procs"; "m" ] ~docv:"M" ~doc)
+
+let beta =
+  let doc = "Termination parameter beta (default: m, effectiveness-optimal)." in
+  Arg.(value & opt (some int) None & info [ "beta" ] ~docv:"BETA" ~doc)
+
+let seed =
+  let doc = "PRNG seed for stochastic schedulers and crash times." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let sched =
+  let doc = "Scheduler: rr, random, or bursty." in
+  Arg.(
+    value
+    & opt (enum [ ("rr", `Rr); ("random", `Random); ("bursty", `Bursty) ]) `Rr
+    & info [ "sched" ] ~docv:"SCHED" ~doc)
+
+let crashes =
+  let doc = "Number of random crash failures to inject (f < m)." in
+  Arg.(value & opt int 0 & info [ "crashes"; "f" ] ~docv:"F" ~doc)
+
+let eps_inv =
+  let doc = "1/epsilon for the iterated algorithms (a positive integer)." in
+  Arg.(value & opt int 2 & info [ "eps-inv" ] ~docv:"K" ~doc)
+
+let csv_dos =
+  let doc = "Export the linearized (pid, job) perform log as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv-dos" ] ~docv:"FILE" ~doc)
+
+let csv_timeline =
+  let doc = "Export the per-process timeline as CSV to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "csv-timeline" ] ~docv:"FILE" ~doc)
+
+let show_timeline =
+  let doc = "Print the per-process timeline after the run." in
+  Arg.(value & flag & info [ "timeline" ] ~doc)
+
+let show_gantt =
+  let doc = "Print an ASCII Gantt chart of the run." in
+  Arg.(value & flag & info [ "gantt" ] ~doc)
+
+let make_sched kind rng =
+  match kind with
+  | `Rr -> Shm.Schedule.round_robin ()
+  | `Random -> Shm.Schedule.random rng
+  | `Bursty -> Shm.Schedule.bursty rng ~max_burst:64
+
+let make_adversary rng ~f ~m ~n =
+  if f = 0 then Shm.Adversary.none
+  else Shm.Adversary.random rng ~f ~m ~horizon:(4 * n)
+
+(* ---- subcommands ---- *)
+
+let kk_cmd =
+  let run n m beta_opt seed sched_kind f csv_dos csv_timeline show_timeline
+      show_gantt =
+    let beta = Option.value beta_opt ~default:m in
+    let rng = Util.Prng.of_int seed in
+    let s =
+      Core.Harness.kk
+        ~scheduler:(make_sched sched_kind rng)
+        ~adversary:(make_adversary rng ~f ~m ~n)
+        ~n ~m ~beta ()
+    in
+    pp_summary ~label:(Printf.sprintf "KK(beta=%d)" beta) ~n ~m ~f s;
+    Fmt.pr "guaranteed eff. : %d  (Theorem 4.4: n - (beta + m - 2))@."
+      (Core.Params.predicted_effectiveness (Core.Params.make ~n ~m ~beta));
+    exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt s
+  in
+  let doc = "Run algorithm KKbeta (the paper's core contribution)." in
+  Cmd.v (Cmd.info "kk" ~doc)
+    Term.(
+      const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ csv_dos
+      $ csv_timeline $ show_timeline $ show_gantt)
+
+let claim_cmd =
+  let run n m seed sched_kind f =
+    let rng = Util.Prng.of_int seed in
+    let metrics = Shm.Metrics.create ~m in
+    let handles = Core.Claim_scan.processes ~metrics ~n ~m () in
+    let outcome =
+      Shm.Executor.run ~trace_level:`Outcomes
+        ~scheduler:(make_sched sched_kind rng)
+        ~adversary:(make_adversary rng ~f ~m ~n)
+        handles
+    in
+    let dos = Shm.Trace.do_events outcome.Shm.Executor.trace in
+    (match Core.Spec.check_at_most_once dos with
+    | Ok () -> Fmt.pr "at-most-once    : OK@."
+    | Error v ->
+        Fmt.pr "at-most-once    : VIOLATED (%s)@."
+          (Format.asprintf "%a" Core.Spec.pp_violation v));
+    let f_actual =
+      List.length (Shm.Trace.crashes outcome.Shm.Executor.trace)
+    in
+    Fmt.pr "algorithm       : claim-scan (test-and-set; outside the r/w model)@.";
+    Fmt.pr "jobs performed  : %d / %d (optimal n-f: %d)@."
+      (Core.Spec.do_count dos) n
+      (Core.Claim_scan.predicted_effectiveness ~n ~f:f_actual);
+    Fmt.pr "total actions   : %d@." (Shm.Metrics.total_actions metrics)
+  in
+  let doc =
+    "Run the test-and-set claim scanner (the paper's RMW upper-bound witness)."
+  in
+  Cmd.v (Cmd.info "claim" ~doc)
+    Term.(const run $ jobs $ procs $ seed $ sched $ crashes)
+
+let worst_cmd =
+  let run n m beta_opt =
+    let beta = Option.value beta_opt ~default:m in
+    let s = Core.Harness.kk_worst_case ~n ~m ~beta () in
+    pp_summary ~label:(Printf.sprintf "KK(beta=%d) vs worst-case adversary" beta)
+      ~n ~m ~f:(m - 1) s;
+    let predicted =
+      Core.Params.predicted_effectiveness (Core.Params.make ~n ~m ~beta)
+    in
+    Fmt.pr "prediction      : exactly %d jobs (tight by Theorem 4.4): %s@."
+      predicted
+      (if s.do_count = predicted then "MATCHED" else "MISMATCH")
+  in
+  let doc =
+    "Run KKbeta against the constructive worst-case adversary of Theorem 4.4."
+  in
+  Cmd.v (Cmd.info "worst" ~doc) Term.(const run $ jobs $ procs $ beta)
+
+let iterative_cmd =
+  let run n m eps_inv seed sched_kind f =
+    let rng = Util.Prng.of_int seed in
+    let s =
+      Core.Harness.iterative
+        ~scheduler:(make_sched sched_kind rng)
+        ~adversary:(make_adversary rng ~f ~m ~n)
+        ~n ~m ~epsilon_inv:eps_inv ()
+    in
+    pp_summary
+      ~label:(Printf.sprintf "IterativeKK(eps=1/%d)" eps_inv)
+      ~n ~m ~f s;
+    Fmt.pr "loss bound      : <= %d jobs (Theorem 6.4)@."
+      (Core.Iterative.predicted_loss_bound ~n ~m ~epsilon_inv:eps_inv)
+  in
+  let doc = "Run IterativeKK(eps): work-optimal at-most-once." in
+  Cmd.v (Cmd.info "iterative" ~doc)
+    Term.(const run $ jobs $ procs $ eps_inv $ seed $ sched $ crashes)
+
+let wa_cmd =
+  let run n m eps_inv seed sched_kind f =
+    let rng = Util.Prng.of_int seed in
+    let s, complete =
+      Core.Harness.writeall_iterative
+        ~scheduler:(make_sched sched_kind rng)
+        ~adversary:(make_adversary rng ~f ~m ~n)
+        ~n ~m ~epsilon_inv:eps_inv ()
+    in
+    Fmt.pr "algorithm       : WA_IterativeKK(eps=1/%d)@." eps_inv;
+    Fmt.pr "write-all done  : %b@." complete;
+    Fmt.pr "steps           : %d@." s.steps;
+    Fmt.pr "work (weighted) : %d@." (Shm.Metrics.total_work s.metrics);
+    Fmt.pr "shared writes   : %d@." (Shm.Metrics.total_writes s.metrics)
+  in
+  let doc = "Run WA_IterativeKK(eps): work-optimal Write-All." in
+  Cmd.v (Cmd.info "wa" ~doc)
+    Term.(const run $ jobs $ procs $ eps_inv $ seed $ sched $ crashes)
+
+let trivial_cmd =
+  let run n m seed sched_kind f =
+    let rng = Util.Prng.of_int seed in
+    let s =
+      Core.Harness.trivial
+        ~scheduler:(make_sched sched_kind rng)
+        ~adversary:(make_adversary rng ~f ~m ~n)
+        ~n ~m ()
+    in
+    pp_summary ~label:"trivial split" ~n ~m ~f s;
+    Fmt.pr "guaranteed eff. : %d  ((m-f) * n/m)@."
+      (Core.Params.trivial_effectiveness ~n ~m ~f)
+  in
+  let doc = "Run the trivial split baseline." in
+  Cmd.v (Cmd.info "trivial" ~doc)
+    Term.(const run $ jobs $ procs $ seed $ sched $ crashes)
+
+let pairing_cmd =
+  let run n m seed sched_kind f =
+    let rng = Util.Prng.of_int seed in
+    let s =
+      Core.Harness.pairing
+        ~scheduler:(make_sched sched_kind rng)
+        ~adversary:(make_adversary rng ~f ~m ~n)
+        ~n ~m ()
+    in
+    pp_summary ~label:"two-process pairing" ~n ~m ~f s
+  in
+  let doc = "Run the two-process pairing baseline." in
+  Cmd.v (Cmd.info "pairing" ~doc)
+    Term.(const run $ jobs $ procs $ seed $ sched $ crashes)
+
+let msg_cmd =
+  let run n m servers seed f =
+    let rng = Util.Prng.of_int seed in
+    let crash_plan =
+      List.init (min f (m - 1)) (fun i ->
+          ((i + 1) * 50 * n / m, `Client (i + 1)))
+    in
+    let o = Msg.Kk_mp.run_kk ~crash_plan ~servers ~n ~m ~beta:m ~rng () in
+    (match Core.Spec.check_at_most_once o.Msg.Kk_mp.dos with
+    | Ok () -> Fmt.pr "at-most-once    : OK (message passing, ABD registers)@."
+    | Error v ->
+        Fmt.pr "at-most-once    : VIOLATED (%s)@."
+          (Format.asprintf "%a" Core.Spec.pp_violation v));
+    Fmt.pr "jobs performed  : %d / %d (guarantee >= %d)@."
+      (Core.Spec.do_count o.Msg.Kk_mp.dos)
+      n
+      (n - (m + m - 2));
+    Fmt.pr "clients crashed : [%s]@."
+      (String.concat "; " (List.map string_of_int o.Msg.Kk_mp.crashed_clients));
+    Fmt.pr "stuck clients   : [%s]@."
+      (String.concat "; " (List.map string_of_int o.Msg.Kk_mp.stuck));
+    Fmt.pr "deliveries      : %d (%.1f per job)@." o.Msg.Kk_mp.deliveries
+      (float_of_int o.Msg.Kk_mp.deliveries /. float_of_int n)
+  in
+  let servers =
+    let doc = "Number of ABD replica servers." in
+    Cmdliner.Arg.(value & opt int 3 & info [ "servers" ] ~docv:"S" ~doc)
+  in
+  let doc =
+    "Run KKbeta over message passing (ABD-emulated atomic registers)."
+  in
+  Cmd.v (Cmd.info "msg" ~doc)
+    Term.(const run $ jobs $ procs $ servers $ seed $ crashes)
+
+let multicore_cmd =
+  let run n m beta_opt =
+    let beta = Option.value beta_opt ~default:m in
+    let r = Multicore.Runner.run_kk ~n ~m ~beta () in
+    (match Core.Spec.check_at_most_once r.dos with
+    | Ok () -> Fmt.pr "at-most-once    : OK (real domains)@."
+    | Error v ->
+        Fmt.pr "at-most-once    : VIOLATED (%s)@."
+          (Format.asprintf "%a" Core.Spec.pp_violation v));
+    Fmt.pr "jobs performed  : %d / %d@." (Core.Spec.do_count r.dos) n;
+    Fmt.pr "wall time       : %.3fs@." r.wall_seconds;
+    for p = 1 to m do
+      Fmt.pr "  p%-2d performed : %d@." p r.per_process.(p)
+    done
+  in
+  let doc = "Run KKbeta on real OCaml 5 domains with atomic registers." in
+  Cmd.v (Cmd.info "multicore" ~doc) Term.(const run $ jobs $ procs $ beta)
+
+let () =
+  let doc = "at-most-once and Write-All algorithms (Kentros & Kiayias)" in
+  let info = Cmd.info "amo_run" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            kk_cmd;
+            claim_cmd;
+            worst_cmd;
+            iterative_cmd;
+            wa_cmd;
+            trivial_cmd;
+            pairing_cmd;
+            msg_cmd;
+            multicore_cmd;
+          ]))

@@ -1,0 +1,101 @@
+(* One-time pad expenditure: the security use-case of the paper's
+   related work (§1: Di Crescenzo & Kiayias, and Fitzi et al., apply
+   at-most-once semantics to one-time-pad usage — "Perfect security
+   can be achieved only if every piece of the pad is used at most
+   once").
+
+     dune exec examples/one_time_pad.exe
+
+   A cluster of gateway processes shares a pre-distributed random pad,
+   divided into segments.  Each message is encrypted with a fresh
+   segment; reusing a segment is catastrophic (the classic two-time
+   pad break: XOR of two ciphertexts = XOR of the two plaintexts).
+   Gateways crash; the survivors must keep encrypting without ever
+   re-spending a segment.
+
+   Segments are the "jobs" of an at-most-once instance: a gateway may
+   encrypt with segment s only when its KKβ process performs job s.
+   We run the whole thing under a crashy adversarial schedule, decrypt
+   everything, and also demonstrate what the two-time-pad break looks
+   like if segments were handed out with a naive at-least-once
+   dispenser instead. *)
+
+let segments = 64
+let seg_bytes = 16
+let gateways = 4
+
+let () =
+  let rng = Util.Prng.of_int 97 in
+  (* the pre-shared pad: segments x seg_bytes of random bytes *)
+  let pad =
+    Array.init (segments + 1) (fun _ ->
+        Bytes.init seg_bytes (fun _ -> Char.chr (Util.Prng.int rng 256)))
+  in
+  let xor_with seg msg =
+    Bytes.init (Bytes.length msg) (fun i ->
+        Char.chr
+          (Char.code (Bytes.get msg i)
+          lxor Char.code (Bytes.get pad.(seg) i)))
+  in
+
+  (* run KKβ: each performed job = one spendable segment, attributed
+     to the gateway that performed it *)
+  let summary =
+    Core.Harness.kk
+      ~scheduler:(Shm.Schedule.bursty (Util.Prng.split rng) ~max_burst:24)
+      ~adversary:
+        (Shm.Adversary.random rng ~f:(gateways - 1) ~m:gateways
+           ~horizon:(8 * segments))
+      ~n:segments ~m:gateways ~beta:gateways ()
+  in
+  Core.Spec.assert_at_most_once summary.Core.Harness.dos;
+
+  (* every gateway encrypts one message per segment it acquired *)
+  let transcript =
+    List.map
+      (fun (gw, seg) ->
+        let msg =
+          Bytes.of_string (Printf.sprintf "gw%d/report-%04d padded.." gw seg)
+        in
+        let msg = Bytes.sub msg 0 seg_bytes in
+        (gw, seg, msg, xor_with seg msg))
+      summary.Core.Harness.dos
+  in
+  (* receiver side: decrypt and verify *)
+  let ok =
+    List.for_all
+      (fun (_, seg, msg, ct) -> Bytes.equal (xor_with seg ct) msg)
+      transcript
+  in
+  Printf.printf "pad segments spent at most once : OK\n";
+  Printf.printf "messages encrypted              : %d\n" (List.length transcript);
+  Printf.printf "all decrypted correctly         : %b\n" ok;
+  Printf.printf "gateways crashed mid-run        : [%s]\n"
+    (String.concat "; "
+       (List.map string_of_int summary.Core.Harness.crashed));
+  let wasted = Core.Spec.undone_jobs ~n:segments summary.Core.Harness.dos in
+  Printf.printf
+    "segments sacrificed (never spent): %d  (Theorem 4.4 bound: <= %d)\n\n"
+    (List.length wasted)
+    ((2 * gateways) - 2);
+
+  (* contrast: the two-time-pad break.  A naive dispenser lets two
+     gateways grab the same segment under a race; the eavesdropper
+     XORs the two ciphertexts and the pad drops out entirely. *)
+  let m1 = Bytes.of_string "WIRE  $90000 NOW" in
+  let m2 = Bytes.of_string "launch code 0000" in
+  let c1 = xor_with 7 m1 and c2 = xor_with 7 m2 in
+  let leak =
+    Bytes.init seg_bytes (fun i ->
+        Char.chr (Char.code (Bytes.get c1 i) lxor Char.code (Bytes.get c2 i)))
+  in
+  let recovered =
+    (* the eavesdropper knows m1 (a public template): m2 = leak xor m1 *)
+    Bytes.init seg_bytes (fun i ->
+        Char.chr (Char.code (Bytes.get leak i) lxor Char.code (Bytes.get m1 i)))
+  in
+  Printf.printf "two-time-pad break (if segment 7 were spent twice):\n";
+  Printf.printf "  eavesdropper recovers: %S\n" (Bytes.to_string recovered);
+  Printf.printf
+    "  ... which is message 2 verbatim — the failure mode the at-most-once\n\
+    \  dispenser makes impossible.\n"

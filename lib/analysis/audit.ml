@@ -1,0 +1,41 @@
+type violation = { at_step : int; pid : int; what : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "step %d, p%d: %s" v.at_step v.pid v.what
+
+type pstate = Live | Dead_crashed | Dead_terminated
+
+let check ~m trace =
+  let states = Array.make (m + 1) Live in
+  let last_step = ref (-1) in
+  let rec go = function
+    | [] -> Ok ()
+    | { Shm.Trace.step; event } :: rest ->
+        let p = Shm.Event.pid event in
+        if p < 1 || p > m then
+          Error { at_step = step; pid = p; what = "pid out of range" }
+        else if step < !last_step then
+          Error { at_step = step; pid = p; what = "steps went backwards" }
+        else begin
+          last_step := step;
+          match (states.(p), event) with
+          | Dead_crashed, _ ->
+              Error { at_step = step; pid = p; what = "event after crash" }
+          | Dead_terminated, _ ->
+              Error
+                { at_step = step; pid = p; what = "event after termination" }
+          | Live, Shm.Event.Crash _ ->
+              states.(p) <- Dead_crashed;
+              go rest
+          | Live, Shm.Event.Terminate _ ->
+              states.(p) <- Dead_terminated;
+              go rest
+          | Live, _ -> go rest
+        end
+  in
+  go (Shm.Trace.entries trace)
+
+let assert_ok ~m trace =
+  match check ~m trace with
+  | Ok () -> ()
+  | Error v -> failwith (Format.asprintf "trace audit failed: %a" pp_violation v)

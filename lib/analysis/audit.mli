@@ -1,0 +1,30 @@
+(** Trace audits: structural well-formedness of an execution.
+
+    The at-most-once property itself is checked by {!Core.Spec}; this
+    module validates that a trace is a plausible execution of the
+    model at all — the invariants every run of the executor must
+    satisfy regardless of the algorithm:
+
+    - steps are non-decreasing (the trace is linearized);
+    - a process emits nothing after it crashed or terminated
+      ([stopp] semantics, §2.1);
+    - a process crashes at most once and terminates at most once,
+      and never both;
+    - every pid is within [1..m].
+
+    The test suite audits the traces of every algorithm under every
+    scheduler; a violation here indicates a bug in an automaton or
+    the executor, not in the algorithm's logic. *)
+
+type violation = {
+  at_step : int;
+  pid : int;
+  what : string;
+}
+
+val check : m:int -> Shm.Trace.t -> (unit, violation) result
+
+val assert_ok : m:int -> Shm.Trace.t -> unit
+(** @raise Failure with a diagnostic on the first violation. *)
+
+val pp_violation : Format.formatter -> violation -> unit

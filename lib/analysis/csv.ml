@@ -1,0 +1,66 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string fields = String.concat "," (List.map escape fields)
+
+let to_string ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row_to_string header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (row_to_string row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write_file ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header rows))
+
+let of_do_events dos =
+  to_string
+    ~header:[ "seq"; "pid"; "job" ]
+    (List.mapi
+       (fun i (p, j) -> [ string_of_int i; string_of_int p; string_of_int j ])
+       dos)
+
+let of_timeline rows =
+  let body =
+    Array.to_list rows
+    |> List.filteri (fun i _ -> i >= 1)
+    |> List.map (fun (r : Timeline.row) ->
+           [
+             string_of_int r.pid;
+             string_of_int r.first_step;
+             string_of_int r.last_step;
+             string_of_int r.dos;
+             string_of_int r.reads;
+             string_of_int r.writes;
+             string_of_int r.internals;
+             (match r.fate with
+             | Timeline.Terminated -> "terminated"
+             | Timeline.Crashed -> "crashed"
+             | Timeline.Unresolved -> "unresolved");
+           ])
+  in
+  to_string
+    ~header:
+      [ "pid"; "first_step"; "last_step"; "dos"; "reads"; "writes";
+        "internals"; "fate" ]
+    body

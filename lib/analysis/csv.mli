@@ -1,0 +1,23 @@
+(** CSV export of executions and experiment series.
+
+    Minimal, dependency-free CSV writing (RFC-4180-style quoting) so
+    experiment results and traces can be post-processed outside
+    OCaml.  Used by the CLI's [--csv] options and by downstream
+    plotting. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote or newline. *)
+
+val row_to_string : string list -> string
+(** One CSV line, no trailing newline. *)
+
+val to_string : header:string list -> string list list -> string
+(** Full document with header line and trailing newline. *)
+
+val write_file : path:string -> header:string list -> string list list -> unit
+
+val of_do_events : (int * int) list -> string
+(** Columns [seq,pid,job]: the linearized perform log. *)
+
+val of_timeline : Timeline.row array -> string
+(** Columns [pid,first_step,last_step,dos,reads,writes,internals,fate]. *)

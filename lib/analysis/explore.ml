@@ -1,0 +1,47 @@
+type stats = { executions : int; fully_exhaustive : bool }
+
+let run ~factory ~branch_depth ~max_steps ~on_execution () =
+  let executions = ref 0 in
+  let truncated = ref false in
+  (* Re-execute [prefix] (reversed pid list) on a fresh instance. *)
+  let replay prefix =
+    let handles : Shm.Automaton.handle array = factory () in
+    let trace = Shm.Trace.create `Outcomes in
+    let step = ref 0 in
+    let do_step p =
+      let events = handles.(p - 1).Shm.Automaton.step () in
+      List.iter (Shm.Trace.record trace ~step:!step) events;
+      incr step
+    in
+    List.iter do_step (List.rev prefix);
+    (trace, (fun () -> Shm.Executor.live_pids handles), do_step)
+  in
+  let rec go prefix depth =
+    let trace, live_pids, do_step = replay prefix in
+    let live = live_pids () in
+    if Array.length live = 0 then begin
+      incr executions;
+      on_execution (Shm.Trace.do_events trace)
+    end
+    else if depth >= branch_depth then begin
+      truncated := true;
+      let sched = Shm.Schedule.round_robin () in
+      let steps = ref depth in
+      let rec finish () =
+        let live = live_pids () in
+        if Array.length live > 0 then begin
+          if !steps > max_steps then
+            failwith "Explore.run: max_steps exceeded (non-termination?)";
+          incr steps;
+          do_step (Shm.Schedule.choose sched ~alive:live);
+          finish ()
+        end
+      in
+      finish ();
+      incr executions;
+      on_execution (Shm.Trace.do_events trace)
+    end
+    else Array.iter (fun p -> go (p :: prefix) (depth + 1)) live
+  in
+  go [] 0;
+  { executions = !executions; fully_exhaustive = not !truncated }

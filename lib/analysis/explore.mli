@@ -1,0 +1,41 @@
+(** Bounded-exhaustive interleaving exploration (a tiny model
+    checker).
+
+    The theorems quantify over {e all} executions; stochastic testing
+    samples them, this module enumerates them — every schedule of a
+    small instance, or every schedule prefix up to a branching budget
+    with a deterministic completion beyond it.  Automata are mutable,
+    so each explored schedule re-executes a fresh instance built by
+    the caller's [factory].
+
+    Cost model: the number of explored executions is bounded by
+    (number of live processes)^[branch_depth]; each execution replays
+    its whole prefix.  Practical budgets are tiny instances (2–3
+    processes, a handful of jobs) with [branch_depth] ≤ ~15 — enough
+    to cover every announce/gather/check race of the two-process
+    building block exhaustively (see the pairing and KK test suites).
+
+    This is how the repository machine-checks the safety argument on
+    {e complete} execution spaces rather than samples. *)
+
+type stats = {
+  executions : int;  (** complete executions visited *)
+  fully_exhaustive : bool;
+      (** true iff no execution hit the branching budget — i.e. the
+          enumeration covered the whole execution space. *)
+}
+
+val run :
+  factory:(unit -> Shm.Automaton.handle array) ->
+  branch_depth:int ->
+  max_steps:int ->
+  on_execution:((int * int) list -> unit) ->
+  unit ->
+  stats
+(** [run ~factory ~branch_depth ~max_steps ~on_execution ()] calls
+    [on_execution] with the do-event log of every explored execution.
+    Executions longer than [branch_depth] steps are completed
+    round-robin; an execution exceeding [max_steps] raises [Failure]
+    (non-termination of the automata under test).
+
+    @raise Failure when [max_steps] is exceeded. *)

@@ -1,0 +1,48 @@
+let precedence = function
+  | 'X' -> 4
+  | 'T' -> 3
+  | 'D' -> 2
+  | '#' -> 1
+  | _ -> 0
+
+let mark_of_event (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Crash _ -> 'X'
+  | Shm.Event.Terminate _ -> 'T'
+  | Shm.Event.Do _ -> 'D'
+  | Shm.Event.Read _ | Shm.Event.Write _ | Shm.Event.Internal _ -> '#'
+
+let render ~m ?(width = 72) trace =
+  if m < 1 then invalid_arg "Gantt.render: m must be >= 1";
+  if width < 1 then invalid_arg "Gantt.render: width must be >= 1";
+  let entries = Shm.Trace.entries trace in
+  let max_step =
+    List.fold_left (fun acc { Shm.Trace.step; _ } -> max acc step) 0 entries
+  in
+  let lanes = Array.make_matrix (m + 1) width '.' in
+  let ended = Array.make (m + 1) max_int in
+  let bucket step =
+    if max_step = 0 then 0 else min (width - 1) (step * width / (max_step + 1))
+  in
+  List.iter
+    (fun { Shm.Trace.step; event } ->
+      let p = Shm.Event.pid event in
+      if p >= 1 && p <= m then begin
+        let b = bucket step in
+        let c = mark_of_event event in
+        if precedence c > precedence lanes.(p).(b) then lanes.(p).(b) <- c;
+        match event with
+        | Shm.Event.Crash _ | Shm.Event.Terminate _ ->
+            ended.(p) <- min ended.(p) b
+        | _ -> ()
+      end)
+    entries;
+  let buf = Buffer.create ((m + 1) * (width + 12)) in
+  for p = 1 to m do
+    Buffer.add_string buf (Printf.sprintf "p%-3d |" p);
+    for b = 0 to width - 1 do
+      Buffer.add_char buf (if b > ended.(p) then ' ' else lanes.(p).(b))
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** ASCII Gantt charts of executions.
+
+    Renders a trace as one lane per process over a fixed-width step
+    axis, for eyeballing schedules in examples and debugging sessions:
+
+    {v
+    p1 |##D##D#D........T |
+    p2 |###D#X            |
+    p3 |....##D##D##D...T |
+    v}
+
+    Characters, by precedence within a bucket: ['X'] crash,
+    ['T'] terminate, ['D'] at least one job performed, ['#'] other
+    recorded activity (full traces), ['.'] no recorded event.  A lane
+    goes blank after the process's crash or termination.
+
+    At [`Outcomes] trace level only [D]/[X]/[T] marks appear — the
+    idle dots then mean "no {e recorded} event", not "not scheduled". *)
+
+val render : m:int -> ?width:int -> Shm.Trace.t -> string
+(** [render ~m trace] with [width] buckets per lane (default 72).
+    Returns the multi-line chart (trailing newline included); the
+    empty trace renders header-only lanes. *)

@@ -1,0 +1,43 @@
+type summary = {
+  runs : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  argmin_seed : int;
+  argmax_seed : int;
+}
+
+let sweep ~seeds ~f =
+  if seeds = [] then invalid_arg "Montecarlo.sweep: empty seed list";
+  let observations = List.map (fun seed -> (seed, f ~seed)) seeds in
+  let values = Array.of_list (List.map snd observations) in
+  let best cmp =
+    List.fold_left
+      (fun (s0, v0) (s, v) -> if cmp v v0 then (s, v) else (s0, v0))
+      (List.hd observations) (List.tl observations)
+  in
+  let argmin_seed, min = best ( < ) in
+  let argmax_seed, max = best ( > ) in
+  {
+    runs = Array.length values;
+    mean = Util.Stats.mean values;
+    stddev = Util.Stats.stddev values;
+    min;
+    max;
+    p50 = Util.Stats.median values;
+    p95 = Util.Stats.percentile values 95.;
+    argmin_seed;
+    argmax_seed;
+  }
+
+let sweep_runs ~k ?(base = 0) ~f () =
+  sweep ~seeds:(List.init k (fun i -> base + i)) ~f
+
+let pp fmt s =
+  Format.fprintf fmt
+    "runs=%d mean=%.2f sd=%.2f min=%.2f (seed %d) p50=%.2f p95=%.2f max=%.2f \
+     (seed %d)"
+    s.runs s.mean s.stddev s.min s.argmin_seed s.p50 s.p95 s.max s.argmax_seed

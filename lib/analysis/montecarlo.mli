@@ -1,0 +1,30 @@
+(** Monte-Carlo sweeps over seeds.
+
+    The theorems quantify over all executions; the benches approximate
+    worst cases by sampling many seeded runs.  This module is the
+    sampling loop: run a seeded experiment [k] times, collect one
+    float observable per run, and summarize the distribution.  Every
+    run is reproducible from its seed, so an outlier reported in a
+    summary can be re-run in isolation. *)
+
+type summary = {
+  runs : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  argmin_seed : int;  (** seed that produced the minimum *)
+  argmax_seed : int;
+}
+
+val sweep : seeds:int list -> f:(seed:int -> float) -> summary
+(** [sweep ~seeds ~f] evaluates [f] once per seed.
+    @raise Invalid_argument on an empty seed list. *)
+
+val sweep_runs : k:int -> ?base:int -> f:(seed:int -> float) -> unit -> summary
+(** [sweep_runs ~k ~f ()] uses seeds [base, base+1, ..., base+k-1]
+    (default [base] 0). *)
+
+val pp : Format.formatter -> summary -> unit

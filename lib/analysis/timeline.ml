@@ -1,0 +1,68 @@
+type fate = Terminated | Crashed | Unresolved
+
+type row = {
+  pid : int;
+  first_step : int;
+  last_step : int;
+  dos : int;
+  reads : int;
+  writes : int;
+  internals : int;
+  fate : fate;
+}
+
+let blank pid =
+  {
+    pid;
+    first_step = -1;
+    last_step = -1;
+    dos = 0;
+    reads = 0;
+    writes = 0;
+    internals = 0;
+    fate = Unresolved;
+  }
+
+let of_trace ~m trace =
+  let rows = Array.init (m + 1) blank in
+  let touch p step =
+    let r = rows.(p) in
+    rows.(p) <-
+      {
+        r with
+        first_step = (if r.first_step < 0 then step else r.first_step);
+        last_step = max r.last_step step;
+      }
+  in
+  List.iter
+    (fun { Shm.Trace.step; event } ->
+      let p = Shm.Event.pid event in
+      if p >= 1 && p <= m then begin
+        touch p step;
+        let r = rows.(p) in
+        rows.(p) <-
+          (match event with
+          | Shm.Event.Do _ -> { r with dos = r.dos + 1 }
+          | Shm.Event.Read _ -> { r with reads = r.reads + 1 }
+          | Shm.Event.Write _ -> { r with writes = r.writes + 1 }
+          | Shm.Event.Internal _ -> { r with internals = r.internals + 1 }
+          | Shm.Event.Terminate _ -> { r with fate = Terminated }
+          | Shm.Event.Crash _ -> { r with fate = Crashed })
+      end)
+    (Shm.Trace.entries trace);
+  rows
+
+let fate_to_string = function
+  | Terminated -> "terminated"
+  | Crashed -> "crashed"
+  | Unresolved -> "unresolved"
+
+let pp_row fmt r =
+  Format.fprintf fmt
+    "p%-3d steps [%d..%d]  do=%-5d r/w/i=%d/%d/%d  %s" r.pid r.first_step
+    r.last_step r.dos r.reads r.writes r.internals (fate_to_string r.fate)
+
+let pp fmt rows =
+  Array.iteri
+    (fun i r -> if i >= 1 then Format.fprintf fmt "%a@." pp_row r)
+    rows

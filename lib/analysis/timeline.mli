@@ -1,0 +1,29 @@
+(** Per-process timelines of an execution.
+
+    Digests a trace into per-process statistics: how many actions of
+    each kind a process took, when it was first and last scheduled,
+    what it performed, and how it ended (terminated, crashed, or
+    still live when the executor stopped).  Works at any trace level;
+    action-kind counts are only populated from [`Full] traces. *)
+
+type fate = Terminated | Crashed | Unresolved
+
+type row = {
+  pid : int;
+  first_step : int;  (** -1 when the process never appears *)
+  last_step : int;
+  dos : int;  (** jobs performed *)
+  reads : int;  (** populated from [`Full] traces only *)
+  writes : int;
+  internals : int;
+  fate : fate;
+}
+
+val of_trace : m:int -> Shm.Trace.t -> row array
+(** [of_trace ~m trace] returns rows indexed [1..m] (index 0 is a
+    dummy row). *)
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp : Format.formatter -> row array -> unit
+(** One line per process. *)

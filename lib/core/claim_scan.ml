@@ -1,0 +1,94 @@
+open Shm
+
+let uses_rmw = true
+
+let predicted_effectiveness ~n ~f = n - f
+
+type status = Check_counter | Claim | Perform | Bump | End | Stop
+
+type proc = {
+  pid : int;
+  n : int;
+  claims : Memory.vector;
+  counter : Register.t;
+  start : int;
+  mutable offset : int;
+  mutable status : status;
+}
+
+let current_job t = ((t.start - 1 + t.offset) mod t.n) + 1
+
+let step ~perform t =
+  match t.status with
+  | Check_counter ->
+      let c = Register.read t.counter ~p:t.pid in
+      if c >= t.n || t.offset >= t.n then begin
+        t.status <- End;
+        [ Event.Terminate { p = t.pid } ]
+      end
+      else begin
+        t.status <- Claim;
+        []
+      end
+  | Claim ->
+      (* one atomic test-and-set (read-modify-write) *)
+      let job = current_job t in
+      let v = Memory.vget t.claims ~p:t.pid job in
+      if v = 0 then begin
+        Memory.vset t.claims ~p:t.pid job 1;
+        t.status <- Perform;
+        []
+      end
+      else begin
+        t.offset <- t.offset + 1;
+        t.status <- Check_counter;
+        []
+      end
+  | Perform ->
+      let job = current_job t in
+      t.status <- Bump;
+      perform ~p:t.pid ~job
+  | Bump ->
+      (* one atomic fetch-and-increment *)
+      let c = Register.read t.counter ~p:t.pid in
+      Register.write t.counter ~p:t.pid (c + 1);
+      t.offset <- t.offset + 1;
+      t.status <- Check_counter;
+      []
+  | End | Stop -> invalid_arg "Claim_scan.step: process has no enabled action"
+
+let status_to_string = function
+  | Check_counter -> "check_counter"
+  | Claim -> "claim"
+  | Perform -> "perform"
+  | Bump -> "bump"
+  | End -> "end"
+  | Stop -> "stop"
+
+let default_perform ~p ~job = [ Event.Do { p; job } ]
+
+let processes ~metrics ~n ~m ?(perform = default_perform) () =
+  if m < 1 || m > n then invalid_arg "Claim_scan.processes: need 1 <= m <= n";
+  let claims = Memory.vector ~metrics ~name:"claim" ~len:n ~init:0 in
+  let counter = Register.create ~metrics ~name:"claim.count" ~init:0 in
+  Array.init m (fun i ->
+      let pid = i + 1 in
+      let t =
+        {
+          pid;
+          n;
+          claims;
+          counter;
+          start = (i * n / m) + 1;
+          offset = 0;
+          status = Check_counter;
+        }
+      in
+      Automaton.check
+        {
+          Automaton.pid;
+          step = (fun () -> step ~perform t);
+          alive = (fun () -> t.status <> End && t.status <> Stop);
+          crash = (fun () -> if t.status <> End then t.status <- Stop);
+          phase = (fun () -> status_to_string t.status);
+        })

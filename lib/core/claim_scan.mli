@@ -1,0 +1,42 @@
+(** Test-and-set claim scanning — the stronger-primitive comparison
+    point.
+
+    The paper notes (§1, end of related work): "the at-most-once
+    problem becomes much simpler when shared-memory is supplemented
+    by some type of read-modify-write operations.  For example, one
+    can associate a test-and-set bit with each job, ensuring that the
+    job is assigned to the only process that successfully sets the
+    shared bit" — giving an {e effectiveness-optimal} (n − f)
+    implementation.  This module is that construction: each job has a
+    claim bit taken by an atomic test-and-set; the winner performs the
+    job and bumps a completion counter; processes scan the job ring
+    from rotated offsets and stop when the counter reaches [n].
+
+    Both RMW steps (the test-and-set and the fetch-increment) are
+    single atomic actions in the simulator — deliberately outside the
+    paper's read/write register model, and flagged as such.  Used by
+    experiment E3 as the upper-bound witness (it meets Theorem 2.1's
+    n − f exactly: each crash forfeits at most the one claimed job),
+    and reused by {!Writeall.Tas} with a cell-writing [perform].
+
+    Safety: trivially at-most-once — the claim bit arbitrates.
+    Fault-tolerance caveat: a process crashing between claiming and
+    performing loses that job forever, which is optimal for
+    at-most-once (one job per crash) but {e incorrect} for Write-All
+    (where the paper's register-only algorithm is the fix). *)
+
+val uses_rmw : bool
+(** Always [true]: this algorithm steps outside the read/write model. *)
+
+val processes :
+  metrics:Shm.Metrics.t ->
+  n:int ->
+  m:int ->
+  ?perform:(p:int -> job:int -> Shm.Event.t list) ->
+  unit ->
+  Shm.Automaton.handle array
+(** [perform] defaults to emitting one [Do] event.
+    @raise Invalid_argument unless [1 <= m <= n]. *)
+
+val predicted_effectiveness : n:int -> f:int -> int
+(** [n − f]: each crash forfeits at most its claimed job. *)

@@ -1,0 +1,57 @@
+type t = { m : int; counts : int array (* (p-1)*m + (q-1) *) }
+
+let create ~m =
+  if m < 1 then invalid_arg "Collision.create: m must be >= 1";
+  { m; counts = Array.make (m * m) 0 }
+
+let m t = t.m
+
+let index t p q =
+  if p < 1 || p > t.m || q < 1 || q > t.m then
+    invalid_arg "Collision: pid out of range";
+  if p = q then invalid_arg "Collision: a process cannot collide with itself";
+  ((p - 1) * t.m) + (q - 1)
+
+let record t ~p ~q ~job:_ =
+  let i = index t p q in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count t ~p ~q = t.counts.(index t p q)
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let pair_bound ~n ~m ~p ~q =
+  if p = q then invalid_arg "Collision.pair_bound: p = q";
+  let d = abs (q - p) in
+  2 * ((n + (m * d) - 1) / (m * d))
+
+let worst_pair_ratio t ~n =
+  let best = ref None in
+  for p = 1 to t.m do
+    for q = 1 to t.m do
+      if p <> q then begin
+        let c = count t ~p ~q in
+        if c > 0 then begin
+          let ratio =
+            float_of_int c /. float_of_int (pair_bound ~n ~m:t.m ~p ~q)
+          in
+          match !best with
+          | Some (_, _, r) when r >= ratio -> ()
+          | _ -> best := Some (p, q, ratio)
+        end
+      end
+    done
+  done;
+  !best
+
+let reset t = Array.fill t.counts 0 (Array.length t.counts) 0
+
+let pp fmt t =
+  for p = 1 to t.m do
+    for q = 1 to t.m do
+      if p <> q then begin
+        let c = count t ~p ~q in
+        if c > 0 then Format.fprintf fmt "p%d<-p%d: %d@ " p q c
+      end
+    done
+  done

@@ -1,0 +1,42 @@
+(** Collision accounting (Definitions 5.2/5.3, Lemma 5.5).
+
+    A {e collision} happens when a process [p] announces a candidate
+    job, then discovers during its gather phase that some process [q]
+    either announced the same job or already performed it, so [p]'s
+    [check] fails and [p] must pick again.  Collisions are the only
+    source of wasted work in KKβ, and Lemma 5.5 bounds them per
+    ordered pair: for β ≥ 3m², [p] collides with [q] at most
+    [2·⌈n / (m·|q−p|)⌉] times in any execution.
+
+    The KK automaton reports every failed [check] here together with
+    the process it blames (the one whose announcement or done-record
+    caused the failure), giving the bench for experiment E5 its data.
+    Counts are directional: [count t ~p ~q] is the number of times [p]
+    {e detected} a collision caused by [q]. *)
+
+type t
+
+val create : m:int -> t
+
+val m : t -> int
+
+val record : t -> p:int -> q:int -> job:int -> unit
+(** [record t ~p ~q ~job]: [p]'s check of [job] failed because of
+    [q].  @raise Invalid_argument on out-of-range pids or [p = q]. *)
+
+val count : t -> p:int -> q:int -> int
+
+val total : t -> int
+
+val pair_bound : n:int -> m:int -> p:int -> q:int -> int
+(** Lemma 5.5's bound [2·⌈n / (m·|q−p|)⌉]. *)
+
+val worst_pair_ratio : t -> n:int -> (int * int * float) option
+(** The ordered pair with the largest [count / pair_bound] ratio and
+    that ratio; [None] if no collision was recorded.  The lemma
+    predicts ratio < 1 whenever β ≥ 3m². *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Matrix of non-zero pair counts. *)

@@ -1,0 +1,79 @@
+(** IterativeKK(ε) (paper §6, Fig. 3) and WA_IterativeKK(ε) (§7,
+    Fig. 4).
+
+    Both algorithms chain IterStepKK instances over progressively
+    finer super-job levels:
+
+    - level 0: super-jobs of size [m·log n·log m];
+    - levels i = 1..1/ε: size [m^(1−iε)·log n·(log m)^(1+i)];
+    - last level: individual jobs (size 1).
+
+    Every instance runs with β = 3m² (the work-optimal regime of
+    Theorem 5.6).  Each process feeds its {e own} output set through
+    [map] into its next level — processes move between levels
+    asynchronously, coordinated only by each level's termination flag.
+
+    The at-most-once variant ([`Amo]) has every IterStepKK return
+    FREE \ TRY, preserving at-most-once across levels (Theorem 6.3)
+    with effectiveness [n − O(m²·log n·log m)] and work
+    [O(n + m^(3+ε)·log n)] (Theorem 6.4).
+
+    The Write-All variant ([`Wa]) returns FREE instead, and after the
+    last level each process directly writes every cell left in its
+    FREE set — solving Write-All with work [O(n + m^(3+ε)·log n)]
+    (Theorem 7.1) using only read/write registers.  In this variant
+    "performing job j" writes 1 to cell [j] of the shared Write-All
+    array. *)
+
+type t
+(** A plan: the level structure plus all levels' shared memory. *)
+
+val sizes : n:int -> m:int -> epsilon_inv:int -> int list
+(** The super-job sizes of Fig. 3 (with ⌈log₂⌉ for the paper's logs),
+    clamped to be non-increasing and terminated by the size-1 level.
+    [epsilon_inv] is 1/ε and must be a positive integer, as the paper
+    requires. *)
+
+val create :
+  metrics:Shm.Metrics.t ->
+  n:int ->
+  m:int ->
+  epsilon_inv:int ->
+  mode:[ `Amo | `Wa ] ->
+  t
+(** Allocates the hierarchy and one flagged KK level of shared memory
+    per size (plus, for [`Wa], the n-cell Write-All array). *)
+
+val hierarchy : t -> Superjob.t
+
+val beta : t -> int
+(** 3m². *)
+
+val num_levels : t -> int
+
+val mode : t -> [ `Amo | `Wa ]
+
+val processes :
+  ?collision:Collision.t ->
+  ?policy:Policy.t ->
+  ?verbose:bool ->
+  t ->
+  Shm.Automaton.handle array
+(** The [m] process automata.  [policy] defaults to
+    {!Policy.Rank_split}; [verbose] (default false) makes the inner
+    IterStepKK steps emit [Read]/[Write]/[Internal] events for
+    [`Full] traces. *)
+
+val wa_cell : t -> int -> int
+(** Unmetered peek at Write-All cell [j] (checkers only).
+    @raise Invalid_argument in [`Amo] mode. *)
+
+val wa_complete : t -> bool
+(** All [n] cells hold 1.  @raise Invalid_argument in [`Amo] mode. *)
+
+val predicted_loss_bound : n:int -> m:int -> epsilon_inv:int -> int
+(** The concrete instantiation of Theorem 6.4's O(m²·log n·log m)
+    effectiveness-loss term for this implementation: at most
+    [(2 + 1/ε)·m²·log n·log m + 3m² + m] jobs may go unperformed
+    (TRY-set losses at each of the 2 + 1/ε level transitions, plus
+    the final β-termination).  Used by experiment E6. *)

@@ -1,0 +1,11 @@
+type t = int
+
+let none = 0
+
+let is_valid ~n j = j >= 1 && j <= n
+
+let universe ~n = Ostree.of_range 1 n
+
+let range_set ~lo ~hi = Ostree.of_range lo hi
+
+let pp fmt j = Format.fprintf fmt "job#%d" j

@@ -1,0 +1,358 @@
+open Shm
+
+type mode = Kk_intf.mode = Standalone | Iter_step of { keep_try : bool }
+
+module type S = Kk_intf.S
+
+module Make (Set : Set_intf.S) = struct
+  type set = Set.t
+
+  module P = Policy.Make (Set)
+
+type shared = {
+  next : Memory.vector;
+  done_m : Memory.matrix;
+  flag : Register.t option;
+  sh_metrics : Metrics.t;
+  sh_m : int;
+  log_unit : int; (* the O(log n) work charge of one tree operation *)
+}
+
+let make_shared ~metrics ~m ~capacity ?(with_flag = false) ~name () =
+  if capacity < 1 then invalid_arg "Kk.make_shared: capacity must be >= 1";
+  {
+    next = Memory.vector ~metrics ~name:(name ^ ".next") ~len:m ~init:0;
+    done_m =
+      Memory.matrix ~metrics ~name:(name ^ ".done") ~rows:m ~cols:capacity
+        ~init:0;
+    flag =
+      (if with_flag then
+         Some (Register.create ~metrics ~name:(name ^ ".flag") ~init:0)
+       else None);
+    sh_metrics = metrics;
+    sh_m = m;
+    log_unit = Params.log2_ceil (max 2 capacity);
+  }
+
+let flag_value shared =
+  match shared.flag with
+  | Some f -> Register.peek f
+  | None -> invalid_arg "Kk.flag_value: level has no termination flag"
+
+type status =
+  | Comp_next
+  | Set_next
+  | Gather_try
+  | Gather_done
+  | Check
+  | Read_flag
+  | Do_job
+  | Done_write
+  | Set_flag
+  | End
+  | Stop
+
+let status_to_string = function
+  | Comp_next -> "comp_next"
+  | Set_next -> "set_next"
+  | Gather_try -> "gather_try"
+  | Gather_done -> "gather_done"
+  | Check -> "check"
+  | Read_flag -> "read_flag"
+  | Do_job -> "do"
+  | Done_write -> "done"
+  | Set_flag -> "set_flag"
+  | End -> "end"
+  | Stop -> "stop"
+
+type t = {
+  shared : shared;
+  pid : int;
+  beta : int;
+  policy : Policy.t;
+  mode : mode;
+  collision : Collision.t option;
+  perform : p:int -> int -> Event.t list;
+  perform_work : int -> int;
+  verbose : bool;
+  mutable status : status;
+  mutable free : Set.t;
+  mutable done_set : Set.t;
+  mutable tries : Set.t;
+  pos : int array; (* pos.(q), 1-based, next cell of row q to read/write *)
+  mutable next_j : int;
+  mutable q : int;
+  mutable finalizing : bool; (* IterStepKK termination re-gather in progress *)
+  mutable output : Set.t option;
+  mutable n_done : int;
+  mutable n_collisions : int;
+  (* blame bookkeeping, active when [collision] is provided *)
+  try_owner : (int, int) Hashtbl.t;
+  done_owner : (int, int) Hashtbl.t;
+}
+
+let default_perform ~p item = [ Event.Do { p; job = item } ]
+
+let create ~shared ~pid ~beta ~policy ~free ?collision
+    ?(perform = default_perform) ?(perform_work = fun _ -> 1)
+    ?(verbose = false) ~mode () =
+  if pid < 1 || pid > shared.sh_m then invalid_arg "Kk.create: pid out of range";
+  if beta < 1 then invalid_arg "Kk.create: beta must be >= 1";
+  (match (mode, shared.flag) with
+  | Iter_step _, None ->
+      invalid_arg "Kk.create: Iter_step mode needs a shared flag"
+  | _ -> ());
+  {
+    shared;
+    pid;
+    beta;
+    policy;
+    mode;
+    collision;
+    perform;
+    perform_work;
+    verbose;
+    status = Comp_next;
+    free;
+    done_set = Set.empty;
+    tries = Set.empty;
+    pos = Array.make (shared.sh_m + 1) 1;
+    next_j = 0;
+    q = 1;
+    finalizing = false;
+    output = None;
+    n_done = 0;
+    n_collisions = 0;
+    try_owner = Hashtbl.create 16;
+    done_owner = Hashtbl.create 64;
+  }
+
+let metrics t = t.shared.sh_metrics
+let m t = t.shared.sh_m
+let cols t = Memory.matrix_cols t.shared.done_m
+
+let internal_event t action =
+  if t.verbose then [ Event.Internal { p = t.pid; action } ] else []
+
+let read_event t cell value =
+  if t.verbose then [ Event.Read { p = t.pid; cell; value } ] else []
+
+let write_event t cell value =
+  if t.verbose then [ Event.Write { p = t.pid; cell; value } ] else []
+
+(* Start the IterStepKK termination sequence: recompute TRY and DONE
+   from shared memory, then produce the output set. *)
+let enter_final_gather t =
+  t.finalizing <- true;
+  t.tries <- Set.empty;
+  Hashtbl.reset t.try_owner;
+  t.q <- 1;
+  t.status <- Gather_try
+
+let finish_iter_step t keep_try =
+  let out =
+    if keep_try then t.free
+    else Set.fold (fun x acc -> Set.remove x acc) t.tries t.free
+  in
+  t.output <- Some out;
+  t.status <- End;
+  [ Event.Terminate { p = t.pid } ]
+
+let step_comp_next t =
+  Metrics.on_internal (metrics t) ~p:t.pid;
+  Metrics.add_work (metrics t) ~p:t.pid
+    (Policy.work_cost ~try_cardinal:(Set.cardinal t.tries)
+       ~log_n:t.shared.log_unit);
+  let avail = Set.diff_cardinal t.free t.tries in
+  if avail >= t.beta then begin
+    t.next_j <-
+      P.choose t.policy ~p:t.pid ~m:(m t) ~free:t.free ~try_set:t.tries;
+    t.tries <- Set.empty;
+    Hashtbl.reset t.try_owner;
+    t.q <- 1;
+    t.status <- Set_next;
+    internal_event t "comp_next"
+  end
+  else begin
+    match t.mode with
+    | Standalone ->
+        t.status <- End;
+        [ Event.Terminate { p = t.pid } ]
+    | Iter_step _ ->
+        t.status <- Set_flag;
+        internal_event t "comp_next->set_flag"
+  end
+
+let step_set_flag t =
+  let flag = Option.get t.shared.flag in
+  Register.write flag ~p:t.pid 1;
+  let ev = write_event t (Register.name flag) 1 in
+  enter_final_gather t;
+  ev
+
+let step_set_next t =
+  Memory.vset t.shared.next ~p:t.pid t.pid t.next_j;
+  let ev = write_event t (Memory.vname t.shared.next ~cell:t.pid) t.next_j in
+  t.q <- 1;
+  t.status <- Gather_try;
+  ev
+
+let step_gather_try t =
+  let ev =
+    if t.q <> t.pid then begin
+      let v = Memory.vget t.shared.next ~p:t.pid t.q in
+      if v > 0 then begin
+        t.tries <- Set.add v t.tries;
+        if Option.is_some t.collision then Hashtbl.replace t.try_owner v t.q;
+        Metrics.add_work (metrics t) ~p:t.pid t.shared.log_unit
+      end;
+      read_event t (Memory.vname t.shared.next ~cell:t.q) v
+    end
+    else begin
+      Metrics.on_internal (metrics t) ~p:t.pid;
+      internal_event t "gather_try(skip self)"
+    end
+  in
+  if t.q + 1 <= m t then t.q <- t.q + 1
+  else begin
+    t.q <- 1;
+    t.status <- Gather_done
+  end;
+  ev
+
+let step_gather_done t =
+  let ev =
+    if t.q <> t.pid && t.pos.(t.q) <= cols t then begin
+      let c = t.pos.(t.q) in
+      let v = Memory.mget t.shared.done_m ~p:t.pid t.q c in
+      let ev = read_event t (Memory.mname t.shared.done_m ~row:t.q ~col:c) v in
+      if v > 0 then begin
+        t.done_set <- Set.add v t.done_set;
+        t.free <- Set.remove v t.free;
+        if Option.is_some t.collision && not (Hashtbl.mem t.done_owner v) then
+          Hashtbl.add t.done_owner v t.q;
+        t.pos.(t.q) <- c + 1;
+        Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit)
+      end
+      else t.q <- t.q + 1;
+      ev
+    end
+    else begin
+      Metrics.on_internal (metrics t) ~p:t.pid;
+      t.q <- t.q + 1;
+      internal_event t "gather_done(skip)"
+    end
+  in
+  if t.q > m t then begin
+    t.q <- 1;
+    if t.finalizing then begin
+      let keep_try =
+        match t.mode with
+        | Iter_step { keep_try } -> keep_try
+        | Standalone -> assert false
+      in
+      ev @ finish_iter_step t keep_try
+    end
+    else begin
+      t.status <- Check;
+      ev
+    end
+  end
+  else ev
+
+let record_collision t =
+  t.n_collisions <- t.n_collisions + 1;
+  match t.collision with
+  | None -> ()
+  | Some c ->
+      (* Definition 5.2: a TRY hit is attributed first; a DONE hit is a
+         collision only when the job is not in TRY. *)
+      let blame =
+        if Set.mem t.next_j t.tries then Hashtbl.find_opt t.try_owner t.next_j
+        else Hashtbl.find_opt t.done_owner t.next_j
+      in
+      (match blame with
+      | Some q when q <> t.pid -> Collision.record c ~p:t.pid ~q ~job:t.next_j
+      | _ -> ())
+
+let step_check t =
+  Metrics.on_internal (metrics t) ~p:t.pid;
+  Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit);
+  let safe =
+    (not (Set.mem t.next_j t.tries)) && not (Set.mem t.next_j t.done_set)
+  in
+  if safe then begin
+    (match t.mode with
+    | Standalone -> t.status <- Do_job
+    | Iter_step _ -> t.status <- Read_flag);
+    internal_event t "check(ok)"
+  end
+  else begin
+    record_collision t;
+    t.status <- Comp_next;
+    internal_event t "check(collision)"
+  end
+
+let step_read_flag t =
+  let flag = Option.get t.shared.flag in
+  let v = Register.read flag ~p:t.pid in
+  let ev = read_event t (Register.name flag) v in
+  if v = 1 then enter_final_gather t else t.status <- Do_job;
+  ev
+
+let step_do t =
+  Metrics.on_internal (metrics t) ~p:t.pid;
+  Metrics.add_work (metrics t) ~p:t.pid (t.perform_work t.next_j);
+  t.n_done <- t.n_done + 1;
+  t.status <- Done_write;
+  t.perform ~p:t.pid t.next_j
+
+let step_done_write t =
+  let c = t.pos.(t.pid) in
+  assert (c <= cols t);
+  Memory.mset t.shared.done_m ~p:t.pid t.pid c t.next_j;
+  let ev =
+    write_event t (Memory.mname t.shared.done_m ~row:t.pid ~col:c) t.next_j
+  in
+  t.done_set <- Set.add t.next_j t.done_set;
+  t.free <- Set.remove t.next_j t.free;
+  t.pos.(t.pid) <- c + 1;
+  Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit);
+  t.status <- Comp_next;
+  ev
+
+let step t =
+  match t.status with
+  | Comp_next -> step_comp_next t
+  | Set_flag -> step_set_flag t
+  | Set_next -> step_set_next t
+  | Gather_try -> step_gather_try t
+  | Gather_done -> step_gather_done t
+  | Check -> step_check t
+  | Read_flag -> step_read_flag t
+  | Do_job -> step_do t
+  | Done_write -> step_done_write t
+  | End | Stop -> invalid_arg "Kk.step: process has no enabled action"
+
+let handle t =
+  Automaton.check
+    {
+      Automaton.pid = t.pid;
+      step = (fun () -> step t);
+      alive = (fun () -> t.status <> End && t.status <> Stop);
+      crash = (fun () -> if t.status <> End then t.status <- Stop);
+      phase = (fun () -> status_to_string t.status);
+    }
+
+let result t = t.output
+let do_count t = t.n_done
+let collisions_detected t = t.n_collisions
+let status_name t = status_to_string t.status
+let free_set t = t.free
+let try_set t = t.tries
+let done_set t = t.done_set
+let announced t = t.next_j
+
+end
+
+include Make (Ostree)

@@ -1,0 +1,74 @@
+(** Algorithm KKβ (paper §3, Figures 1–2) and its IterStepKK variant
+    (§6).
+
+    Each process is an automaton whose statuses mirror the paper's
+    STATUS values; one {!Shm.Automaton.handle} step performs exactly
+    one action:
+
+    - [comp_next] (internal): if |FREE \ TRY| ≥ β, pick the next
+      candidate with the {!Policy}, reset TRY, go announce; otherwise
+      terminate (standalone) or start the flag/termination sequence
+      (IterStepKK).
+    - [set_next] (shared write): announce the candidate in [next\[p\]].
+    - [gather_try] (m shared reads): collect other processes'
+      announcements into TRY.
+    - [gather_done] (shared reads): drain the new suffix of every
+      other row of the [done] matrix into DONE, removing from FREE.
+    - [check] (internal): candidate safe iff not in TRY ∪ DONE; on
+      failure this is a {e collision} (recorded, with blame, into a
+      {!Collision.t} if one is supplied).
+    - [do] (output): perform the job — emits the [Do] event(s).
+    - [done] (shared write): append the job to own [done] row.
+
+    The IterStepKK mode adds the shared termination flag: a process
+    that runs out of candidates sets the flag, re-gathers TRY and
+    DONE, stores its output set and terminates; a process that sees
+    the flag set (checked between [check] and [do]) does the same
+    instead of performing its candidate (§6).
+
+    Items are plain integers: actual jobs for standalone KKβ, or
+    super-job identifiers for the iterated algorithms, which supply a
+    [perform] callback expanding one item into its constituent [Do]
+    events.
+
+    The algorithm only needs its FREE/DONE/TRY sets through the
+    order-statistic interface {!Set_intf.S} ("red-black tree or some
+    variant of B-tree", §3), so the implementation is a functor; the
+    toplevel values are the default instantiation over {!Ostree}
+    (AVL), and [Make (Rbtree)] gives the red-black-backed variant with
+    the identical API. *)
+
+type mode = Kk_intf.mode =
+  | Standalone  (** plain KKβ: terminate when |FREE \ TRY| < β *)
+  | Iter_step of { keep_try : bool }
+      (** IterStepKK: flag-coordinated termination; the output set is
+          FREE \ TRY when [keep_try = false] (at-most-once iteration,
+          §6) and FREE when [keep_try = true] (Write-All iteration,
+          §7). Requires a [shared] built [~with_flag:true]. *)
+
+module type S = Kk_intf.S
+(** One instantiation's interface.  Highlights:
+
+    - [make_shared ~metrics ~m ~capacity ?with_flag ~name ()]
+      allocates one level of shared memory: the [next] vector, the
+      m × capacity [done] matrix, and (IterStepKK) the termination
+      flag; [flag_value] peeks at the flag (checkers only).
+    - [create ~shared ~pid ~beta ~policy ~free ~mode ()] builds one
+      process with initial FREE set [free] (for standalone KKβ pass
+      [Job.universe ~n]).  [perform] (default: emit one [Do] event)
+      expands the [do] action; [perform_work] (default [fun _ -> 1])
+      is the work charged for it; [verbose] makes every step emit
+      [Read]/[Write]/[Internal] events for [`Full] traces;
+      [collision] records failed checks with blame.
+    - [handle] packages the process for {!Shm.Executor.run}.
+    - [result] is the IterStepKK output set ([Some] once terminated in
+      [Iter_step] mode).
+    - [do_count], [collisions_detected], [status_name], [free_set],
+      [try_set], [done_set], [announced]: introspection. *)
+
+module Make (Set : Set_intf.S) : S with type set = Set.t
+(** KKβ over an arbitrary order-statistic backend. *)
+
+include S with type set = Ostree.t
+(** The default (AVL) instantiation — what the rest of the repository
+    uses. *)

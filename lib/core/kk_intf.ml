@@ -1,0 +1,56 @@
+(* Interface-only module: the mode type and the signature one KKβ
+   instantiation presents, shared between the functor and its default
+   (AVL-backed) instantiation.  Documentation lives in kk.mli. *)
+
+type mode = Standalone | Iter_step of { keep_try : bool }
+
+module type S = sig
+  type set
+
+  type shared
+
+  val make_shared :
+    metrics:Shm.Metrics.t ->
+    m:int ->
+    capacity:int ->
+    ?with_flag:bool ->
+    name:string ->
+    unit ->
+    shared
+
+  val flag_value : shared -> int
+
+  type t
+
+  val create :
+    shared:shared ->
+    pid:int ->
+    beta:int ->
+    policy:Policy.t ->
+    free:set ->
+    ?collision:Collision.t ->
+    ?perform:(p:int -> int -> Shm.Event.t list) ->
+    ?perform_work:(int -> int) ->
+    ?verbose:bool ->
+    mode:mode ->
+    unit ->
+    t
+
+  val handle : t -> Shm.Automaton.handle
+
+  val result : t -> set option
+
+  val do_count : t -> int
+
+  val collisions_detected : t -> int
+
+  val status_name : t -> string
+
+  val free_set : t -> set
+
+  val try_set : t -> set
+
+  val done_set : t -> set
+
+  val announced : t -> int
+end

@@ -1,0 +1,111 @@
+open Shm
+
+let pair_count ~m = (m + 1) / 2
+
+let chunk_of_pair ~n ~m ~pair =
+  let pairs = pair_count ~m in
+  if pair < 1 || pair > pairs then invalid_arg "Pairing.chunk_of_pair";
+  let base = n / pairs and extra = n mod pairs in
+  let lo = ((pair - 1) * base) + min (pair - 1) extra + 1 in
+  let size = base + if pair <= extra then 1 else 0 in
+  (lo, lo + size - 1)
+
+type direction = Up | Down
+
+type status = Announce | Read_partner | Check | Do_job | End | Stop
+
+type proc = {
+  pid : int;
+  partner : int; (* 0 = solo *)
+  dir : direction;
+  lo : int;
+  hi : int;
+  next : Memory.vector;
+  mutable cur : int;
+  mutable partner_seen : int;
+  mutable status : status;
+}
+
+let exhausted t =
+  match t.dir with Up -> t.cur > t.hi | Down -> t.cur < t.lo
+
+let advance t =
+  t.cur <- (match t.dir with Up -> t.cur + 1 | Down -> t.cur - 1)
+
+let safe t =
+  t.partner_seen = 0
+  ||
+  match t.dir with
+  | Up -> t.partner_seen > t.cur
+  | Down -> t.partner_seen < t.cur
+
+let step t =
+  match t.status with
+  | Announce ->
+      if exhausted t then begin
+        t.status <- End;
+        [ Event.Terminate { p = t.pid } ]
+      end
+      else begin
+        Memory.vset t.next ~p:t.pid t.pid t.cur;
+        t.status <- (if t.partner = 0 then Do_job else Read_partner);
+        []
+      end
+  | Read_partner ->
+      t.partner_seen <- Memory.vget t.next ~p:t.pid t.partner;
+      t.status <- Check;
+      []
+  | Check ->
+      if safe t then begin
+        t.status <- Do_job;
+        []
+      end
+      else begin
+        t.status <- End;
+        [ Event.Terminate { p = t.pid } ]
+      end
+  | Do_job ->
+      let job = t.cur in
+      advance t;
+      t.status <- Announce;
+      [ Event.Do { p = t.pid; job } ]
+  | End | Stop -> invalid_arg "Pairing.step: process has no enabled action"
+
+let status_to_string = function
+  | Announce -> "announce"
+  | Read_partner -> "read_partner"
+  | Check -> "check"
+  | Do_job -> "do"
+  | End -> "end"
+  | Stop -> "stop"
+
+let processes ~metrics ~n ~m =
+  if m < 1 || n < m then invalid_arg "Pairing.processes: need 1 <= m <= n";
+  let next = Memory.vector ~metrics ~name:"pairing.next" ~len:m ~init:0 in
+  Array.init m (fun i ->
+      let pid = i + 1 in
+      let pair = (pid + 1) / 2 in
+      let lo, hi = chunk_of_pair ~n ~m ~pair in
+      let solo = pid = m && m mod 2 = 1 in
+      let ascending = pid mod 2 = 1 in
+      let t =
+        {
+          pid;
+          partner = (if solo then 0 else if ascending then pid + 1 else pid - 1);
+          dir = (if ascending then Up else Down);
+          lo;
+          hi;
+          next;
+          cur = (if ascending then lo else hi);
+          partner_seen = 0;
+          status = Announce;
+        }
+      in
+      Automaton.check
+        {
+          Automaton.pid;
+          step = (fun () -> step t);
+          alive = (fun () -> t.status <> End && t.status <> Stop);
+          crash = (fun () -> if t.status <> End then t.status <- Stop);
+          phase = (fun () -> status_to_string t.status);
+        })

@@ -1,0 +1,38 @@
+(** Pairing baseline: the classical two-process collision algorithm,
+    lifted to [m] processes by static pairing.
+
+    The two-process building block is the one the first at-most-once
+    algorithms of Kentros et al. [26] compose: partners attack a
+    shared job interval from opposite ends, announce each candidate in
+    a shared register before performing it, and stop as soon as the
+    partner's announcement shows the intervals have met.  For two
+    processes this is effectiveness-optimal (at most one job of the
+    interval is lost when both survive).
+
+    The m-process lift splits the [n] jobs into [⌈m/2⌉] static
+    chunks, one per pair (a last unpaired process works its chunk
+    alone).  Like the algorithm of [26], and unlike KKβ, a crashed
+    process's work is never re-assigned across chunk boundaries, so
+    the adversary can destroy a whole chunk of Θ(n/m) jobs with two
+    crashes — the effectiveness gap experiment E3 exhibits.
+
+    Safety argument (at-most-once): ascending partner [a] performs
+    job [j] only if, after writing [next\[a\] = j], it reads
+    [next\[b\] ∈ {0} ∪ (j, ∞)]; descending partner [b] performs [j]
+    only if after writing [next\[b\] = j] it reads
+    [next\[a\] ∈ {0} ∪ (−∞, j)].  Announcements of [a] are
+    non-decreasing and those of [b] non-increasing, so the four
+    operations cannot be linearized consistently with both reads —
+    (tested exhaustively for small intervals in the suite). *)
+
+val pair_count : m:int -> int
+(** [⌈m/2⌉]. *)
+
+val chunk_of_pair : n:int -> m:int -> pair:int -> int * int
+(** Inclusive job interval of pair [pair] (1-based). *)
+
+val processes :
+  metrics:Shm.Metrics.t -> n:int -> m:int -> Shm.Automaton.handle array
+(** The [m] automata.  Odd process of pair [k] is [2k−1] (ascending),
+    even is [2k] (descending); with odd [m], process [m] sweeps its
+    chunk alone. *)

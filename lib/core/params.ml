@@ -1,0 +1,28 @@
+type t = { n : int; m : int; beta : int }
+
+let make ~n ~m ~beta =
+  if m < 1 then invalid_arg "Params.make: m must be >= 1";
+  if n < m then invalid_arg "Params.make: need n >= m";
+  if beta < 1 then invalid_arg "Params.make: beta must be >= 1";
+  { n; m; beta }
+
+let effectiveness_optimal ~n ~m = make ~n ~m ~beta:m
+
+let work_optimal ~n ~m = make ~n ~m ~beta:(3 * m * m)
+
+let guarantees_termination t = t.beta >= t.m
+
+let guarantees_work_bound t = t.beta >= 3 * t.m * t.m
+
+let predicted_effectiveness t = t.n - (t.beta + t.m - 2)
+
+let effectiveness_upper_bound ~n ~f = n - f
+
+let trivial_effectiveness ~n ~m ~f = (m - f) * (n / m)
+
+let log2_ceil x =
+  if x < 1 then invalid_arg "Params.log2_ceil: x must be >= 1";
+  let rec go acc pow = if pow >= x then acc else go (acc + 1) (2 * pow) in
+  max 1 (go 0 1)
+
+let pp fmt t = Format.fprintf fmt "(n=%d, m=%d, beta=%d)" t.n t.m t.beta

@@ -1,0 +1,51 @@
+(** Problem and algorithm parameters.
+
+    An at-most-once instance is [(n, m)]: [n] jobs, [m] processes,
+    with [n >= m] (§2.2).  KKβ additionally takes the termination
+    parameter [β].  The paper's regimes:
+
+    - [β >= m]: correctness {e and} termination guaranteed; the
+      effectiveness is exactly [n − (β + m − 2)] (Theorem 4.4);
+    - [β = m]: effectiveness-optimal configuration, [n − 2m + 2];
+    - [β >= 3m²]: additionally, work is O(n·m·log n·log m)
+      (Theorem 5.6) — the configuration IterativeKK builds on;
+    - [β < m]: correctness still holds but termination may not; we
+      allow constructing such configurations for experiments, and
+      {!val:make} flags them. *)
+
+type t = private { n : int; m : int; beta : int }
+
+val make : n:int -> m:int -> beta:int -> t
+(** @raise Invalid_argument unless [1 <= m <= n] and [beta >= 1]. *)
+
+val effectiveness_optimal : n:int -> m:int -> t
+(** [β = m]: the configuration of the headline n − 2m + 2 bound. *)
+
+val work_optimal : n:int -> m:int -> t
+(** [β = 3m²]: the configuration of Theorem 5.6 and of each
+    IterStepKK instance. *)
+
+val guarantees_termination : t -> bool
+(** [beta >= m]. *)
+
+val guarantees_work_bound : t -> bool
+(** [beta >= 3m²]. *)
+
+val predicted_effectiveness : t -> int
+(** Theorem 4.4: [n − (β + m − 2)] — both a guarantee for every fair
+    execution and the exact value under the worst-case adversary.
+    May be negative for extreme [β]; callers clamp as appropriate. *)
+
+val effectiveness_upper_bound : n:int -> f:int -> int
+(** Theorem 2.1 ([26]): no algorithm exceeds [n − f] with [f]
+    crashes. *)
+
+val trivial_effectiveness : n:int -> m:int -> f:int -> int
+(** The trivial split algorithm: [(m − f) · (n / m)] (§2.2). *)
+
+val log2_ceil : int -> int
+(** [⌈log₂ x⌉] for [x >= 1], with [log2_ceil 1 = 1] — the paper's
+    [log] is always at least 1 so that super-job sizes and work
+    predictions never vanish. *)
+
+val pp : Format.formatter -> t -> unit

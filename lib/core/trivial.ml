@@ -1,0 +1,34 @@
+open Shm
+
+let chunk ~n ~m ~p =
+  if p < 1 || p > m then invalid_arg "Trivial.chunk: p out of range";
+  let base = n / m and extra = n mod m in
+  let lo = ((p - 1) * base) + min (p - 1) extra + 1 in
+  let size = base + if p <= extra then 1 else 0 in
+  (lo, lo + size - 1)
+
+type proc = { pid : int; hi : int; mutable cur : int; mutable stopped : bool }
+
+let processes ~n ~m =
+  Array.init m (fun i ->
+      let pid = i + 1 in
+      let lo, hi = chunk ~n ~m ~p:pid in
+      let st = { pid; hi; cur = lo; stopped = false } in
+      Automaton.check
+        {
+          Automaton.pid;
+          step =
+            (fun () ->
+              if st.cur > st.hi then invalid_arg "Trivial.step: terminated"
+              else begin
+                let job = st.cur in
+                st.cur <- st.cur + 1;
+                let ev = Event.Do { p = st.pid; job } in
+                if st.cur > st.hi then
+                  [ ev; Event.Terminate { p = st.pid } ]
+                else [ ev ]
+              end);
+          alive = (fun () -> (not st.stopped) && st.cur <= st.hi);
+          crash = (fun () -> st.stopped <- true);
+          phase = (fun () -> if st.cur > st.hi then "end" else "working");
+        })

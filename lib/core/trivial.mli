@@ -1,0 +1,17 @@
+(** The trivial at-most-once algorithm (paper §2.2).
+
+    Split the [n] jobs into [m] static groups and let process [p]
+    perform group [p], with no communication at all.  At-most-once is
+    immediate (the groups are disjoint); effectiveness is
+    [(m − f)·(n/m)]: crashing a process forfeits its whole group.
+    This is the floor every non-trivial algorithm must beat, and the
+    baseline of experiment E3. *)
+
+val chunk : n:int -> m:int -> p:int -> int * int
+(** [chunk ~n ~m ~p] is the inclusive job interval [(lo, hi)] of
+    process [p]'s group (even split, remainder spread over the first
+    groups).  @raise Invalid_argument on out-of-range [p]. *)
+
+val processes : n:int -> m:int -> Shm.Automaton.handle array
+(** The [m] process automata; each step performs one job of the own
+    group ([Do] event), then terminates. *)

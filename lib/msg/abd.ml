@@ -1,0 +1,307 @@
+type outcome = {
+  dos : (int * int) list;
+  completed : int list;
+  stuck : int list;
+  crashed_clients : int list;
+  deliveries : int;
+}
+
+type body =
+  read:(int -> int) ->
+  write:(int -> int -> unit) ->
+  do_job:(int -> unit) ->
+  unit
+
+(* Timestamps are (ts, wid) pairs ordered lexicographically, so
+   multi-writer registers are supported: an MW write first queries a
+   majority for the highest timestamp, then writes with ts+1 and its
+   own writer id as tie-break.  Single-writer registers skip the query
+   phase (the writer's own counter is already the maximum). *)
+type message =
+  | Read_req of { op : int; reg : int }
+  | Read_reply of { op : int; ts : int; wid : int; v : int }
+  | Write_req of { op : int; reg : int; ts : int; wid : int; v : int }
+  | Write_ack of { op : int }
+
+type _ Effect.t +=
+  | Read_reg : int -> int Effect.t
+  | Write_reg : (int * int) -> unit Effect.t
+
+exception Client_crashed
+
+(* The in-flight operation of a client.  [Query] is a read's first
+   phase; [Write_back] its second (completing resumes the read
+   continuation with [v]); [Write_wait] a writer's single phase. *)
+(* Quorums count DISTINCT responding servers, never raw messages —
+   the channel may duplicate (Net.duplicate_random), and a duplicated
+   reply must not fake a majority. *)
+type responders = { seen : bool array; mutable count : int }
+
+let fresh_responders servers = { seen = Array.make (servers + 1) false; count = 0 }
+
+let record_responder r srv =
+  if not r.seen.(srv) then begin
+    r.seen.(srv) <- true;
+    r.count <- r.count + 1
+  end
+
+type op_state =
+  | Query of {
+      reg : int;
+      replies : responders;
+      mutable best_ts : int;
+      mutable best_wid : int;
+      mutable best_v : int;
+      k : (int, unit) Effect.Deep.continuation;
+    }
+  | Write_back of {
+      v : int;
+      acks : responders;
+      k : (int, unit) Effect.Deep.continuation;
+    }
+  | Write_query of {
+      (* MW write, phase 1: find the highest timestamp *)
+      reg : int;
+      v : int;
+      replies : responders;
+      mutable best_ts : int;
+      k : (unit, unit) Effect.Deep.continuation;
+    }
+  | Write_wait of { acks : responders; k : (unit, unit) Effect.Deep.continuation }
+
+type client = {
+  pid : int;
+  node : int;
+  mutable op_seq : int;
+  mutable op : (int * op_state) option; (* (op id, state) *)
+  mutable finished : bool;
+  mutable crashed : bool;
+  wts : int array; (* per-register write timestamp, 1-based *)
+}
+
+let run ?(crash_plan = []) ?max_deliveries ?(multi_writer = fun _ -> false)
+    ?(duplicate_prob = 0.) ~servers ~registers ~rng ~client_bodies () =
+  if servers < 1 then invalid_arg "Abd.run: servers must be >= 1";
+  if registers < 1 then invalid_arg "Abd.run: registers must be >= 1";
+  let m = Array.length client_bodies in
+  if m < 1 then invalid_arg "Abd.run: no clients";
+  let quorum = (servers / 2) + 1 in
+  let net : message Net.t = Net.create ~nodes:(servers + m) () in
+  (* ---- servers ---- *)
+  for srv = 1 to servers do
+    let ts = Array.make (registers + 1) 0 in
+    let wid = Array.make (registers + 1) 0 in
+    let v = Array.make (registers + 1) 0 in
+    Net.set_handler net ~node:srv (fun ~src msg ->
+        match msg with
+        | Read_req { op; reg } ->
+            Net.send net ~src:srv ~dst:src
+              (Read_reply { op; ts = ts.(reg); wid = wid.(reg); v = v.(reg) })
+        | Write_req { op; reg; ts = wts; wid = wwid; v = wv } ->
+            if (wts, wwid) > (ts.(reg), wid.(reg)) then begin
+              ts.(reg) <- wts;
+              wid.(reg) <- wwid;
+              v.(reg) <- wv
+            end;
+            Net.send net ~src:srv ~dst:src (Write_ack { op })
+        | Read_reply _ | Write_ack _ -> ())
+  done;
+  (* ---- clients ---- *)
+  let writer_of = Array.make (registers + 1) 0 in
+  let clients =
+    Array.init m (fun i ->
+        {
+          pid = i + 1;
+          node = servers + i + 1;
+          op_seq = 0;
+          op = None;
+          finished = false;
+          crashed = false;
+          wts = Array.make (registers + 1) 0;
+        })
+  in
+  let broadcast c msg =
+    for srv = 1 to servers do
+      Net.send net ~src:c.node ~dst:srv msg
+    done
+  in
+  let check_reg reg =
+    if reg < 1 || reg > registers then invalid_arg "Abd: register out of range"
+  in
+  let begin_read c reg k =
+    check_reg reg;
+    c.op_seq <- c.op_seq + 1;
+    c.op <-
+      Some
+        ( c.op_seq,
+          Query
+            {
+              reg;
+              replies = fresh_responders servers;
+              best_ts = -1;
+              best_wid = 0;
+              best_v = 0;
+              k;
+            } );
+    broadcast c (Read_req { op = c.op_seq; reg })
+  in
+  let begin_write c reg v k =
+    check_reg reg;
+    if multi_writer reg then begin
+      (* MW: query the current maximum timestamp first *)
+      c.op_seq <- c.op_seq + 1;
+      c.op <-
+        Some
+          ( c.op_seq,
+            Write_query
+              { reg; v; replies = fresh_responders servers; best_ts = 0; k } );
+      broadcast c (Read_req { op = c.op_seq; reg })
+    end
+    else begin
+      if writer_of.(reg) <> 0 && writer_of.(reg) <> c.pid then
+        invalid_arg "Abd: single-writer discipline violated";
+      writer_of.(reg) <- c.pid;
+      c.wts.(reg) <- c.wts.(reg) + 1;
+      c.op_seq <- c.op_seq + 1;
+      c.op <- Some (c.op_seq, Write_wait { acks = fresh_responders servers; k });
+      broadcast c
+        (Write_req { op = c.op_seq; reg; ts = c.wts.(reg); wid = c.pid; v })
+    end
+  in
+  (* resuming a continuation runs the client until its next effect (or
+     completion), all within the current delivery *)
+  let on_client_message c ~src msg =
+    match (c.op, msg) with
+    | Some (id, Query q), Read_reply { op; ts; wid; v } when op = id ->
+        if (ts, wid) > (q.best_ts, q.best_wid) then begin
+          q.best_ts <- ts;
+          q.best_wid <- wid;
+          q.best_v <- v
+        end;
+        record_responder q.replies src;
+        if q.replies.count = quorum then begin
+          (* phase 2: write back the freshest value before returning *)
+          c.op_seq <- c.op_seq + 1;
+          c.op <-
+            Some
+              ( c.op_seq,
+                Write_back
+                  { v = q.best_v; acks = fresh_responders servers; k = q.k } );
+          broadcast c
+            (Write_req
+               {
+                 op = c.op_seq;
+                 reg = q.reg;
+                 ts = max q.best_ts 0;
+                 wid = q.best_wid;
+                 v = q.best_v;
+               })
+        end
+    | Some (id, Write_query w), Read_reply { op; ts; wid = _; v = _ }
+      when op = id ->
+        if ts > w.best_ts then w.best_ts <- ts;
+        record_responder w.replies src;
+        if w.replies.count = quorum then begin
+          (* phase 2: write with a strictly larger timestamp *)
+          c.op_seq <- c.op_seq + 1;
+          c.op <- Some (c.op_seq, Write_wait { acks = fresh_responders servers; k = w.k });
+          broadcast c
+            (Write_req
+               { op = c.op_seq; reg = w.reg; ts = w.best_ts + 1; wid = c.pid; v = w.v })
+        end
+    | Some (id, Write_back w), Write_ack { op } when op = id ->
+        record_responder w.acks src;
+        if w.acks.count = quorum then begin
+          c.op <- None;
+          Effect.Deep.continue w.k w.v
+        end
+    | Some (id, Write_wait w), Write_ack { op } when op = id ->
+        record_responder w.acks src;
+        if w.acks.count = quorum then begin
+          c.op <- None;
+          Effect.Deep.continue w.k ()
+        end
+    | _ -> () (* stale reply from a superseded operation *)
+  in
+  let dos = ref [] in
+  let start_client c body =
+    Net.set_handler net ~node:c.node (fun ~src msg -> on_client_message c ~src msg);
+    let read reg = Effect.perform (Read_reg reg) in
+    let write reg v = Effect.perform (Write_reg (reg, v)) in
+    let do_job j = dos := (c.pid, j) :: !dos in
+    Effect.Deep.match_with
+      (fun () -> body ~read ~write ~do_job)
+      ()
+      {
+        retc = (fun () -> c.finished <- true);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Read_reg reg ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    begin_read c reg k)
+            | Write_reg (reg, v) ->
+                Some (fun k -> begin_write c reg v k)
+            | _ -> None);
+      }
+  in
+  Array.iteri (fun i c -> start_client c client_bodies.(i)) clients;
+  (* ---- the delivery loop: the adversary picks every delivery ---- *)
+  let crash_client c =
+    if (not c.crashed) && not c.finished then begin
+      c.crashed <- true;
+      Net.crash net c.node;
+      match c.op with
+      | Some (_, (Query { k; _ } | Write_back { k; _ })) ->
+          c.op <- None;
+          (try Effect.Deep.discontinue k Client_crashed
+           with Client_crashed -> ())
+      | Some (_, (Write_wait { k; _ } | Write_query { k; _ })) ->
+          c.op <- None;
+          (try Effect.Deep.discontinue k Client_crashed
+           with Client_crashed -> ())
+      | None -> ()
+    end
+  in
+  let plan = ref (List.sort compare crash_plan) in
+  let apply_due_crashes () =
+    let due, later =
+      List.partition (fun (at, _) -> at <= Net.delivered_count net) !plan
+    in
+    plan := later;
+    List.iter
+      (fun (_, who) ->
+        match who with
+        | `Client pid ->
+            if pid >= 1 && pid <= m then crash_client clients.(pid - 1)
+        | `Server srv -> if srv >= 1 && srv <= servers then Net.crash net srv)
+      due
+  in
+  let budget =
+    match max_deliveries with Some b -> b | None -> 2_000_000
+  in
+  let all_settled () =
+    Array.for_all (fun c -> c.finished || c.crashed) clients
+  in
+  let running = ref true in
+  while !running do
+    apply_due_crashes ();
+    if all_settled () then running := false
+    else if Net.delivered_count net >= budget then running := false
+    else begin
+      (* channel misbehaviour: occasionally clone an in-flight message *)
+      if duplicate_prob > 0. && Util.Prng.bernoulli rng duplicate_prob then
+        ignore (Net.duplicate_random net rng);
+      if not (Net.deliver_random net rng) then running := false
+    end
+  done;
+  let by pred = Array.to_list clients |> List.filter pred |> List.map (fun c -> c.pid) in
+  {
+    dos = List.rev !dos;
+    completed = by (fun c -> c.finished);
+    stuck = by (fun c -> (not c.finished) && not c.crashed);
+    crashed_clients = by (fun c -> c.crashed);
+    deliveries = Net.delivered_count net;
+  }

@@ -1,0 +1,110 @@
+type 'a envelope = { src : int; dst : int; body : 'a }
+
+type 'a t = {
+  node_count : int;
+  handlers : (src:int -> 'a -> unit) option array; (* 1-based *)
+  live : bool array;
+  (* pending messages: a growable array with swap-removal, so the
+     adversary can pick any pending message in O(1) *)
+  mutable buf : 'a envelope option array;
+  mutable len : int;
+  mutable delivered : int;
+}
+
+let create ~nodes () =
+  if nodes < 1 then invalid_arg "Net.create: nodes must be >= 1";
+  {
+    node_count = nodes;
+    handlers = Array.make (nodes + 1) None;
+    live = Array.make (nodes + 1) true;
+    buf = Array.make 64 None;
+    len = 0;
+    delivered = 0;
+  }
+
+let nodes t = t.node_count
+
+let check t node =
+  if node < 1 || node > t.node_count then invalid_arg "Net: node out of range"
+
+let set_handler t ~node f =
+  check t node;
+  t.handlers.(node) <- Some f
+
+let send t ~src ~dst body =
+  check t src;
+  check t dst;
+  if t.live.(src) then begin
+    if t.len = Array.length t.buf then begin
+      let bigger = Array.make (2 * t.len) None in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- Some { src; dst; body };
+    t.len <- t.len + 1
+  end
+
+let crash t node =
+  check t node;
+  t.live.(node) <- false
+
+let alive t node =
+  check t node;
+  t.live.(node)
+
+let pending t = t.len
+
+let delivered_count t = t.delivered
+
+let take t i =
+  let env = match t.buf.(i) with Some e -> e | None -> assert false in
+  t.len <- t.len - 1;
+  t.buf.(i) <- t.buf.(t.len);
+  t.buf.(t.len) <- None;
+  env
+
+let dispatch t env =
+  t.delivered <- t.delivered + 1;
+  if t.live.(env.dst) then begin
+    match t.handlers.(env.dst) with
+    | Some f -> f ~src:env.src env.body
+    | None -> invalid_arg "Net: delivery to node without handler"
+  end
+
+let deliver_random t rng =
+  if t.len = 0 then false
+  else begin
+    dispatch t (take t (Util.Prng.int rng t.len));
+    true
+  end
+
+let duplicate_random t rng =
+  if t.len = 0 then false
+  else begin
+    let env =
+      match t.buf.(Util.Prng.int rng t.len) with
+      | Some e -> e
+      | None -> assert false
+    in
+    (* re-send bypassing the liveness check on [src]: the copy is
+       already in the channel even if the sender died meanwhile *)
+    if t.len = Array.length t.buf then begin
+      let bigger = Array.make (2 * t.len) None in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- Some env;
+    t.len <- t.len + 1;
+    true
+  end
+
+let deliver_oldest t =
+  if t.len = 0 then false
+  else begin
+    (* index 0 is not strictly the oldest after swap-removals; for the
+       deterministic variant scan for the minimum insertion order is
+       unnecessary — any fixed rule yields a deterministic run, and
+       "slot 0" is one *)
+    dispatch t (take t 0);
+    true
+  end

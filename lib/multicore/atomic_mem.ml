@@ -1,0 +1,34 @@
+type vector = int Atomic.t array (* slot 0 unused *)
+
+let vector ~len ~init =
+  if len < 1 then invalid_arg "Atomic_mem.vector: len must be >= 1";
+  Array.init (len + 1) (fun _ -> Atomic.make init)
+
+let vcheck v i =
+  if i < 1 || i >= Array.length v then
+    invalid_arg "Atomic_mem: vector index out of range"
+
+let vget v i =
+  vcheck v i;
+  Atomic.get v.(i)
+
+let vset v i x =
+  vcheck v i;
+  Atomic.set v.(i) x
+
+type matrix = { rows : int; cols : int; data : int Atomic.t array }
+
+let matrix ~rows ~cols ~init =
+  if rows < 1 || cols < 1 then invalid_arg "Atomic_mem.matrix: empty dimensions";
+  { rows; cols; data = Array.init (rows * cols) (fun _ -> Atomic.make init) }
+
+let index m r c =
+  if r < 1 || r > m.rows || c < 1 || c > m.cols then
+    invalid_arg "Atomic_mem: matrix index out of range";
+  ((r - 1) * m.cols) + (c - 1)
+
+let mget m r c = Atomic.get m.data.(index m r c)
+
+let mset m r c x = Atomic.set m.data.(index m r c) x
+
+let mcols m = m.cols

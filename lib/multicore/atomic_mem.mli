@@ -1,0 +1,21 @@
+(** Shared memory backed by real atomics.
+
+    The simulator in {!Shm} is the vehicle for adversarial and crash
+    experiments; this module is its hardware counterpart: 1-based
+    vectors and matrices of [Atomic.t] cells, for running the same
+    algorithms on actual OCaml 5 domains (experiment E9).  Every cell
+    is an independent atomic register, so reads and writes are
+    linearizable exactly as the paper's model requires. *)
+
+type vector
+
+val vector : len:int -> init:int -> vector
+val vget : vector -> int -> int
+val vset : vector -> int -> int -> unit
+
+type matrix
+
+val matrix : rows:int -> cols:int -> init:int -> matrix
+val mget : matrix -> int -> int -> int
+val mset : matrix -> int -> int -> int -> unit
+val mcols : matrix -> int

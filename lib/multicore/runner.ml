@@ -1,0 +1,226 @@
+type outcome = {
+  dos : (int * int) list;
+  per_process : int array;
+  wall_seconds : float;
+}
+
+(* One process's run: a direct transcription of Fig. 2 against atomic
+   registers.  Shared state: [next] (m cells) and [done_m] (m x n). *)
+let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid =
+  let free = ref (Ostree.of_range 1 n) in
+  let done_set = ref Ostree.empty in
+  let tries = ref Ostree.empty in
+  let pos = Array.make (m + 1) 1 in
+  let performed = ref [] in
+  let count = ref 0 in
+  let gather_try () =
+    tries := Ostree.empty;
+    for q = 1 to m do
+      if q <> pid then begin
+        let v = Atomic_mem.vget next q in
+        if v > 0 then tries := Ostree.add v !tries
+      end
+    done
+  in
+  let gather_done () =
+    for q = 1 to m do
+      if q <> pid then begin
+        let continue = ref true in
+        while !continue do
+          if pos.(q) > n then continue := false
+          else begin
+            let v = Atomic_mem.mget done_m q pos.(q) in
+            if v > 0 then begin
+              done_set := Ostree.add v !done_set;
+              free := Ostree.remove v !free;
+              pos.(q) <- pos.(q) + 1
+            end
+            else continue := false
+          end
+        done
+      end
+    done
+  in
+  let running = ref true in
+  while !running do
+    if Ostree.diff_cardinal !free !tries >= beta && !count < budget then begin
+      let next_j = Core.Policy.choose policy ~p:pid ~m ~free:!free ~try_set:!tries in
+      Atomic_mem.vset next pid next_j;
+      gather_try ();
+      gather_done ();
+      if
+        (not (Ostree.mem next_j !tries)) && not (Ostree.mem next_j !done_set)
+      then begin
+        (* do the job, then publish it *)
+        performed := next_j :: !performed;
+        incr count;
+        Atomic_mem.mset done_m pid pos.(pid) next_j;
+        done_set := Ostree.add next_j !done_set;
+        free := Ostree.remove next_j !free;
+        pos.(pid) <- pos.(pid) + 1
+      end
+    end
+    else running := false
+  done;
+  List.rev !performed
+
+(* ---- IterativeKK(eps) on domains ---- *)
+
+type level_shared = {
+  lv_next : Atomic_mem.vector;
+  lv_done : Atomic_mem.matrix;
+  lv_flag : int Atomic.t;
+}
+
+(* One IterStepKK instance (Fig. 3 inner call) for process [pid] on
+   level [ls]: KK with the shared termination flag; returns the output
+   set FREE \ TRY (ids of this level's super-jobs). *)
+let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed =
+  let cols = Atomic_mem.mcols ls.lv_done in
+  let free = ref free0 in
+  let done_set = ref Ostree.empty in
+  let tries = ref Ostree.empty in
+  let pos = Array.make (m + 1) 1 in
+  let gather_try () =
+    tries := Ostree.empty;
+    for q = 1 to m do
+      if q <> pid then begin
+        let v = Atomic_mem.vget ls.lv_next q in
+        if v > 0 then tries := Ostree.add v !tries
+      end
+    done
+  in
+  let gather_done () =
+    for q = 1 to m do
+      if q <> pid then begin
+        let continue = ref true in
+        while !continue do
+          if pos.(q) > cols then continue := false
+          else begin
+            let v = Atomic_mem.mget ls.lv_done q pos.(q) in
+            if v > 0 then begin
+              done_set := Ostree.add v !done_set;
+              free := Ostree.remove v !free;
+              pos.(q) <- pos.(q) + 1
+            end
+            else continue := false
+          end
+        done
+      end
+    done
+  in
+  (* the termination sequence: flag is already set (or observed set);
+     recompute TRY and DONE, return FREE \ TRY *)
+  let finalize () =
+    gather_try ();
+    gather_done ();
+    Ostree.fold (fun x acc -> Ostree.remove x acc) !tries !free
+  in
+  let result = ref None in
+  while !result = None do
+    if Ostree.diff_cardinal !free !tries >= beta then begin
+      let id = Core.Policy.choose policy ~p:pid ~m ~free:!free ~try_set:!tries in
+      Atomic_mem.vset ls.lv_next pid id;
+      gather_try ();
+      gather_done ();
+      if (not (Ostree.mem id !tries)) && not (Ostree.mem id !done_set) then begin
+        if Atomic.get ls.lv_flag = 1 then result := Some (finalize ())
+        else begin
+          performed id;
+          Atomic_mem.mset ls.lv_done pid pos.(pid) id;
+          done_set := Ostree.add id !done_set;
+          free := Ostree.remove id !free;
+          pos.(pid) <- pos.(pid) + 1
+        end
+      end
+    end
+    else begin
+      Atomic.set ls.lv_flag 1;
+      result := Some (finalize ())
+    end
+  done;
+  Option.get !result
+
+let run_iterative ~n ~m ~epsilon_inv () =
+  if m < 1 || n < m then invalid_arg "Runner.run_iterative: need 1 <= m <= n";
+  if epsilon_inv < 1 then
+    invalid_arg "Runner.run_iterative: epsilon_inv must be >= 1";
+  let beta = 3 * m * m in
+  let sizes = Core.Iterative.sizes ~n ~m ~epsilon_inv in
+  let hierarchy = Core.Superjob.build ~n ~sizes in
+  let num_levels = Core.Superjob.num_levels hierarchy in
+  let levels =
+    Array.init num_levels (fun k ->
+        {
+          lv_next = Atomic_mem.vector ~len:m ~init:0;
+          lv_done =
+            Atomic_mem.matrix ~rows:m
+              ~cols:(Core.Superjob.block_count hierarchy k)
+              ~init:0;
+          lv_flag = Atomic.make 0;
+        })
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init m (fun i ->
+        let pid = i + 1 in
+        Domain.spawn (fun () ->
+            let performed = ref [] in
+            let free = ref (Core.Superjob.ids_at hierarchy 0) in
+            for level = 0 to num_levels - 1 do
+              let log id = performed := (level, id) :: !performed in
+              let out =
+                iter_step_loop ~m ~beta ~policy:Core.Policy.Rank_split
+                  ~ls:levels.(level) ~pid ~free0:!free ~performed:log
+              in
+              if level + 1 < num_levels then
+                free := Core.Superjob.map_down hierarchy ~from_level:level out
+            done;
+            List.rev !performed))
+  in
+  let logs = Array.map Domain.join domains in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let per_process = Array.make (m + 1) 0 in
+  let dos = ref [] in
+  (* expand super-jobs into their constituent jobs; build reversed,
+     then flip once so the log is chronological per process *)
+  Array.iteri
+    (fun i log ->
+      let pid = i + 1 in
+      List.iter
+        (fun (level, id) ->
+          let lo, hi = Core.Superjob.interval hierarchy ~level ~id in
+          for j = lo to hi do
+            dos := (pid, j) :: !dos;
+            per_process.(pid) <- per_process.(pid) + 1
+          done)
+        log)
+    logs;
+  { dos = List.rev !dos; per_process; wall_seconds }
+
+let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
+    ?(job_budget = fun ~pid:_ -> max_int) () =
+  if m < 1 || n < m then invalid_arg "Runner.run_kk: need 1 <= m <= n";
+  if beta < 1 then invalid_arg "Runner.run_kk: beta must be >= 1";
+  let next = Atomic_mem.vector ~len:m ~init:0 in
+  let done_m = Atomic_mem.matrix ~rows:m ~cols:n ~init:0 in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init m (fun i ->
+        let pid = i + 1 in
+        let pol = policy ~pid in
+        let budget = job_budget ~pid in
+        Domain.spawn (fun () ->
+            process_loop ~n ~m ~beta ~policy:pol ~budget ~next ~done_m ~pid))
+  in
+  let logs = Array.map Domain.join domains in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let per_process = Array.make (m + 1) 0 in
+  let dos = ref [] in
+  Array.iteri
+    (fun i jobs ->
+      let pid = i + 1 in
+      per_process.(pid) <- List.length jobs;
+      List.iter (fun j -> dos := (pid, j) :: !dos) jobs)
+    logs;
+  { dos = List.rev !dos; per_process; wall_seconds }

@@ -1,0 +1,49 @@
+(** KKβ on real parallel hardware.
+
+    Runs the same algorithm as {!Core.Kk} — a line-for-line
+    transcription of Fig. 2, with the same {!Core.Policy} candidate
+    rule and the same {!Ostree} sets — but with each process on its
+    own OCaml 5 domain and every shared cell an atomic register.  The
+    scheduler is now the actual machine, so this cannot explore
+    worst-case interleavings (that is the simulator's job); what it
+    demonstrates is that the algorithm's safety does not depend on any
+    simulator artifact: at-most-once must hold on every real run too
+    (experiment E9, and a property test in the suite).
+
+    Crashes are modeled by a per-process job budget: a "crashing"
+    process simply stops taking steps after performing a bounded
+    number of jobs — indistinguishable, to the other processes, from
+    a crash at that point. *)
+
+type outcome = {
+  dos : (int * int) list;
+      (** all (pid, job) performs, concatenated per process (order
+          within a process is program order) *)
+  per_process : int array;  (** jobs performed by each pid; index 0 unused *)
+  wall_seconds : float;
+}
+
+val run_kk :
+  n:int ->
+  m:int ->
+  beta:int ->
+  ?policy:(pid:int -> Core.Policy.t) ->
+  ?job_budget:(pid:int -> int) ->
+  unit ->
+  outcome
+(** [run_kk ~n ~m ~beta ()] spawns [m] domains and runs KKβ to
+    termination.  [policy] picks each process's candidate rule
+    (default: the paper's [Rank_split]); [job_budget] caps the jobs a
+    process performs before it silently stops (default: unlimited),
+    emulating crashes.  @raise Invalid_argument unless
+    [1 <= m <= n] and [beta >= 1]. *)
+
+val run_iterative : n:int -> m:int -> epsilon_inv:int -> unit -> outcome
+(** The full IterativeKK(ε) (at-most-once variant, §6) on real
+    domains: per-level atomic [next]/[done]/flag, the IterStepKK
+    termination protocol (set flag → re-gather → output FREE \ TRY),
+    and per-process [map] between levels — a transcription of
+    Fig. 3 with β = 3m².  [dos] reports individual jobs (super-jobs
+    expanded), so the same {!Core.Spec} checker applies.
+    @raise Invalid_argument unless [1 <= m <= n] and
+    [epsilon_inv >= 1]. *)

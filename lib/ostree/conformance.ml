@@ -1,0 +1,6 @@
+(* Compile-time check that both backing structures implement the
+   shared order-statistic interface. *)
+
+module _ : Set_intf.S = Ostree
+module _ : Set_intf.S = Rbtree
+module _ : Set_intf.S = Twothree

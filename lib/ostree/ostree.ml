@@ -1,0 +1,241 @@
+(* Size-augmented AVL tree.  Each node caches its height (for
+   rebalancing) and its subtree cardinality (for rank/select). *)
+
+type t =
+  | Leaf
+  | Node of { l : t; v : int; r : t; h : int; size : int }
+
+let empty = Leaf
+
+let is_empty = function Leaf -> true | Node _ -> false
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+
+let cardinal = function Leaf -> 0 | Node { size; _ } -> size
+
+let node l v r =
+  Node
+    {
+      l;
+      v;
+      r;
+      h = 1 + max (height l) (height r);
+      size = 1 + cardinal l + cardinal r;
+    }
+
+(* Rebalance assuming [l] and [r] are valid AVL trees whose heights
+   differ by at most 2 (the situation after one insert or delete). *)
+let balance l v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 1 then
+    match l with
+    | Leaf -> assert false
+    | Node { l = ll; v = lv; r = lr; _ } ->
+        if height ll >= height lr then node ll lv (node lr v r)
+        else begin
+          match lr with
+          | Leaf -> assert false
+          | Node { l = lrl; v = lrv; r = lrr; _ } ->
+              node (node ll lv lrl) lrv (node lrr v r)
+        end
+  else if hr > hl + 1 then
+    match r with
+    | Leaf -> assert false
+    | Node { l = rl; v = rv; r = rr; _ } ->
+        if height rr >= height rl then node (node l v rl) rv rr
+        else begin
+          match rl with
+          | Leaf -> assert false
+          | Node { l = rll; v = rlv; r = rlr; _ } ->
+              node (node l v rll) rlv (node rlr rv rr)
+        end
+  else node l v r
+
+let rec mem x = function
+  | Leaf -> false
+  | Node { l; v; r; _ } ->
+      if x = v then true else if x < v then mem x l else mem x r
+
+let rec add x t =
+  match t with
+  | Leaf -> node Leaf x Leaf
+  | Node { l; v; r; _ } ->
+      if x = v then t
+      else if x < v then begin
+        let l' = add x l in
+        if l' == l then t else balance l' v r
+      end
+      else begin
+        let r' = add x r in
+        if r' == r then t else balance l v r'
+      end
+
+let rec min_elt = function
+  | Leaf -> raise Not_found
+  | Node { l = Leaf; v; _ } -> v
+  | Node { l; _ } -> min_elt l
+
+let rec max_elt = function
+  | Leaf -> raise Not_found
+  | Node { r = Leaf; v; _ } -> v
+  | Node { r; _ } -> max_elt r
+
+let rec remove_min = function
+  | Leaf -> assert false
+  | Node { l = Leaf; v; r; _ } -> (v, r)
+  | Node { l; v; r; _ } ->
+      let m, l' = remove_min l in
+      (m, balance l' v r)
+
+let rec remove x t =
+  match t with
+  | Leaf -> Leaf
+  | Node { l; v; r; _ } ->
+      if x = v then begin
+        match (l, r) with
+        | Leaf, _ -> r
+        | _, Leaf -> l
+        | _ ->
+            let succ, r' = remove_min r in
+            balance l succ r'
+      end
+      else if x < v then begin
+        let l' = remove x l in
+        if l' == l then t else balance l' v r
+      end
+      else begin
+        let r' = remove x r in
+        if r' == r then t else balance l v r'
+      end
+
+let select t i =
+  if i < 1 || i > cardinal t then
+    invalid_arg "Ostree.select: rank out of range";
+  let rec go t i =
+    match t with
+    | Leaf -> assert false
+    | Node { l; v; r; _ } ->
+        let nl = cardinal l in
+        if i <= nl then go l i
+        else if i = nl + 1 then v
+        else go r (i - nl - 1)
+  in
+  go t i
+
+let rank x t =
+  let rec go t acc =
+    match t with
+    | Leaf -> raise Not_found
+    | Node { l; v; r; _ } ->
+        if x = v then acc + cardinal l + 1
+        else if x < v then go l acc
+        else go r (acc + cardinal l + 1)
+  in
+  go t 0
+
+let count_le x t =
+  let rec go t acc =
+    match t with
+    | Leaf -> acc
+    | Node { l; v; r; _ } ->
+        if x = v then acc + cardinal l + 1
+        else if x < v then go l acc
+        else go r (acc + cardinal l + 1)
+  in
+  go t 0
+
+let fold f t init =
+  let rec go t acc =
+    match t with
+    | Leaf -> acc
+    | Node { l; v; r; _ } -> go r (f v (go l acc))
+  in
+  go t init
+
+let iter f t = fold (fun x () -> f x) t ()
+
+let elements t = List.rev (fold (fun x acc -> x :: acc) t [])
+
+let of_list xs = List.fold_left (fun t x -> add x t) empty xs
+
+let of_range lo hi =
+  (* Build a perfectly balanced tree directly: O(hi - lo). *)
+  let rec build lo hi =
+    if hi < lo then Leaf
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      node (build lo (mid - 1)) mid (build (mid + 1) hi)
+    end
+  in
+  build lo hi
+
+let equal t1 t2 = cardinal t1 = cardinal t2 && elements t1 = elements t2
+
+let subset t1 t2 = fold (fun x ok -> ok && mem x t2) t1 true
+
+(* [members_of_in s2 s1] lists the elements of s2 that belong to s1,
+   ascending: the correction set for the set-difference rank queries.
+   O(|s2| log |s1|). *)
+let members_of_in s2 s1 =
+  List.rev (fold (fun x acc -> if mem x s1 then x :: acc else acc) s2 [])
+
+let diff_cardinal s1 s2 =
+  cardinal s1 - List.length (members_of_in s2 s1)
+
+let rank_diff s1 s2 i =
+  let inter = Array.of_list (members_of_in s2 s1) in
+  let n_diff = cardinal s1 - Array.length inter in
+  if i < 1 || i > n_diff then
+    invalid_arg "Ostree.rank_diff: rank out of range";
+  (* Count of correction elements <= x, by binary search in the sorted
+     correction array. *)
+  let count_inter_le x =
+    let lo = ref 0 and hi = ref (Array.length inter) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if inter.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (* The element of rank [i] in s1 \ s2 is the element of rank
+     [i + c] in s1, where [c] counts the correction elements at or
+     below it.  [c] is monotone in the candidate, so iterating the
+     index to a fixed point terminates in <= |inter| + 1 rounds. *)
+  let rec settle idx =
+    let x = select s1 idx in
+    let idx' = i + count_inter_le x in
+    if idx' = idx then x else settle idx'
+  in
+  settle i
+
+let check_invariants t =
+  let rec go t lo hi =
+    match t with
+    | Leaf -> ()
+    | Node { l; v; r; h; size } ->
+        (match lo with
+        | Some b when v <= b -> failwith "Ostree: ordering violated (left bound)"
+        | _ -> ());
+        (match hi with
+        | Some b when v >= b -> failwith "Ostree: ordering violated (right bound)"
+        | _ -> ());
+        if h <> 1 + max (height l) (height r) then
+          failwith "Ostree: cached height incorrect";
+        if size <> 1 + cardinal l + cardinal r then
+          failwith "Ostree: cached size incorrect";
+        if abs (height l - height r) > 1 then
+          failwith "Ostree: AVL balance violated";
+        go l lo (Some v);
+        go r (Some v) hi
+  in
+  go t None None
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun x ->
+      if !first then first := false else Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" x)
+    t;
+  Format.fprintf fmt "}"

@@ -1,0 +1,91 @@
+(** Order-statistic sets of integers.
+
+    Algorithm KKβ keeps the sets FREE, DONE and TRY in a balanced tree
+    "like red-black tree or some variant of B-tree" (paper §3) so that
+    insert, delete, membership and — crucially — the rank/select
+    queries used by [compNext] all cost O(log n).  This module is that
+    substrate: an immutable size-augmented AVL tree over [int] keys.
+
+    Ranks are 1-based throughout, matching Definition 2.3 of the
+    paper: the rank of [x] in [s] is its position when the elements of
+    [s] are sorted ascending.
+
+    All operations are purely functional; a process of the simulated
+    machine therefore cannot accidentally share internal state with
+    another process, mirroring the model where the only communication
+    channel is the shared memory. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Number of elements; O(1). *)
+
+val mem : int -> t -> bool
+
+val add : int -> t -> t
+(** [add x s] is [s ∪ {x}]; returns a physically equal set when [x] is
+    already present. *)
+
+val remove : int -> t -> t
+(** [remove x s] is [s \ {x}]; returns a physically equal set when [x]
+    is absent. *)
+
+val min_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val max_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val select : t -> int -> int
+(** [select s i] is the element of rank [i] (1-based).
+    @raise Invalid_argument unless [1 <= i <= cardinal s]. *)
+
+val rank : int -> t -> int
+(** [rank x s] is the 1-based rank of [x] in [s].
+    @raise Not_found if [x] is not in [s]. *)
+
+val count_le : int -> t -> int
+(** [count_le x s] is [|{y ∈ s | y <= x}|]; O(log n), defined for any
+    [x]. *)
+
+val diff_cardinal : t -> t -> int
+(** [diff_cardinal s1 s2] is [|s1 \ s2|], in O(|s2| log |s1|) — the
+    test the algorithm performs against the termination parameter β. *)
+
+val rank_diff : t -> t -> int -> int
+(** [rank_diff s1 s2 i] is the paper's [rank(SET1, SET2, i)]: the
+    element of [s1 \ s2] of rank [i].  Cost O(|s2| log |s1|); intended
+    for small [s2] (in KKβ, [|TRY| < m]).
+    @raise Invalid_argument unless [1 <= i <= diff_cardinal s1 s2]. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** In-order (ascending) fold. *)
+
+val iter : (int -> unit) -> t -> unit
+(** In-order (ascending) iteration. *)
+
+val elements : t -> int list
+(** Ascending list of elements. *)
+
+val of_list : int list -> t
+
+val of_range : int -> int -> t
+(** [of_range lo hi] is [{lo, lo+1, ..., hi}] built in O(hi - lo);
+    empty when [hi < lo]. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset s1 s2] tests [s1 ⊆ s2]. *)
+
+val check_invariants : t -> unit
+(** Validates the AVL height invariant, the size augmentation and the
+    in-order key ordering; raises [Failure] with a description on the
+    first violation.  Used by the test suite only. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [{x1, x2, ...}] in ascending order. *)

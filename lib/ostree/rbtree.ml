@@ -1,0 +1,325 @@
+(* Size-augmented functional red-black tree.  Insertion after Okasaki
+   ("Purely Functional Data Structures", §3.3); deletion after the
+   Kahrs scheme as written up by Filliâtre: the delete recursion
+   returns a black-height-deficiency flag repaired by
+   [unbalanced_left]/[unbalanced_right]. *)
+
+type color = R | B
+
+type t = E | N of { c : color; l : t; v : int; r : t; size : int }
+
+let empty = E
+
+let is_empty = function E -> true | N _ -> false
+
+let cardinal = function E -> 0 | N { size; _ } -> size
+
+let node c l v r = N { c; l; v; r; size = 1 + cardinal l + cardinal r }
+
+let red l v r = node R l v r
+
+let black l v r = node B l v r
+
+let rec mem x = function
+  | E -> false
+  | N { l; v; r; _ } -> if x = v then true else if x < v then mem x l else mem x r
+
+(* Okasaki's two rebalancing smart constructors for insertion: a black
+   node whose left (resp. right) subtree may carry a red-red
+   violation. *)
+let lbalance l v r =
+  match l with
+  | N { c = R; l = N { c = R; l = a; v = x; r = b; _ }; v = y; r = c; _ } ->
+      red (black a x b) y (black c v r)
+  | N { c = R; l = a; v = x; r = N { c = R; l = b; v = y; r = c; _ }; _ } ->
+      red (black a x b) y (black c v r)
+  | _ -> black l v r
+
+let rbalance l v r =
+  match r with
+  | N { c = R; l = N { c = R; l = b; v = y; r = c; _ }; v = z; r = d; _ } ->
+      red (black l v b) y (black c z d)
+  | N { c = R; l = b; v = y; r = N { c = R; l = c; v = z; r = d; _ }; _ } ->
+      red (black l v b) y (black c z d)
+  | _ -> black l v r
+
+let add x s =
+  let rec ins = function
+    | E -> red E x E
+    | N { c = R; l; v; r; _ } as s ->
+        if x = v then s
+        else if x < v then begin
+          let l' = ins l in
+          if l' == l then s else red l' v r
+        end
+        else begin
+          let r' = ins r in
+          if r' == r then s else red l v r'
+        end
+    | N { c = B; l; v; r; _ } as s ->
+        if x = v then s
+        else if x < v then begin
+          let l' = ins l in
+          if l' == l then s else lbalance l' v r
+        end
+        else begin
+          let r' = ins r in
+          if r' == r then s else rbalance l v r'
+        end
+  in
+  match ins s with N { c = R; l; v; r; _ } -> black l v r | t -> t
+
+(* Deletion repair: the left (resp. right) subtree is one black level
+   short; returns the repaired tree and whether the deficiency
+   persists. *)
+let unbalanced_left = function
+  | N { c = R; l = N { c = B; l = t1; v = x1; r = t2; _ }; v = x2; r = t3; _ }
+    ->
+      (lbalance (red t1 x1 t2) x2 t3, false)
+  | N { c = B; l = N { c = B; l = t1; v = x1; r = t2; _ }; v = x2; r = t3; _ }
+    ->
+      (lbalance (red t1 x1 t2) x2 t3, true)
+  | N
+      {
+        c = B;
+        l =
+          N
+            {
+              c = R;
+              l = t1;
+              v = x1;
+              r = N { c = B; l = t2; v = x2; r = t3; _ };
+              _;
+            };
+        v = x3;
+        r = t4;
+        _;
+      } ->
+      (black t1 x1 (lbalance (red t2 x2 t3) x3 t4), false)
+  | _ -> assert false
+
+let unbalanced_right = function
+  | N { c = R; l = t1; v = x1; r = N { c = B; l = t2; v = x2; r = t3; _ }; _ }
+    ->
+      (rbalance t1 x1 (red t2 x2 t3), false)
+  | N { c = B; l = t1; v = x1; r = N { c = B; l = t2; v = x2; r = t3; _ }; _ }
+    ->
+      (rbalance t1 x1 (red t2 x2 t3), true)
+  | N
+      {
+        c = B;
+        l = t1;
+        v = x1;
+        r =
+          N
+            {
+              c = R;
+              l = N { c = B; l = t2; v = x2; r = t3; _ };
+              v = x3;
+              r = t4;
+              _;
+            };
+        _;
+      } ->
+      (black (rbalance t1 x1 (red t2 x2 t3)) x3 t4, false)
+  | _ -> assert false
+
+(* remove the minimum; returns (tree, min, deficient) *)
+let rec remove_min = function
+  | E -> assert false
+  | N { c = B; l = E; v; r = E; _ } -> (E, v, true)
+  | N { c = B; l = E; v; r = N { c = R; l; v = y; r; _ }; _ } ->
+      (black l y r, v, false)
+  | N { c = B; l = E; r = N { c = B; _ }; _ } -> assert false
+  | N { c = R; l = E; v; r; _ } -> (r, v, false)
+  | N { c; l; v; r; _ } ->
+      let l, m, d = remove_min l in
+      let t = node c l v r in
+      if d then begin
+        let t, d' = unbalanced_right t in
+        (t, m, d')
+      end
+      else (t, m, false)
+
+let remove x s =
+  let rec del = function
+    | E -> (E, false)
+    | N { c; l; v; r; _ } ->
+        if x < v then begin
+          let l', d = del l in
+          if l' == l then (node c l v r, false)
+          else begin
+            let t = node c l' v r in
+            if d then unbalanced_right t else (t, false)
+          end
+        end
+        else if x > v then begin
+          let r', d = del r in
+          if r' == r then (node c l v r, false)
+          else begin
+            let t = node c l v r' in
+            if d then unbalanced_left t else (t, false)
+          end
+        end
+        else begin
+          match r with
+          | E -> begin
+              match c with
+              | R -> (l, false)
+              | B -> begin
+                  match l with
+                  | N { c = R; l = a; v = y; r = b; _ } -> (black a y b, false)
+                  | t -> (t, true)
+                end
+            end
+          | _ ->
+              let r, m, d = remove_min r in
+              let t = node c l m r in
+              if d then unbalanced_left t else (t, false)
+        end
+  in
+  if mem x s then begin
+    match fst (del s) with
+    | N { c = R; l; v; r; _ } -> black l v r
+    | t -> t
+  end
+  else s
+
+let rec min_elt = function
+  | E -> raise Not_found
+  | N { l = E; v; _ } -> v
+  | N { l; _ } -> min_elt l
+
+let rec max_elt = function
+  | E -> raise Not_found
+  | N { r = E; v; _ } -> v
+  | N { r; _ } -> max_elt r
+
+let select t i =
+  if i < 1 || i > cardinal t then invalid_arg "Rbtree.select: rank out of range";
+  let rec go t i =
+    match t with
+    | E -> assert false
+    | N { l; v; r; _ } ->
+        let nl = cardinal l in
+        if i <= nl then go l i
+        else if i = nl + 1 then v
+        else go r (i - nl - 1)
+  in
+  go t i
+
+let rank x t =
+  let rec go t acc =
+    match t with
+    | E -> raise Not_found
+    | N { l; v; r; _ } ->
+        if x = v then acc + cardinal l + 1
+        else if x < v then go l acc
+        else go r (acc + cardinal l + 1)
+  in
+  go t 0
+
+let count_le x t =
+  let rec go t acc =
+    match t with
+    | E -> acc
+    | N { l; v; r; _ } ->
+        if x = v then acc + cardinal l + 1
+        else if x < v then go l acc
+        else go r (acc + cardinal l + 1)
+  in
+  go t 0
+
+let fold f t init =
+  let rec go t acc =
+    match t with E -> acc | N { l; v; r; _ } -> go r (f v (go l acc))
+  in
+  go t init
+
+let iter f t = fold (fun x () -> f x) t ()
+
+let elements t = List.rev (fold (fun x acc -> x :: acc) t [])
+
+let of_list xs = List.fold_left (fun t x -> add x t) empty xs
+
+let of_range lo hi =
+  (* build balanced all-black where possible; simplest correct route
+     is repeated insertion — O(n log n), used only at setup time *)
+  let rec go i t = if i > hi then t else go (i + 1) (add i t) in
+  go lo empty
+
+let equal t1 t2 = cardinal t1 = cardinal t2 && elements t1 = elements t2
+
+let subset t1 t2 = fold (fun x ok -> ok && mem x t2) t1 true
+
+let members_of_in s2 s1 =
+  List.rev (fold (fun x acc -> if mem x s1 then x :: acc else acc) s2 [])
+
+let diff_cardinal s1 s2 = cardinal s1 - List.length (members_of_in s2 s1)
+
+let rank_diff s1 s2 i =
+  let inter = Array.of_list (members_of_in s2 s1) in
+  let n_diff = cardinal s1 - Array.length inter in
+  if i < 1 || i > n_diff then
+    invalid_arg "Rbtree.rank_diff: rank out of range";
+  let count_inter_le x =
+    let lo = ref 0 and hi = ref (Array.length inter) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if inter.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let rec settle idx =
+    let x = select s1 idx in
+    let idx' = i + count_inter_le x in
+    if idx' = idx then x else settle idx'
+  in
+  settle i
+
+let black_height t =
+  let rec go = function
+    | E -> 0
+    | N { c; l; _ } -> go l + if c = B then 1 else 0
+  in
+  go t
+
+let check_invariants t =
+  (* root is black; no red node has a red child; equal black height on
+     all paths; ordering; size caching *)
+  (match t with
+  | N { c = R; _ } -> failwith "Rbtree: red root"
+  | _ -> ());
+  let rec go t lo hi =
+    match t with
+    | E -> 0
+    | N { c; l; v; r; size } ->
+        (match lo with
+        | Some b when v <= b -> failwith "Rbtree: ordering violated (left)"
+        | _ -> ());
+        (match hi with
+        | Some b when v >= b -> failwith "Rbtree: ordering violated (right)"
+        | _ -> ());
+        if size <> 1 + cardinal l + cardinal r then
+          failwith "Rbtree: cached size incorrect";
+        (if c = R then
+           match (l, r) with
+           | N { c = R; _ }, _ | _, N { c = R; _ } ->
+               failwith "Rbtree: red-red violation"
+           | _ -> ());
+        let bl = go l lo (Some v) in
+        let br = go r (Some v) hi in
+        if bl <> br then failwith "Rbtree: black height mismatch";
+        bl + if c = B then 1 else 0
+  in
+  ignore (go t None None)
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun x ->
+      if !first then first := false else Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" x)
+    t;
+  Format.fprintf fmt "}"

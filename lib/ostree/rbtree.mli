@@ -1,0 +1,19 @@
+(** Order-statistic red-black tree.
+
+    A second, independent implementation of {!Set_intf.S} — the
+    balancing scheme the paper names first ("some tree structure like
+    red-black tree", §3).  Insertion is Okasaki's; deletion follows
+    the Kahrs/Filliâtre functional scheme that threads a
+    black-height-deficiency flag.  Every node caches its subtree
+    cardinality for O(log n) rank/select, exactly as in {!Ostree}.
+
+    {!Ostree} (AVL) remains the default backing structure of the
+    algorithms; this module exists (a) as the drop-in alternative the
+    paper describes, (b) to cross-validate the two implementations
+    against each other in the test suite, and (c) to race them in the
+    timing benches. *)
+
+include Set_intf.S
+
+val black_height : t -> int
+(** The common black height of all root-to-leaf paths (tests). *)

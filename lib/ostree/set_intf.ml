@@ -1,0 +1,38 @@
+(** The order-statistic set interface shared by both backing
+    structures.
+
+    The paper stores FREE, DONE and TRY in "some tree structure like
+    red-black tree or some variant of B-tree" (§3); nothing in the
+    algorithm depends on the balancing scheme, only on this
+    interface.  The repository ships two implementations —
+    {!Ostree} (size-augmented AVL; the default everywhere) and
+    {!Rbtree} (size-augmented red-black, Okasaki insertion / Kahrs
+    deletion) — cross-validated against each other in the test suite
+    and raced in the timing benches. *)
+
+module type S = sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val mem : int -> t -> bool
+  val add : int -> t -> t
+  val remove : int -> t -> t
+  val min_elt : t -> int
+  val max_elt : t -> int
+  val select : t -> int -> int
+  val rank : int -> t -> int
+  val count_le : int -> t -> int
+  val diff_cardinal : t -> t -> int
+  val rank_diff : t -> t -> int -> int
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (int -> unit) -> t -> unit
+  val elements : t -> int list
+  val of_list : int list -> t
+  val of_range : int -> int -> t
+  val equal : t -> t -> bool
+  val subset : t -> t -> bool
+  val check_invariants : t -> unit
+  val pp : Format.formatter -> t -> unit
+end

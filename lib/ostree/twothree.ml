@@ -1,0 +1,347 @@
+(* Purely functional size-augmented 2-3 tree.  Insertion returns
+   either a tree of unchanged height or a split (l, v, r) to be
+   absorbed by the parent; deletion returns the tree plus a flag
+   saying its height shrank, repaired by borrow/merge at the parent. *)
+
+type t =
+  | E
+  | N2 of { l : t; x : int; r : t; size : int }
+  | N3 of { l : t; x : int; m : t; y : int; r : t; size : int }
+
+let empty = E
+
+let is_empty = function E -> true | _ -> false
+
+let cardinal = function
+  | E -> 0
+  | N2 { size; _ } | N3 { size; _ } -> size
+
+let n2 l x r = N2 { l; x; r; size = 1 + cardinal l + cardinal r }
+
+let n3 l x m y r =
+  N3 { l; x; m; y; r; size = 2 + cardinal l + cardinal m + cardinal r }
+
+let rec mem k = function
+  | E -> false
+  | N2 { l; x; r; _ } -> if k = x then true else if k < x then mem k l else mem k r
+  | N3 { l; x; m; y; r; _ } ->
+      if k = x || k = y then true
+      else if k < x then mem k l
+      else if k < y then mem k m
+      else mem k r
+
+(* ---- insertion ---- *)
+
+type ins = Done of t | Split of t * int * t
+
+let rec ins k = function
+  | E -> Split (E, k, E)
+  | N2 { l; x; r; _ } as node ->
+      if k = x then Done node
+      else if k < x then begin
+        match ins k l with
+        | Done l' -> Done (n2 l' x r)
+        | Split (a, b, c) -> Done (n3 a b c x r)
+      end
+      else begin
+        match ins k r with
+        | Done r' -> Done (n2 l x r')
+        | Split (a, b, c) -> Done (n3 l x a b c)
+      end
+  | N3 { l; x; m; y; r; _ } as node ->
+      if k = x || k = y then Done node
+      else if k < x then begin
+        match ins k l with
+        | Done l' -> Done (n3 l' x m y r)
+        | Split (a, b, c) -> Split (n2 a b c, x, n2 m y r)
+      end
+      else if k < y then begin
+        match ins k m with
+        | Done m' -> Done (n3 l x m' y r)
+        | Split (a, b, c) -> Split (n2 l x a, b, n2 c y r)
+      end
+      else begin
+        match ins k r with
+        | Done r' -> Done (n3 l x m y r')
+        | Split (a, b, c) -> Split (n2 l x m, y, n2 a b c)
+      end
+
+let add k t =
+  if mem k t then t
+  else match ins k t with Done t' -> t' | Split (l, v, r) -> n2 l v r
+
+(* ---- deletion ----
+
+   [del] returns (tree, shrunk).  The fix_* helpers absorb a shrunken
+   child: each takes the parent's pieces with one child one level
+   short and rebuilds, reporting whether the parent shrank too. *)
+
+(* N2 parent, left child short *)
+let fix2_l l x r =
+  match r with
+  | N2 { l = rl; x = rx; r = rr; _ } -> (n3 l x rl rx rr, true)
+  | N3 { l = rl; x = rx; m = rm; y = ry; r = rr; _ } ->
+      (n2 (n2 l x rl) rx (n2 rm ry rr), false)
+  | E -> assert false
+
+(* N2 parent, right child short *)
+let fix2_r l x r =
+  match l with
+  | N2 { l = ll; x = lx; r = lr; _ } -> (n3 ll lx lr x r, true)
+  | N3 { l = ll; x = lx; m = lm; y = ly; r = lr; _ } ->
+      (n2 (n2 ll lx lm) ly (n2 lr x r), false)
+  | E -> assert false
+
+(* N3 parent, left child short: repair against the middle sibling *)
+let fix3_l l x m y r =
+  match m with
+  | N2 { l = ml; x = mx; r = mr; _ } -> (n2 (n3 l x ml mx mr) y r, false)
+  | N3 { l = ml; x = mx; m = mm; y = my; r = mr; _ } ->
+      (n3 (n2 l x ml) mx (n2 mm my mr) y r, false)
+  | E -> assert false
+
+(* N3 parent, middle child short: repair against the left sibling *)
+let fix3_m l x m y r =
+  match l with
+  | N2 { l = ll; x = lx; r = lr; _ } -> (n2 (n3 ll lx lr x m) y r, false)
+  | N3 { l = ll; x = lx; m = lm; y = ly; r = lr; _ } ->
+      (n3 (n2 ll lx lm) ly (n2 lr x m) y r, false)
+  | E -> assert false
+
+(* N3 parent, right child short: repair against the middle sibling *)
+let fix3_r l x m y r =
+  match m with
+  | N2 { l = ml; x = mx; r = mr; _ } -> (n2 l x (n3 ml mx mr y r), false)
+  | N3 { l = ml; x = mx; m = mm; y = my; r = mr; _ } ->
+      (n3 l x (n2 ml mx mm) my (n2 mr y r), false)
+  | E -> assert false
+
+let rec remove_min = function
+  | E -> assert false
+  | N2 { l = E; x; r = E; _ } -> (E, x, true)
+  | N3 { l = E; x; m = E; y; r = E; _ } -> (n2 E y E, x, false)
+  | N2 { l; x; r; _ } ->
+      let l', v, shrunk = remove_min l in
+      if shrunk then begin
+        let t, s = fix2_l l' x r in
+        (t, v, s)
+      end
+      else (n2 l' x r, v, false)
+  | N3 { l; x; m; y; r; _ } ->
+      let l', v, shrunk = remove_min l in
+      if shrunk then begin
+        let t, s = fix3_l l' x m y r in
+        (t, v, s)
+      end
+      else (n3 l' x m y r, v, false)
+
+let rec del k t =
+  match t with
+  | E -> (E, false)
+  | N2 { l = E; x; r = E; _ } ->
+      if k = x then (E, true) else (t, false)
+  | N3 { l = E; x; m = E; y; r = E; _ } ->
+      if k = x then (n2 E y E, false)
+      else if k = y then (n2 E x E, false)
+      else (t, false)
+  | N2 { l; x; r; _ } ->
+      if k = x then begin
+        let r', v, shrunk = remove_min r in
+        if shrunk then fix2_r l v r' else (n2 l v r', false)
+      end
+      else if k < x then begin
+        let l', shrunk = del k l in
+        if shrunk then fix2_l l' x r else (n2 l' x r, false)
+      end
+      else begin
+        let r', shrunk = del k r in
+        if shrunk then fix2_r l x r' else (n2 l x r', false)
+      end
+  | N3 { l; x; m; y; r; _ } ->
+      if k = x then begin
+        let m', v, shrunk = remove_min m in
+        if shrunk then fix3_m l v m' y r else (n3 l v m' y r, false)
+      end
+      else if k = y then begin
+        let r', v, shrunk = remove_min r in
+        if shrunk then fix3_r l x m v r' else (n3 l x m v r', false)
+      end
+      else if k < x then begin
+        let l', shrunk = del k l in
+        if shrunk then fix3_l l' x m y r else (n3 l' x m y r, false)
+      end
+      else if k < y then begin
+        let m', shrunk = del k m in
+        if shrunk then fix3_m l x m' y r else (n3 l x m' y r, false)
+      end
+      else begin
+        let r', shrunk = del k r in
+        if shrunk then fix3_r l x m y r' else (n3 l x m y r', false)
+      end
+
+let remove k t = if mem k t then fst (del k t) else t
+
+(* ---- queries ---- *)
+
+let rec min_elt = function
+  | E -> raise Not_found
+  | N2 { l = E; x; _ } -> x
+  | N3 { l = E; x; _ } -> x
+  | N2 { l; _ } -> min_elt l
+  | N3 { l; _ } -> min_elt l
+
+let rec max_elt = function
+  | E -> raise Not_found
+  | N2 { r = E; x; _ } -> x
+  | N3 { r = E; y; _ } -> y
+  | N2 { r; _ } -> max_elt r
+  | N3 { r; _ } -> max_elt r
+
+let select t i =
+  if i < 1 || i > cardinal t then
+    invalid_arg "Twothree.select: rank out of range";
+  let rec go t i =
+    match t with
+    | E -> assert false
+    | N2 { l; x; r; _ } ->
+        let nl = cardinal l in
+        if i <= nl then go l i
+        else if i = nl + 1 then x
+        else go r (i - nl - 1)
+    | N3 { l; x; m; y; r; _ } ->
+        let nl = cardinal l in
+        if i <= nl then go l i
+        else if i = nl + 1 then x
+        else begin
+          let i = i - nl - 1 in
+          let nm = cardinal m in
+          if i <= nm then go m i
+          else if i = nm + 1 then y
+          else go r (i - nm - 1)
+        end
+  in
+  go t i
+
+let count_le k t =
+  let rec go t acc =
+    match t with
+    | E -> acc
+    | N2 { l; x; r; _ } ->
+        if k = x then acc + cardinal l + 1
+        else if k < x then go l acc
+        else go r (acc + cardinal l + 1)
+    | N3 { l; x; m; y; r; _ } ->
+        if k < x then go l acc
+        else if k = x then acc + cardinal l + 1
+        else begin
+          let acc = acc + cardinal l + 1 in
+          if k < y then go m acc
+          else if k = y then acc + cardinal m + 1
+          else go r (acc + cardinal m + 1)
+        end
+  in
+  go t 0
+
+let rank k t = if mem k t then count_le k t else raise Not_found
+
+let fold f t init =
+  let rec go t acc =
+    match t with
+    | E -> acc
+    | N2 { l; x; r; _ } -> go r (f x (go l acc))
+    | N3 { l; x; m; y; r; _ } -> go r (f y (go m (f x (go l acc))))
+  in
+  go t init
+
+let iter f t = fold (fun x () -> f x) t ()
+
+let elements t = List.rev (fold (fun x acc -> x :: acc) t [])
+
+let of_list xs = List.fold_left (fun t x -> add x t) empty xs
+
+let of_range lo hi =
+  let rec go i t = if i > hi then t else go (i + 1) (add i t) in
+  go lo empty
+
+let equal t1 t2 = cardinal t1 = cardinal t2 && elements t1 = elements t2
+
+let subset t1 t2 = fold (fun x ok -> ok && mem x t2) t1 true
+
+let members_of_in s2 s1 =
+  List.rev (fold (fun x acc -> if mem x s1 then x :: acc else acc) s2 [])
+
+let diff_cardinal s1 s2 = cardinal s1 - List.length (members_of_in s2 s1)
+
+let rank_diff s1 s2 i =
+  let inter = Array.of_list (members_of_in s2 s1) in
+  let n_diff = cardinal s1 - Array.length inter in
+  if i < 1 || i > n_diff then
+    invalid_arg "Twothree.rank_diff: rank out of range";
+  let count_inter_le x =
+    let lo = ref 0 and hi = ref (Array.length inter) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if inter.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let rec settle idx =
+    let x = select s1 idx in
+    let idx' = i + count_inter_le x in
+    if idx' = idx then x else settle idx'
+  in
+  settle i
+
+let height t =
+  let rec go = function
+    | E -> 0
+    | N2 { l; _ } -> 1 + go l
+    | N3 { l; _ } -> 1 + go l
+  in
+  go t
+
+let check_invariants t =
+  let rec go t lo hi =
+    (* returns the subtree height; checks ordering, size caching and
+       uniform leaf depth *)
+    let bound v =
+      (match lo with
+      | Some b when v <= b -> failwith "Twothree: ordering violated (left)"
+      | _ -> ());
+      match hi with
+      | Some b when v >= b -> failwith "Twothree: ordering violated (right)"
+      | _ -> ()
+    in
+    match t with
+    | E -> 0
+    | N2 { l; x; r; size } ->
+        bound x;
+        if size <> 1 + cardinal l + cardinal r then
+          failwith "Twothree: cached size incorrect";
+        let hl = go l lo (Some x) in
+        let hr = go r (Some x) hi in
+        if hl <> hr then failwith "Twothree: uneven leaf depth";
+        hl + 1
+    | N3 { l; x; m; y; r; size } ->
+        bound x;
+        bound y;
+        if x >= y then failwith "Twothree: keys out of order in node";
+        if size <> 2 + cardinal l + cardinal m + cardinal r then
+          failwith "Twothree: cached size incorrect";
+        let hl = go l lo (Some x) in
+        let hm = go m (Some x) (Some y) in
+        let hr = go r (Some y) hi in
+        if hl <> hm || hm <> hr then failwith "Twothree: uneven leaf depth";
+        hl + 1
+  in
+  ignore (go t None None)
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun x ->
+      if !first then first := false else Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" x)
+    t;
+  Format.fprintf fmt "}"

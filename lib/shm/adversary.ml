@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  decide : step:int -> handles:Automaton.handle array -> int list;
+}
+
+let name t = t.name
+
+let decide t ~step ~handles = t.decide ~step ~handles
+
+let none = { name = "none"; decide = (fun ~step:_ ~handles:_ -> []) }
+
+let at_start pids =
+  let fired = ref false in
+  {
+    name = "at-start";
+    decide =
+      (fun ~step:_ ~handles:_ ->
+        if !fired then []
+        else begin
+          fired := true;
+          pids
+        end);
+  }
+
+let at_steps plan =
+  let pending = ref (List.sort compare plan) in
+  {
+    name = "at-steps";
+    decide =
+      (fun ~step ~handles:_ ->
+        let due, later = List.partition (fun (s, _) -> s <= step) !pending in
+        pending := later;
+        List.map snd due);
+  }
+
+let random rng ~f ~m ~horizon =
+  if f < 0 || f >= m then invalid_arg "Adversary.random: need 0 <= f < m";
+  if horizon < 1 then invalid_arg "Adversary.random: horizon must be >= 1";
+  let victims = Util.Prng.sample_without_replacement rng f m in
+  let plan =
+    Array.to_list victims
+    |> List.map (fun v -> (Util.Prng.int rng horizon, v + 1))
+  in
+  let inner = at_steps plan in
+  { inner with name = Printf.sprintf "random(f=%d)" f }
+
+let after_announce ~victims ~announce_phase =
+  let pending = ref victims in
+  {
+    name = "after-announce";
+    decide =
+      (fun ~step:_ ~handles ->
+        let ready, later =
+          List.partition
+            (fun p ->
+              let h = handles.(p - 1) in
+              h.Automaton.alive () && h.Automaton.phase () = announce_phase)
+            !pending
+        in
+        pending := later;
+        ready);
+  }

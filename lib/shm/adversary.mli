@@ -1,0 +1,44 @@
+(** Crash adversaries: the failure half of the omniscient adversary.
+
+    The model allows up to [f < m] crash failures ([stopp] actions)
+    injected by an adversary with complete knowledge of the algorithm
+    (§2.1).  A value of this type is consulted by the executor before
+    every scheduling decision and names the processes to crash at that
+    instant.  Because it can inspect the live automata (their phases),
+    it can realize the constructive worst-case strategies from the
+    paper — in particular the one in the proof of Theorem 4.4.
+
+    An adversary must respect its own crash budget; the executor
+    additionally never crashes an already-dead process. *)
+
+type t
+
+val name : t -> string
+
+val decide : t -> step:int -> handles:Automaton.handle array -> int list
+(** Pids to crash right now (possibly empty).  Called once per executor
+    iteration, before the scheduler picks the next process. *)
+
+val none : t
+(** Failure-free executions. *)
+
+val at_start : int list -> t
+(** Crash the given pids before the first step — the execution that
+    realizes the trivial algorithm's [(m-f)·n/m] effectiveness. *)
+
+val at_steps : (int * int) list -> t
+(** [at_steps [(s1, p1); ...]] crashes [pi] at the first decision
+    point with [step >= si]. *)
+
+val random : Util.Prng.t -> f:int -> m:int -> horizon:int -> t
+(** Crash [f] distinct processes, chosen uniformly from [1..m], at
+    times uniform in [0, horizon).  @raise Invalid_argument if
+    [f >= m] or [f < 0]. *)
+
+val after_announce : victims:int list -> announce_phase:string -> t
+(** The Theorem 4.4 strategy: crash each victim at the first moment
+    its phase equals [announce_phase] — i.e. immediately after it has
+    written its first candidate job to shared memory, so that the job
+    stays forever "stuck" in every other process's TRY set.  For KKβ,
+    [announce_phase] is ["gather_try"] (the status right after
+    [setNext]). *)

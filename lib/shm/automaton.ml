@@ -1,0 +1,13 @@
+type handle = {
+  pid : int;
+  step : unit -> Event.t list;
+  alive : unit -> bool;
+  crash : unit -> unit;
+  phase : unit -> string;
+}
+
+let check h =
+  if h.pid < 1 then invalid_arg "Automaton.check: pid must be >= 1";
+  h
+
+let pids handles = Array.to_list (Array.map (fun h -> h.pid) handles)

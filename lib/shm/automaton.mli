@@ -1,0 +1,39 @@
+(** Process automata.
+
+    Every algorithm in this repository (KKβ, IterStepKK, the
+    baselines, the Write-All solvers) is packaged as a set of process
+    automata with the granularity of the paper's model: calling
+    {!val:step} performs {e exactly one} action — one atomic shared
+    read, one atomic shared write, or one internal action.  Because a
+    step is atomic and the executor interleaves whole steps, every
+    simulated run is a linearized execution of the asynchronous model
+    (§2.1), and the scheduler/adversary fully controls the
+    interleaving.
+
+    A handle is a record of closures over the process's private state,
+    so heterogeneous algorithms run under the same executor. *)
+
+type handle = {
+  pid : int;  (** process id in [1..m] *)
+  step : unit -> Event.t list;
+      (** Perform one enabled action.  Returns the events the action
+          emitted (typically none or one; the action that moves the
+          process to its [end] status emits [Terminate]).  Must not be
+          called when [alive () = false]. *)
+  alive : unit -> bool;
+      (** [true] while the process has enabled actions — i.e. it has
+          neither terminated nor crashed. *)
+  crash : unit -> unit;
+      (** The adversary's [stop] action: after this, [alive] is
+          [false] and no further actions occur.  Idempotent. *)
+  phase : unit -> string;
+      (** The process's current status, e.g. ["comp_next"]; used by
+          introspecting adversaries and by error messages. *)
+}
+
+val check : handle -> handle
+(** Validates [pid >= 1]; returns the handle.
+    @raise Invalid_argument otherwise. *)
+
+val pids : handle array -> int list
+(** The pids, in array order. *)

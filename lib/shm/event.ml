@@ -1,0 +1,29 @@
+type t =
+  | Do of { p : int; job : int }
+  | Crash of { p : int }
+  | Terminate of { p : int }
+  | Read of { p : int; cell : string; value : int }
+  | Write of { p : int; cell : string; value : int }
+  | Internal of { p : int; action : string }
+
+let pid = function
+  | Do { p; _ }
+  | Crash { p }
+  | Terminate { p }
+  | Read { p; _ }
+  | Write { p; _ }
+  | Internal { p; _ } ->
+      p
+
+let is_do = function Do _ -> true | _ -> false
+
+let pp fmt = function
+  | Do { p; job } -> Format.fprintf fmt "do(p=%d, job=%d)" p job
+  | Crash { p } -> Format.fprintf fmt "crash(p=%d)" p
+  | Terminate { p } -> Format.fprintf fmt "terminate(p=%d)" p
+  | Read { p; cell; value } -> Format.fprintf fmt "read(p=%d, %s=%d)" p cell value
+  | Write { p; cell; value } ->
+      Format.fprintf fmt "write(p=%d, %s<-%d)" p cell value
+  | Internal { p; action } -> Format.fprintf fmt "internal(p=%d, %s)" p action
+
+let to_string e = Format.asprintf "%a" pp e

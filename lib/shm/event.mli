@@ -1,0 +1,31 @@
+(** Vocabulary of observable events of a simulated execution.
+
+    An execution of the paper's model is an alternating sequence of
+    states and actions (§2.1).  The simulator does not materialize
+    states; instead each action a process performs may emit one event,
+    and an execution is observed through its event sequence.  The
+    safety property (Definition 2.2) and the effectiveness measure
+    (Definition 2.4) are both functions of the [Do] events alone. *)
+
+type t =
+  | Do of { p : int; job : int }
+      (** process [p] performed job [job] — the paper's [dop,j]. *)
+  | Crash of { p : int }  (** the adversary's [stopp]. *)
+  | Terminate of { p : int }
+      (** [p] reached its [end] status (no enabled actions left). *)
+  | Read of { p : int; cell : string; value : int }
+      (** one atomic shared-memory read (recorded at trace level
+          [`Full] only). *)
+  | Write of { p : int; cell : string; value : int }
+      (** one atomic shared-memory write (trace level [`Full] only). *)
+  | Internal of { p : int; action : string }
+      (** an internal action (trace level [`Full] only). *)
+
+val pid : t -> int
+(** The process that the event belongs to. *)
+
+val is_do : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

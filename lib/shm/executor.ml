@@ -1,0 +1,60 @@
+type stop_reason = Quiescent | Max_steps
+
+type outcome = { steps : int; reason : stop_reason; trace : Trace.t }
+
+let live_pids handles =
+  let acc = ref [] in
+  for i = Array.length handles - 1 downto 0 do
+    if handles.(i).Automaton.alive () then acc := handles.(i).Automaton.pid :: !acc
+  done;
+  Array.of_list !acc
+
+let validate handles =
+  if Array.length handles = 0 then invalid_arg "Executor.run: no processes";
+  Array.iteri
+    (fun i h ->
+      ignore (Automaton.check h);
+      if h.Automaton.pid <> i + 1 then
+        invalid_arg "Executor.run: handles.(i) must have pid i+1")
+    handles
+
+let run ?max_steps ?(trace_level = `Outcomes) ~scheduler ~adversary handles =
+  validate handles;
+  let max_steps =
+    match max_steps with
+    | Some s -> s
+    | None ->
+        (* Far above any wait-free algorithm's need; only a safety net
+           against accidental non-termination of buggy automata. *)
+        1_000_000 * Array.length handles
+  in
+  let trace = Trace.create trace_level in
+  let step = ref 0 in
+  let reason = ref Quiescent in
+  let finished = ref false in
+  while not !finished do
+    let victims = Adversary.decide adversary ~step:!step ~handles in
+    List.iter
+      (fun p ->
+        if p >= 1 && p <= Array.length handles then begin
+          let h = handles.(p - 1) in
+          if h.Automaton.alive () then begin
+            h.Automaton.crash ();
+            Trace.record trace ~step:!step (Event.Crash { p })
+          end
+        end)
+      victims;
+    let alive = live_pids handles in
+    if Array.length alive = 0 then finished := true
+    else if !step >= max_steps then begin
+      reason := Max_steps;
+      finished := true
+    end
+    else begin
+      let p = Schedule.choose scheduler ~alive in
+      let events = handles.(p - 1).Automaton.step () in
+      List.iter (Trace.record trace ~step:!step) events;
+      incr step
+    end
+  done;
+  { steps = !step; reason = !reason; trace }

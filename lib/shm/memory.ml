@@ -1,0 +1,71 @@
+type vector = {
+  vmetrics : Metrics.t;
+  vname : string;
+  cells : int array; (* index 0 unused; cells.(i) is the paper's name[i] *)
+}
+
+let vector ~metrics ~name ~len ~init =
+  if len < 1 then invalid_arg "Memory.vector: len must be >= 1";
+  { vmetrics = metrics; vname = name; cells = Array.make (len + 1) init }
+
+let vector_len v = Array.length v.cells - 1
+
+let vcheck v i =
+  if i < 1 || i >= Array.length v.cells then
+    invalid_arg (Printf.sprintf "Memory.%s: index %d out of range" v.vname i)
+
+let vget v ~p i =
+  vcheck v i;
+  Metrics.on_read v.vmetrics ~p;
+  v.cells.(i)
+
+let vset v ~p i x =
+  vcheck v i;
+  Metrics.on_write v.vmetrics ~p;
+  v.cells.(i) <- x
+
+let vpeek v i =
+  vcheck v i;
+  v.cells.(i)
+
+let vname v ~cell = Printf.sprintf "%s[%d]" v.vname cell
+
+let vsnapshot v = Array.sub v.cells 1 (Array.length v.cells - 1)
+
+type matrix = {
+  mmetrics : Metrics.t;
+  mname : string;
+  rows : int;
+  cols : int;
+  data : int array; (* row-major, index (r-1)*cols + (c-1) *)
+}
+
+let matrix ~metrics ~name ~rows ~cols ~init =
+  if rows < 1 || cols < 1 then invalid_arg "Memory.matrix: empty dimensions";
+  { mmetrics = metrics; mname = name; rows; cols; data = Array.make (rows * cols) init }
+
+let matrix_rows m = m.rows
+let matrix_cols m = m.cols
+
+let index m r c =
+  if r < 1 || r > m.rows || c < 1 || c > m.cols then
+    invalid_arg
+      (Printf.sprintf "Memory.%s: cell (%d,%d) out of range" m.mname r c);
+  ((r - 1) * m.cols) + (c - 1)
+
+let mget m ~p r c =
+  let i = index m r c in
+  Metrics.on_read m.mmetrics ~p;
+  m.data.(i)
+
+let mset m ~p r c x =
+  let i = index m r c in
+  Metrics.on_write m.mmetrics ~p;
+  m.data.(i) <- x
+
+let mpeek m r c = m.data.(index m r c)
+
+let mname m ~row ~col = Printf.sprintf "%s[%d][%d]" m.mname row col
+
+let msnapshot m =
+  Array.init m.rows (fun r -> Array.sub m.data (r * m.cols) m.cols)

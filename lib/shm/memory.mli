@@ -1,0 +1,62 @@
+(** Atomic read/write shared memory.
+
+    The model (§2.1) is a collection of atomic read/write cells of
+    O(log n) bits each.  The simulator executes one action at a time,
+    so plain stores are trivially atomic; what this module adds on top
+    of raw arrays is (a) 1-based indexing matching the paper's [next]
+    vector and [done] matrix, (b) access metering through
+    {!Metrics}, and (c) named cells for [`Full] traces.
+
+    Every access names the process performing it ([~p]) so work is
+    charged to the right ledger row.  Single shared flags (e.g. the
+    termination flag of IterStepKK) are vectors of length 1. *)
+
+type vector
+
+val vector : metrics:Metrics.t -> name:string -> len:int -> init:int -> vector
+(** Cells indexed [1..len]. *)
+
+val vector_len : vector -> int
+
+val vget : vector -> p:int -> int -> int
+(** [vget v ~p i] atomically reads cell [i] on behalf of process [p].
+    @raise Invalid_argument if [i] is out of [1..len]. *)
+
+val vset : vector -> p:int -> int -> int -> unit
+(** [vset v ~p i x] atomically writes [x] to cell [i]. *)
+
+val vpeek : vector -> int -> int
+(** Read without metering — for checkers and tests only, never for
+    algorithm code. *)
+
+val vname : vector -> cell:int -> string
+(** Human-readable cell name, e.g. ["next[3]"]. *)
+
+val vsnapshot : vector -> int array
+(** Unmetered copy of the current contents; element [i-1] is cell [i].
+    For checkers and tests — an algorithm reading memory wholesale in
+    one step would violate the model's atomicity. *)
+
+type matrix
+
+val matrix :
+  metrics:Metrics.t -> name:string -> rows:int -> cols:int -> init:int -> matrix
+(** Cells indexed [(1..rows, 1..cols)]. *)
+
+val matrix_rows : matrix -> int
+val matrix_cols : matrix -> int
+
+val mget : matrix -> p:int -> int -> int -> int
+(** [mget m ~p r c] atomically reads cell [(r,c)]. *)
+
+val mset : matrix -> p:int -> int -> int -> int -> unit
+(** [mset m ~p r c x] atomically writes [x] to cell [(r,c)]. *)
+
+val mpeek : matrix -> int -> int -> int
+(** Unmetered read, checkers/tests only. *)
+
+val mname : matrix -> row:int -> col:int -> string
+(** e.g. ["done[2][7]"]. *)
+
+val msnapshot : matrix -> int array array
+(** Unmetered copy, [rows][cols], 0-based.  Checkers and tests only. *)

@@ -1,0 +1,61 @@
+type t = {
+  m : int;
+  reads : int array;
+  writes : int array;
+  internals : int array;
+  work : int array;
+}
+
+let create ~m =
+  if m < 1 then invalid_arg "Metrics.create: m must be >= 1";
+  {
+    m;
+    reads = Array.make (m + 1) 0;
+    writes = Array.make (m + 1) 0;
+    internals = Array.make (m + 1) 0;
+    work = Array.make (m + 1) 0;
+  }
+
+let m t = t.m
+
+let check t p =
+  if p < 1 || p > t.m then invalid_arg "Metrics: process id out of range"
+
+let on_read t ~p =
+  check t p;
+  t.reads.(p) <- t.reads.(p) + 1
+
+let on_write t ~p =
+  check t p;
+  t.writes.(p) <- t.writes.(p) + 1
+
+let on_internal t ~p =
+  check t p;
+  t.internals.(p) <- t.internals.(p) + 1
+
+let add_work t ~p units =
+  check t p;
+  t.work.(p) <- t.work.(p) + units
+
+let reads t ~p = check t p; t.reads.(p)
+let writes t ~p = check t p; t.writes.(p)
+let internals t ~p = check t p; t.internals.(p)
+let work t ~p = check t p; t.work.(p)
+
+let sum a = Array.fold_left ( + ) 0 a
+
+let total_reads t = sum t.reads
+let total_writes t = sum t.writes
+let total_internals t = sum t.internals
+let total_actions t = total_reads t + total_writes t + total_internals t
+let total_work t = sum t.work
+
+let reset t =
+  Array.fill t.reads 0 (t.m + 1) 0;
+  Array.fill t.writes 0 (t.m + 1) 0;
+  Array.fill t.internals 0 (t.m + 1) 0;
+  Array.fill t.work 0 (t.m + 1) 0
+
+let pp fmt t =
+  Format.fprintf fmt "reads=%d writes=%d internals=%d work=%d"
+    (total_reads t) (total_writes t) (total_internals t) (total_work t)

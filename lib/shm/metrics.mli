@@ -1,0 +1,57 @@
+(** Work accounting, following the paper's measure (Definition 2.5).
+
+    Work counts "basic operations (comparisons, additions,
+    multiplications, shared memory reads and writes)", with every
+    memory cell holding O(log n) bits and constant-cell operations
+    costing O(1).  Theorem 5.6 charges, per action:
+
+    - each shared read or write: O(1) for the access itself plus
+      O(log n) for the tree insertion/removal it may trigger;
+    - each [compNext]: the cost of the [rank] call, O(|TRY| · log n).
+
+    We therefore keep two ledgers.  {e Action counters} record how many
+    shared reads, shared writes and internal actions each process
+    performed — weighting-free ground truth.  {e Work units} accumulate
+    the weighted cost above, so the bench can compare the measured
+    total against O(n·m·log n·log m) directly.  Callers (the automata)
+    add work units explicitly where the paper's accounting says so. *)
+
+type t
+
+val create : m:int -> t
+(** [create ~m] makes a ledger for processes [1..m]. *)
+
+val m : t -> int
+
+val on_read : t -> p:int -> unit
+(** Record one shared-memory read by process [p]. *)
+
+val on_write : t -> p:int -> unit
+(** Record one shared-memory write by process [p]. *)
+
+val on_internal : t -> p:int -> unit
+(** Record one internal action by process [p]. *)
+
+val add_work : t -> p:int -> int -> unit
+(** [add_work t ~p units] charges [units] weighted work units to [p]
+    (e.g. the O(log n) of a tree update, or the O(m log n) of a rank
+    call). *)
+
+val reads : t -> p:int -> int
+val writes : t -> p:int -> int
+val internals : t -> p:int -> int
+val work : t -> p:int -> int
+
+val total_reads : t -> int
+val total_writes : t -> int
+val total_internals : t -> int
+val total_actions : t -> int
+(** reads + writes + internals, summed over all processes. *)
+
+val total_work : t -> int
+(** Weighted work units summed over all processes. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: totals of each counter. *)

@@ -1,0 +1,12 @@
+type t = { cell : Memory.vector; cell_name : string }
+
+let create ~metrics ~name ~init =
+  { cell = Memory.vector ~metrics ~name ~len:1 ~init; cell_name = name }
+
+let read t ~p = Memory.vget t.cell ~p 1
+
+let write t ~p x = Memory.vset t.cell ~p 1 x
+
+let peek t = Memory.vpeek t.cell 1
+
+let name t = t.cell_name

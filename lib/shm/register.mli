@@ -1,0 +1,27 @@
+(** A single named atomic read/write register.
+
+    The model's primitive object (§2.1).  Vectors and matrices in
+    {!Memory} cover the paper's [next] and [done] structures; this
+    module is the one-cell case — termination flags, announcement
+    cells of two-process protocols, counters of the RMW baselines —
+    with the same metering and the same atomicity-by-construction.
+
+    A register is, internally, a one-cell {!Memory.vector}; having a
+    dedicated type keeps call sites honest (no index arithmetic on
+    conceptually scalar cells). *)
+
+type t
+
+val create : metrics:Metrics.t -> name:string -> init:int -> t
+
+val read : t -> p:int -> int
+(** One atomic metered read by process [p]. *)
+
+val write : t -> p:int -> int -> unit
+(** One atomic metered write by process [p]. *)
+
+val peek : t -> int
+(** Unmetered read — checkers and tests only. *)
+
+val name : t -> string
+(** The cell name used in full traces. *)

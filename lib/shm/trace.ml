@@ -1,0 +1,50 @@
+type level = [ `Silent | `Outcomes | `Full ]
+
+type entry = { step : int; event : Event.t }
+
+type t = { lvl : level; mutable rev_entries : entry list; mutable count : int }
+
+let create lvl = { lvl; rev_entries = []; count = 0 }
+
+let level t = t.lvl
+
+let keeps lvl (event : Event.t) =
+  match (lvl, event) with
+  | `Silent, _ -> false
+  | `Full, _ -> true
+  | `Outcomes, (Do _ | Crash _ | Terminate _) -> true
+  | `Outcomes, (Read _ | Write _ | Internal _) -> false
+
+let record t ~step event =
+  if keeps t.lvl event then begin
+    t.rev_entries <- { step; event } :: t.rev_entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.count
+
+let do_events t =
+  List.filter_map
+    (fun { event; _ } ->
+      match event with Event.Do { p; job } -> Some (p, job) | _ -> None)
+    (entries t)
+
+let crashes t =
+  List.filter_map
+    (fun { event; _ } ->
+      match event with Event.Crash { p } -> Some p | _ -> None)
+    (entries t)
+
+let terminations t =
+  List.filter_map
+    (fun { event; _ } ->
+      match event with Event.Terminate { p } -> Some p | _ -> None)
+    (entries t)
+
+let pp fmt t =
+  List.iter
+    (fun { step; event } ->
+      Format.fprintf fmt "%6d  %a@." step Event.pp event)
+    (entries t)

@@ -1,0 +1,46 @@
+(** Execution traces.
+
+    A trace records the linearized event sequence of a run, at a
+    configurable detail level:
+
+    - [`Silent] records nothing (large benchmark sweeps);
+    - [`Outcomes] records [Do], [Crash] and [Terminate] events — enough
+      for the at-most-once checker and effectiveness measurements;
+    - [`Full] additionally records every shared read/write and internal
+      action — for debugging and the example walk-throughs.
+
+    Events are stored with the global step index at which they
+    occurred, so "state s precedes state s'" questions from the
+    paper's proofs can be asked of a trace directly. *)
+
+type level = [ `Silent | `Outcomes | `Full ]
+
+type entry = { step : int; event : Event.t }
+
+type t
+
+val create : level -> t
+
+val level : t -> level
+
+val record : t -> step:int -> Event.t -> unit
+(** Appends the event if the trace level retains its kind. [Do],
+    [Crash] and [Terminate] are kept at [`Outcomes] and [`Full];
+    everything is kept at [`Full]; nothing at [`Silent]. *)
+
+val entries : t -> entry list
+(** Chronological order. *)
+
+val length : t -> int
+
+val do_events : t -> (int * int) list
+(** [(p, job)] pairs of all [Do] events, chronological. *)
+
+val crashes : t -> int list
+(** Pids of crashed processes, chronological. *)
+
+val terminations : t -> int list
+(** Pids of processes that terminated, chronological. *)
+
+val pp : Format.formatter -> t -> unit
+(** One event per line, prefixed with its step index. *)

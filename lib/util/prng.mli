@@ -1,0 +1,59 @@
+(** Deterministic pseudo-random number generation.
+
+    Every randomized component of the repository (schedulers, crash
+    adversaries, workload generators, property tests) draws from this
+    generator so that any execution is reproducible from a single
+    64-bit seed.  The implementation is SplitMix64 (Steele, Lea &
+    Flood, OOPSLA 2014): tiny state, excellent statistical quality for
+    simulation purposes, and {i splittable}, which lets independent
+    components derive independent streams from one root seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    independent of the remainder of [g]'s stream. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; the copy replays exactly the
+    same stream as [g] would from this point. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by [g]. *)
+
+val permutation : t -> int -> int array
+(** [permutation g k] is a uniformly random permutation of
+    [0 .. k-1]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement g k bound] draws [k] distinct values
+    from [\[0, bound)], in random order.
+    @raise Invalid_argument if [k > bound] or [k < 0]. *)

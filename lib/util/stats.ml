@@ -1,0 +1,88 @@
+let require_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  require_nonempty "Stats.stddev" xs;
+  let k = Array.length xs in
+  if k = 1 then 0.
+  else begin
+    let mu = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (k - 1))
+  end
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  require_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let k = Array.length sorted in
+  let pos = p /. 100. *. float_of_int (k - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pts =
+  if Array.length pts < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let k = float_of_int (Array.length pts) in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+  let denom = (k *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((k *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. k in
+  let ybar = sy /. k in
+  let ss_tot = Array.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.)) 0. pts in
+  let ss_res =
+    Array.fold_left
+      (fun a (x, y) -> a +. ((y -. ((slope *. x) +. intercept)) ** 2.))
+      0. pts
+  in
+  let r2 = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let loglog_slope pts =
+  let logged =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0. || y <= 0. then
+          invalid_arg "Stats.loglog_slope: non-positive coordinate"
+        else (log x, log y))
+      pts
+  in
+  (linear_fit logged).slope
+
+let ratio_spread pts =
+  if Array.length pts = 0 then invalid_arg "Stats.ratio_spread: empty input";
+  let ratios =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0. then invalid_arg "Stats.ratio_spread: non-positive x"
+        else y /. x)
+      pts
+  in
+  let lo, hi = min_max ratios in
+  let spread = if lo = 0. then Float.infinity else hi /. lo in
+  (mean ratios, spread)

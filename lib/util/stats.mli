@@ -1,0 +1,47 @@
+(** Small statistics toolkit used by the benchmark harness.
+
+    The experiments in EXPERIMENTS.md compare measured quantities
+    (effectiveness, work, collision counts) against the paper's
+    asymptotic predictions.  This module provides the summary
+    statistics and the least-squares fits used for those comparisons;
+    nothing here is specific to the at-most-once problem. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (Bessel-corrected); [0.] for singleton
+    arrays. @raise Invalid_argument on the empty array. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. @raise Invalid_argument on the empty
+    array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], by linear interpolation
+    between closest ranks. Sorts a copy; the input is untouched.
+    @raise Invalid_argument on the empty array or [p] out of range. *)
+
+val median : float array -> float
+(** [median xs = percentile xs 50.]. *)
+
+type linear_fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination *)
+}
+
+val linear_fit : (float * float) array -> linear_fit
+(** Ordinary least-squares fit of [y = slope * x + intercept].
+    @raise Invalid_argument with fewer than two points. *)
+
+val loglog_slope : (float * float) array -> float
+(** Slope of the least-squares line through [(log x, log y)]: the
+    empirical polynomial degree of a scaling curve.  Points with
+    non-positive coordinates are rejected with [Invalid_argument]. *)
+
+val ratio_spread : (float * float) array -> float * float
+(** [ratio_spread pts] returns [(mean, max/min)] of the ratios [y/x].
+    A spread close to [1.] means [y] is proportional to [x] — the
+    check used to validate "measured / predicted is a constant".
+    @raise Invalid_argument on empty input or non-positive [x]. *)

@@ -1,0 +1,37 @@
+open Shm
+
+type proc = {
+  pid : int;
+  n : int;
+  start : int;
+  mutable written : int; (* cells written so far *)
+  mutable stopped : bool;
+}
+
+let processes inst ~m =
+  let n = inst.Wa.n in
+  Array.init m (fun i ->
+      let pid = i + 1 in
+      let st =
+        { pid; n; start = (i * n / m) + 1; written = 0; stopped = false }
+      in
+      Automaton.check
+        {
+          Automaton.pid;
+          step =
+            (fun () ->
+              if st.written >= st.n then invalid_arg "Naive.step: terminated"
+              else begin
+                let j = ((st.start - 1 + st.written) mod st.n) + 1 in
+                Wa.write_cell inst ~p:st.pid j;
+                st.written <- st.written + 1;
+                let ev = Event.Do { p = st.pid; job = j } in
+                if st.written >= st.n then
+                  [ ev; Event.Terminate { p = st.pid } ]
+                else [ ev ]
+              end);
+          alive = (fun () -> (not st.stopped) && st.written < st.n);
+          crash = (fun () -> st.stopped <- true);
+          phase =
+            (fun () -> if st.written >= st.n then "end" else "sweeping");
+        })

@@ -1,0 +1,11 @@
+(** Naive Write-All: every process writes every cell.
+
+    Work is always Θ(n·m), but the algorithm tolerates any [f < m]
+    crashes with no coordination whatsoever.  This is the Write-All
+    analogue of the trivial at-most-once algorithm, and the upper
+    anchor of experiment E7's work comparison. *)
+
+val processes : Wa.instance -> m:int -> Shm.Automaton.handle array
+(** Process [p] sweeps cells [1..n] starting from its rotated offset
+    (so that under fair schedules the array fills after ≈ n total
+    writes even though every process eventually writes everything). *)

@@ -1,0 +1,13 @@
+(* A thin instantiation of Core.Claim_scan: performing "job" j writes
+   1 to Write-All cell j. *)
+
+let uses_rmw = Core.Claim_scan.uses_rmw
+
+let processes inst ~m =
+  let n = inst.Wa.n in
+  if m > n then invalid_arg "Tas.processes: need m <= n";
+  Core.Claim_scan.processes ~metrics:inst.Wa.metrics ~n ~m
+    ~perform:(fun ~p ~job ->
+      Wa.write_cell inst ~p job;
+      [ Shm.Event.Do { p; job } ])
+    ()

@@ -1,0 +1,27 @@
+(** Test-and-set Write-All baseline.
+
+    The paper contrasts its read/write-only solution with algorithms
+    that assume stronger primitives — notably Malewicz's work-optimal
+    certified Write-All, which uses test-and-set [36].  This baseline
+    plays that role in experiment E7: each cell has a claim bit taken
+    with an (atomic, simulated) test-and-set; the winner writes the
+    cell and bumps a shared completion counter; processes scan the
+    cell ring from rotated offsets and stop when the counter reaches
+    [n].  In failure-free executions its total work is Θ(n + m) — the
+    linear-work target WA_IterativeKK must match using registers
+    only.
+
+    Two deliberate deviations from the read/write model, both flagged
+    in DESIGN.md: the test-and-set and the fetch-increment are
+    read-modify-write steps, which the simulator permits but the
+    paper's model forbids.  The baseline is also {e not}
+    crash-tolerant (a process crashing between claiming and writing
+    loses the cell forever — exactly the certification problem
+    Malewicz's real algorithm exists to solve), so E7 runs it only in
+    failure-free executions. *)
+
+val processes : Wa.instance -> m:int -> Shm.Automaton.handle array
+(** @raise Invalid_argument if [m > n]. *)
+
+val uses_rmw : bool
+(** [true]: this baseline steps outside the atomic read/write model. *)

@@ -1,0 +1,27 @@
+open Shm
+
+type instance = { n : int; array_ : Memory.vector; metrics : Metrics.t }
+
+let make_instance ~metrics ~n =
+  if n < 1 then invalid_arg "Wa.make_instance: n must be >= 1";
+  { n; array_ = Memory.vector ~metrics ~name:"wa" ~len:n ~init:0; metrics }
+
+let write_cell t ~p j = Memory.vset t.array_ ~p j 1
+
+let complete t =
+  let rec go j = j > t.n || (Memory.vpeek t.array_ j = 1 && go (j + 1)) in
+  go 1
+
+let written_count t =
+  let c = ref 0 in
+  for j = 1 to t.n do
+    if Memory.vpeek t.array_ j = 1 then incr c
+  done;
+  !c
+
+let missing t =
+  let rec go j acc =
+    if j < 1 then acc
+    else go (j - 1) (if Memory.vpeek t.array_ j = 0 then j :: acc else acc)
+  in
+  go t.n []

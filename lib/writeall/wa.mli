@@ -1,0 +1,32 @@
+(** The Write-All problem (Kanellakis–Shvartsman [23], paper §7).
+
+    "Using m processors write 1's to all locations of an array of
+    size n", all cells initially 0.  Performing "job" j means writing
+    1 to cell j; unlike the at-most-once problem, duplicate writes are
+    allowed — the specification is {e at-least-once} (for cells, when
+    at least one process survives and the algorithm is correct).
+
+    The solver of record here is {!Core.Iterative} in [`Wa] mode
+    (WA_IterativeKK(ε), Theorem 7.1); this module holds the problem
+    interface, the completeness checker, and shared helpers for the
+    baseline solvers in {!Naive} and {!Tas}. *)
+
+type instance = {
+  n : int;
+  array_ : Shm.Memory.vector;  (** the Write-All target array *)
+  metrics : Shm.Metrics.t;
+}
+
+val make_instance : metrics:Shm.Metrics.t -> n:int -> instance
+
+val write_cell : instance -> p:int -> int -> unit
+(** Metered write of 1 to cell [j]. *)
+
+val complete : instance -> bool
+(** All [n] cells hold 1. *)
+
+val written_count : instance -> int
+(** Number of cells holding 1 (unmetered sweep; checkers only). *)
+
+val missing : instance -> int list
+(** Cells still 0, ascending (checkers only). *)

@@ -1,0 +1,29 @@
+(* Shared helpers for the test suite. *)
+
+let check_amo dos =
+  match Core.Spec.check_at_most_once dos with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "at-most-once violated: %s"
+        (Format.asprintf "%a" Core.Spec.pp_violation v)
+
+(* Bounded-exhaustive interleaving exploration; the engine lives in
+   Analysis.Explore, this wrapper just returns the execution count. *)
+let explore ~factory ~branch_depth ~max_steps ~on_execution =
+  let stats =
+    Analysis.Explore.run ~factory ~branch_depth ~max_steps ~on_execution ()
+  in
+  stats.Analysis.Explore.executions
+
+(* A scheduler battery for "holds under any schedule" tests. *)
+let schedulers_for seed =
+  [
+    ("rr", Shm.Schedule.round_robin ());
+    ("random", Shm.Schedule.random (Util.Prng.of_int seed));
+    ("bursty", Shm.Schedule.bursty (Util.Prng.of_int (seed + 1)) ~max_burst:32);
+    ( "biased",
+      Shm.Schedule.biased (Util.Prng.of_int (seed + 2)) ~favourite:1 ~weight:8
+    );
+  ]
+
+let qtest = QCheck_alcotest.to_alcotest

@@ -1,0 +1,96 @@
+(* Tests for the test-and-set claim scanner (the paper's §1 remark:
+   effectiveness-optimal at-most-once with RMW primitives). *)
+
+open Shm
+
+let run ?(scheduler = Schedule.round_robin ()) ?(adversary = Adversary.none)
+    ~n ~m () =
+  let metrics = Metrics.create ~m in
+  let handles = Core.Claim_scan.processes ~metrics ~n ~m () in
+  let outcome = Executor.run ~trace_level:`Outcomes ~scheduler ~adversary handles in
+  (Trace.do_events outcome.Executor.trace, outcome, metrics)
+
+let test_failure_free_optimal () =
+  let dos, outcome, _ = run ~n:100 ~m:4 () in
+  Helpers.check_amo dos;
+  Alcotest.(check int) "all jobs" 100 (Core.Spec.do_count dos);
+  Alcotest.(check bool) "quiescent" true
+    (outcome.Executor.reason = Executor.Quiescent)
+
+let test_amo_under_schedules () =
+  List.iter
+    (fun (name, sched) ->
+      let dos, _, _ = run ~scheduler:sched ~n:80 ~m:5 () in
+      Helpers.check_amo dos;
+      Alcotest.(check int) (name ^ " optimal") 80 (Core.Spec.do_count dos))
+    (Helpers.schedulers_for 21)
+
+let test_crash_loses_at_most_one_each () =
+  (* Theorem 2.1's witness: with f crashes, at least n - f jobs done *)
+  for seed = 0 to 20 do
+    let rng = Util.Prng.of_int seed in
+    let m = 5 in
+    let f = Util.Prng.int rng m in
+    let dos, outcome, _ =
+      run
+        ~scheduler:(Schedule.random (Util.Prng.split rng))
+        ~adversary:(Adversary.random rng ~f ~m ~horizon:600)
+        ~n:100 ~m ()
+    in
+    Helpers.check_amo dos;
+    let f_actual = List.length (Trace.crashes outcome.Executor.trace) in
+    let done_ = Core.Spec.do_count dos in
+    if done_ < 100 - f_actual then
+      Alcotest.failf "seed %d: did %d < n - f = %d" seed done_ (100 - f_actual)
+  done
+
+let test_adversary_forces_exactly_n_minus_f () =
+  (* crash each victim right after it claims (phase "perform"):
+     exactly one job lost per victim *)
+  let n = 50 and m = 4 in
+  let victims = [ 1; 2; 3 ] in
+  let metrics = Metrics.create ~m in
+  let handles = Core.Claim_scan.processes ~metrics ~n ~m () in
+  let outcome =
+    Executor.run ~trace_level:`Outcomes
+      ~scheduler:(Schedule.round_robin ())
+      ~adversary:(Adversary.after_announce ~victims ~announce_phase:"perform")
+      handles
+  in
+  let dos = Trace.do_events outcome.Executor.trace in
+  Helpers.check_amo dos;
+  Alcotest.(check int) "exactly n - f" (n - List.length victims)
+    (Core.Spec.do_count dos)
+
+let test_work_linear () =
+  let actions n =
+    let _, _, metrics = run ~n ~m:4 () in
+    Metrics.total_actions metrics
+  in
+  let w1 = actions 200 and w2 = actions 800 in
+  if float_of_int w2 /. float_of_int w1 > 6. then
+    Alcotest.failf "claim-scan work superlinear: %d -> %d" w1 w2
+
+let test_flags_rmw () =
+  Alcotest.(check bool) "uses rmw" true Core.Claim_scan.uses_rmw;
+  Alcotest.(check int) "predicted effectiveness" 95
+    (Core.Claim_scan.predicted_effectiveness ~n:100 ~f:5)
+
+let test_validation () =
+  let metrics = Metrics.create ~m:5 in
+  Alcotest.check_raises "m > n"
+    (Invalid_argument "Claim_scan.processes: need 1 <= m <= n") (fun () ->
+      ignore (Core.Claim_scan.processes ~metrics ~n:3 ~m:5 ()))
+
+let suite =
+  [
+    Alcotest.test_case "failure-free optimal" `Quick test_failure_free_optimal;
+    Alcotest.test_case "amo under schedules" `Quick test_amo_under_schedules;
+    Alcotest.test_case "crash loses at most one each" `Quick
+      test_crash_loses_at_most_one_each;
+    Alcotest.test_case "adversary forces exactly n-f" `Quick
+      test_adversary_forces_exactly_n_minus_f;
+    Alcotest.test_case "work linear" `Quick test_work_linear;
+    Alcotest.test_case "flags RMW" `Quick test_flags_rmw;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

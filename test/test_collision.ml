@@ -1,0 +1,60 @@
+(* Tests for collision accounting (Definitions 5.2/5.3, Lemma 5.5). *)
+
+let test_record_count () =
+  let c = Core.Collision.create ~m:4 in
+  Core.Collision.record c ~p:1 ~q:3 ~job:7;
+  Core.Collision.record c ~p:1 ~q:3 ~job:9;
+  Core.Collision.record c ~p:3 ~q:1 ~job:7;
+  Alcotest.(check int) "p1<-p3" 2 (Core.Collision.count c ~p:1 ~q:3);
+  Alcotest.(check int) "p3<-p1 (directional)" 1 (Core.Collision.count c ~p:3 ~q:1);
+  Alcotest.(check int) "untouched pair" 0 (Core.Collision.count c ~p:2 ~q:4);
+  Alcotest.(check int) "total" 3 (Core.Collision.total c)
+
+let test_self_collision_rejected () =
+  let c = Core.Collision.create ~m:2 in
+  Alcotest.check_raises "p = q"
+    (Invalid_argument "Collision: a process cannot collide with itself")
+    (fun () -> Core.Collision.record c ~p:1 ~q:1 ~job:1)
+
+let test_bad_pid () =
+  let c = Core.Collision.create ~m:2 in
+  Alcotest.check_raises "pid range" (Invalid_argument "Collision: pid out of range")
+    (fun () -> Core.Collision.record c ~p:1 ~q:3 ~job:1)
+
+let test_pair_bound () =
+  (* 2 * ceil(n / (m * |q-p|)) *)
+  Alcotest.(check int) "n=100 m=4 d=1" 50
+    (Core.Collision.pair_bound ~n:100 ~m:4 ~p:1 ~q:2);
+  Alcotest.(check int) "n=100 m=4 d=3" 18
+    (Core.Collision.pair_bound ~n:100 ~m:4 ~p:1 ~q:4);
+  Alcotest.(check int) "symmetric"
+    (Core.Collision.pair_bound ~n:100 ~m:4 ~p:4 ~q:1)
+    (Core.Collision.pair_bound ~n:100 ~m:4 ~p:1 ~q:4);
+  Alcotest.(check int) "ceiling" 8
+    (Core.Collision.pair_bound ~n:10 ~m:3 ~p:1 ~q:2)
+
+let test_worst_pair_ratio () =
+  let c = Core.Collision.create ~m:4 in
+  Alcotest.(check bool) "empty -> None" true
+    (Core.Collision.worst_pair_ratio c ~n:100 = None);
+  for _ = 1 to 10 do
+    Core.Collision.record c ~p:1 ~q:2 ~job:1
+  done;
+  Core.Collision.record c ~p:1 ~q:4 ~job:2;
+  (match Core.Collision.worst_pair_ratio c ~n:100 with
+  | Some (p, q, ratio) ->
+      Alcotest.(check (pair int int)) "worst pair" (1, 2) (p, q);
+      Alcotest.(check (float 1e-9)) "ratio" (10. /. 50.) ratio
+  | None -> Alcotest.fail "expected a pair");
+  Core.Collision.reset c;
+  Alcotest.(check int) "reset" 0 (Core.Collision.total c)
+
+let suite =
+  [
+    Alcotest.test_case "record/count" `Quick test_record_count;
+    Alcotest.test_case "self collision rejected" `Quick
+      test_self_collision_rejected;
+    Alcotest.test_case "bad pid" `Quick test_bad_pid;
+    Alcotest.test_case "pair bound" `Quick test_pair_bound;
+    Alcotest.test_case "worst pair ratio" `Quick test_worst_pair_ratio;
+  ]

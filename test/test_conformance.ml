@@ -1,0 +1,179 @@
+(* Conformance battery: every algorithm in the repository, run under a
+   matrix of schedulers and crash patterns, with uniform checks:
+
+   - the trace is structurally well-formed (Analysis.Audit);
+   - the run reaches quiescence (wait-freedom / termination);
+   - at-most-once holds where the algorithm promises it;
+   - Write-All completeness holds where the algorithm promises it
+     (WA_IterativeKK promises it even under f < m crashes; the naive
+     baseline too; the TAS baseline only failure-free).
+
+   This is the "no algorithm is special" net: any new automaton added
+   to the library gets the same scrutiny by being listed here. *)
+
+open Shm
+
+type case = {
+  name : string;
+  handles : Automaton.handle array;
+  amo : bool;  (** check at-most-once on the do-log *)
+  complete : (unit -> bool) option;  (** Write-All completeness check *)
+  needs_failure_free : bool;  (** skip under crash adversaries *)
+}
+
+let n = 96
+let m = 4
+
+(* Each call builds fresh instances over fresh shared memory. *)
+let cases ~rng () =
+  let metrics () = Metrics.create ~m in
+  let kk ~beta ~policy =
+    let met = metrics () in
+    let shared = Core.Kk.make_shared ~metrics:met ~m ~capacity:n ~name:"kk" () in
+    Array.init m (fun i ->
+        Core.Kk.handle
+          (Core.Kk.create ~shared ~pid:(i + 1) ~beta ~policy
+             ~free:(Core.Job.universe ~n) ~mode:Core.Kk.Standalone ()))
+  in
+  let iterative mode =
+    let met = metrics () in
+    let plan = Core.Iterative.create ~metrics:met ~n ~m ~epsilon_inv:2 ~mode in
+    (Core.Iterative.processes plan, plan)
+  in
+  let wa_handles, wa_plan = iterative `Wa in
+  let naive_inst = Writeall.Wa.make_instance ~metrics:(metrics ()) ~n in
+  let tas_inst = Writeall.Wa.make_instance ~metrics:(metrics ()) ~n in
+  [
+    {
+      name = "kk beta=m";
+      handles = kk ~beta:m ~policy:Core.Policy.Rank_split;
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "kk beta=3m^2";
+      handles = kk ~beta:(3 * m * m) ~policy:Core.Policy.Rank_split;
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "kk random policy";
+      handles = kk ~beta:m ~policy:(Core.Policy.Random (Util.Prng.split rng));
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "iterative amo";
+      handles = fst (iterative `Amo);
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "wa iterative";
+      handles = wa_handles;
+      amo = false;
+      complete = Some (fun () -> Core.Iterative.wa_complete wa_plan);
+      needs_failure_free = false;
+    };
+    {
+      name = "trivial";
+      handles = Core.Trivial.processes ~n ~m;
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "pairing";
+      handles = Core.Pairing.processes ~metrics:(metrics ()) ~n ~m;
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "claim-scan";
+      handles = Core.Claim_scan.processes ~metrics:(metrics ()) ~n ~m ();
+      amo = true;
+      complete = None;
+      needs_failure_free = false;
+    };
+    {
+      name = "wa naive";
+      handles = Writeall.Naive.processes naive_inst ~m;
+      amo = false;
+      complete = Some (fun () -> Writeall.Wa.complete naive_inst);
+      needs_failure_free = false;
+    };
+    {
+      name = "wa tas";
+      handles = Writeall.Tas.processes tas_inst ~m;
+      amo = true (* the claim bit arbitrates cells *);
+      complete = Some (fun () -> Writeall.Wa.complete tas_inst);
+      needs_failure_free = true (* not crash-safe, by design *);
+    };
+  ]
+
+let schedulers rng =
+  [
+    ("rr", Schedule.round_robin ());
+    ("random", Schedule.random (Util.Prng.split rng));
+    ("bursty", Schedule.bursty (Util.Prng.split rng) ~max_burst:48);
+  ]
+
+(* adversaries are stateful (their crash plan is consumed by a run),
+   so the matrix gets a fresh one per case *)
+let adversaries =
+  [
+    ("none", (fun _rng -> Adversary.none), true);
+    ( "f=1",
+      (fun rng -> Adversary.random rng ~f:1 ~m ~horizon:2000),
+      false );
+    ( "f=m-1",
+      (fun rng -> Adversary.random rng ~f:(m - 1) ~m ~horizon:2000),
+      false );
+  ]
+
+let test_matrix () =
+  for seed = 0 to 4 do
+    let rng0 = Util.Prng.of_int (7000 + seed) in
+    List.iter
+      (fun (sname, scheduler) ->
+        List.iter
+          (fun (aname, make_adversary, failure_free) ->
+            List.iter
+              (fun case ->
+                if failure_free || not case.needs_failure_free then begin
+                  let adversary = make_adversary (Util.Prng.split rng0) in
+                  let outcome =
+                    Executor.run ~trace_level:`Outcomes ~scheduler ~adversary
+                      case.handles
+                  in
+                  let ctx =
+                    Printf.sprintf "%s / %s / %s / seed %d" case.name sname
+                      aname seed
+                  in
+                  if outcome.Executor.reason <> Executor.Quiescent then
+                    Alcotest.failf "%s: did not reach quiescence" ctx;
+                  Analysis.Audit.assert_ok ~m outcome.Executor.trace;
+                  let dos = Trace.do_events outcome.Executor.trace in
+                  if case.amo then
+                    (match Core.Spec.check_at_most_once dos with
+                    | Ok () -> ()
+                    | Error v ->
+                        Alcotest.failf "%s: %s" ctx
+                          (Format.asprintf "%a" Core.Spec.pp_violation v));
+                  match case.complete with
+                  | Some check ->
+                      if not (check ()) then
+                        Alcotest.failf "%s: write-all incomplete" ctx
+                  | None -> ()
+                end)
+              (cases ~rng:(Util.Prng.split rng0) ()))
+          adversaries)
+      (schedulers rng0)
+  done
+
+let suite = [ Alcotest.test_case "algorithm matrix" `Slow test_matrix ]

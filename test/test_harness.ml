@@ -1,0 +1,66 @@
+(* Tests for the high-level Harness API — the entry points downstream
+   users call. *)
+
+let test_kk_defaults () =
+  let s = Core.Harness.kk ~n:60 ~m:3 ~beta:3 () in
+  Helpers.check_amo s.Core.Harness.dos;
+  Alcotest.(check bool) "wait free" true s.Core.Harness.wait_free;
+  Alcotest.(check int) "do_count consistent"
+    (Core.Spec.do_count s.Core.Harness.dos)
+    s.Core.Harness.do_count;
+  Alcotest.(check (list int)) "no crashes by default" [] s.Core.Harness.crashed;
+  (* metrics are live: the run did shared accesses *)
+  Alcotest.(check bool) "reads metered" true
+    (Shm.Metrics.total_reads s.Core.Harness.metrics > 0);
+  (* default trace level records outcomes *)
+  Alcotest.(check bool) "trace has events" true
+    (Shm.Trace.length s.Core.Harness.trace > 0)
+
+let test_kk_trace_levels () =
+  let silent = Core.Harness.kk ~trace_level:`Silent ~n:30 ~m:2 ~beta:2 () in
+  Alcotest.(check int) "silent trace empty" 0
+    (Shm.Trace.length silent.Core.Harness.trace);
+  (* do_count is 0 with a silent trace (documented: it derives from
+     the trace); steps still counted *)
+  Alcotest.(check bool) "steps counted" true (silent.Core.Harness.steps > 0)
+
+let test_worst_case_wrapper () =
+  let s = Core.Harness.kk_worst_case ~n:64 ~m:4 ~beta:4 () in
+  Alcotest.(check int) "m-1 crashes" 3 (List.length s.Core.Harness.crashed);
+  Alcotest.(check int) "exact bound" (64 - (4 + 4 - 2)) s.Core.Harness.do_count
+
+let test_writeall_boolean () =
+  let _, complete = Core.Harness.writeall_iterative ~n:256 ~m:2 ~epsilon_inv:1 () in
+  Alcotest.(check bool) "complete" true complete
+
+let test_claim_scan_wrapper () =
+  let s = Core.Harness.claim_scan ~n:50 ~m:3 () in
+  Helpers.check_amo s.Core.Harness.dos;
+  Alcotest.(check int) "optimal" 50 s.Core.Harness.do_count
+
+let test_iterative_verbose_full_trace () =
+  let metrics = Shm.Metrics.create ~m:2 in
+  let plan = Core.Iterative.create ~metrics ~n:256 ~m:2 ~epsilon_inv:1 ~mode:`Amo in
+  let handles = Core.Iterative.processes ~verbose:true plan in
+  let outcome =
+    Shm.Executor.run ~trace_level:`Full
+      ~scheduler:(Shm.Schedule.round_robin ())
+      ~adversary:Shm.Adversary.none handles
+  in
+  Analysis.Audit.assert_ok ~m:2 outcome.Shm.Executor.trace;
+  (* full trace contains reads/writes from the inner IterStepKKs *)
+  let rows = Analysis.Timeline.of_trace ~m:2 outcome.Shm.Executor.trace in
+  Alcotest.(check bool) "verbose reads recorded" true
+    (rows.(1).Analysis.Timeline.reads > 0);
+  Helpers.check_amo (Shm.Trace.do_events outcome.Shm.Executor.trace)
+
+let suite =
+  [
+    Alcotest.test_case "kk defaults" `Quick test_kk_defaults;
+    Alcotest.test_case "kk trace levels" `Quick test_kk_trace_levels;
+    Alcotest.test_case "worst-case wrapper" `Quick test_worst_case_wrapper;
+    Alcotest.test_case "writeall boolean" `Quick test_writeall_boolean;
+    Alcotest.test_case "claim-scan wrapper" `Quick test_claim_scan_wrapper;
+    Alcotest.test_case "iterative verbose full trace" `Quick
+      test_iterative_verbose_full_trace;
+  ]

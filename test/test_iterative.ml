@@ -1,0 +1,180 @@
+(* Tests for IterativeKK(ε) (Theorems 6.3/6.4) and
+   WA_IterativeKK(ε) (Theorem 7.1). *)
+
+let check_amo = Helpers.check_amo
+
+let test_sizes_shape () =
+  let szs = Core.Iterative.sizes ~n:65536 ~m:8 ~epsilon_inv:2 in
+  (* non-increasing, positive, ends in 1 *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if b > a then Alcotest.failf "sizes increase: %d -> %d" a b;
+        if a < 1 then Alcotest.fail "non-positive size";
+        check rest
+    | [ last ] -> Alcotest.(check int) "ends in 1" 1 last
+    | [] -> Alcotest.fail "empty sizes"
+  in
+  check szs;
+  (* first size is m log n log m *)
+  let logn = Core.Params.log2_ceil 65536 and logm = Core.Params.log2_ceil 8 in
+  Alcotest.(check int) "first size" (8 * logn * logm) (List.hd szs);
+  (* 1/eps intermediate levels plus first and last *)
+  Alcotest.(check bool) "level count" true (List.length szs >= 3)
+
+let test_sizes_validation () =
+  Alcotest.check_raises "epsilon_inv >= 1"
+    (Invalid_argument "Iterative.sizes: 1/epsilon must be a positive integer")
+    (fun () -> ignore (Core.Iterative.sizes ~n:100 ~m:4 ~epsilon_inv:0))
+
+let test_sizes_small_m () =
+  (* m = 1 and m = 2 must still produce a valid ladder *)
+  List.iter
+    (fun m ->
+      let szs = Core.Iterative.sizes ~n:1000 ~m ~epsilon_inv:3 in
+      Alcotest.(check int) "ends in 1" 1 (List.nth szs (List.length szs - 1)))
+    [ 1; 2 ]
+
+let test_amo_round_robin () =
+  let s = Core.Harness.iterative ~n:2048 ~m:3 ~epsilon_inv:2 () in
+  check_amo s.Core.Harness.dos;
+  Alcotest.(check bool) "wait free" true s.Core.Harness.wait_free
+
+let test_amo_many_seeds () =
+  for seed = 0 to 15 do
+    let rng = Util.Prng.of_int seed in
+    let m = 3 in
+    let f = Util.Prng.int rng m in
+    let s =
+      Core.Harness.iterative
+        ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
+        ~adversary:(Shm.Adversary.random rng ~f ~m ~horizon:20_000)
+        ~n:1024 ~m ~epsilon_inv:2 ()
+    in
+    check_amo s.Core.Harness.dos;
+    Alcotest.(check bool) "wait free" true s.Core.Harness.wait_free
+  done
+
+let test_amo_bursty () =
+  for seed = 0 to 8 do
+    let s =
+      Core.Harness.iterative
+        ~scheduler:(Shm.Schedule.bursty (Util.Prng.of_int seed) ~max_burst:500)
+        ~n:1024 ~m:4 ~epsilon_inv:1 ()
+    in
+    check_amo s.Core.Harness.dos
+  done
+
+let test_effectiveness_within_loss_bound () =
+  List.iter
+    (fun (n, m, eps_inv) ->
+      let s = Core.Harness.iterative ~n ~m ~epsilon_inv:eps_inv () in
+      let bound = Core.Iterative.predicted_loss_bound ~n ~m ~epsilon_inv:eps_inv in
+      let lost = n - s.Core.Harness.do_count in
+      if lost > bound then
+        Alcotest.failf "n=%d m=%d eps=1/%d: lost %d > bound %d" n m eps_inv
+          lost bound)
+    [ (2048, 2, 1); (2048, 3, 2); (4096, 4, 2); (1024, 2, 3) ]
+
+let test_effectiveness_with_crashes () =
+  for seed = 0 to 10 do
+    let rng = Util.Prng.of_int (50 + seed) in
+    let n = 2048 and m = 3 in
+    let s =
+      Core.Harness.iterative
+        ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
+        ~adversary:(Shm.Adversary.random rng ~f:(m - 1) ~m ~horizon:5_000)
+        ~n ~m ~epsilon_inv:2 ()
+    in
+    check_amo s.Core.Harness.dos;
+    (* crashed processes strand super-jobs; the loss bound still uses
+       O(m² log n log m) because stuck announcements live in TRY sets *)
+    let bound =
+      Core.Iterative.predicted_loss_bound ~n ~m ~epsilon_inv:2
+      + (m * Core.Params.log2_ceil n * Core.Params.log2_ceil m * m)
+    in
+    let lost = n - s.Core.Harness.do_count in
+    if lost > bound then
+      Alcotest.failf "seed %d: lost %d > crash-adjusted bound %d" seed lost
+        bound
+  done
+
+let test_work_scales_linearly () =
+  (* Theorem 6.4: work O(n + m^(3+eps) log n); for fixed small m the
+     n term dominates, so doubling n should at most ~double+ the work *)
+  let work n =
+    let s = Core.Harness.iterative ~n ~m:3 ~epsilon_inv:2 () in
+    float_of_int (Shm.Metrics.total_work s.Core.Harness.metrics)
+  in
+  let w1 = work 2048 and w2 = work 8192 in
+  if w2 /. w1 > 7. then
+    Alcotest.failf "iterative work not ~linear: %.0f -> %.0f (x%.1f)" w1 w2
+      (w2 /. w1)
+
+let test_mode_accessors () =
+  let metrics = Shm.Metrics.create ~m:2 in
+  let amo = Core.Iterative.create ~metrics ~n:256 ~m:2 ~epsilon_inv:1 ~mode:`Amo in
+  Alcotest.(check bool) "mode amo" true (Core.Iterative.mode amo = `Amo);
+  Alcotest.(check int) "beta = 3m^2" 12 (Core.Iterative.beta amo);
+  Alcotest.check_raises "no wa array in amo"
+    (Invalid_argument "Iterative: no Write-All array in `Amo mode") (fun () ->
+      ignore (Core.Iterative.wa_cell amo 1))
+
+(* ---- WA_IterativeKK ---- *)
+
+let test_wa_completes_failure_free () =
+  List.iter
+    (fun (n, m) ->
+      let s, complete = Core.Harness.writeall_iterative ~n ~m ~epsilon_inv:2 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete n=%d m=%d" n m)
+        true complete;
+      Alcotest.(check bool) "wait free" true s.Core.Harness.wait_free)
+    [ (512, 2); (1024, 3); (2048, 4) ]
+
+let test_wa_completes_under_crashes () =
+  (* Write-All must survive f < m crashes: survivors re-perform
+     whatever the dead announced (keep_try = FREE is returned) *)
+  for seed = 0 to 12 do
+    let rng = Util.Prng.of_int (900 + seed) in
+    let n = 1024 and m = 4 in
+    let s, complete =
+      Core.Harness.writeall_iterative
+        ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
+        ~adversary:(Shm.Adversary.random rng ~f:(m - 1) ~m ~horizon:10_000)
+        ~n ~m ~epsilon_inv:2 ()
+    in
+    ignore s;
+    if not complete then Alcotest.failf "seed %d: write-all incomplete" seed
+  done
+
+let test_wa_under_schedulers () =
+  List.iter
+    (fun (name, sched) ->
+      let _, complete =
+        Core.Harness.writeall_iterative ~scheduler:sched ~n:512 ~m:3
+          ~epsilon_inv:1 ()
+      in
+      Alcotest.(check bool) (name ^ " complete") true complete)
+    (Helpers.schedulers_for 31)
+
+let suite =
+  [
+    Alcotest.test_case "sizes shape" `Quick test_sizes_shape;
+    Alcotest.test_case "sizes validation" `Quick test_sizes_validation;
+    Alcotest.test_case "sizes small m" `Quick test_sizes_small_m;
+    Alcotest.test_case "amo: round robin" `Quick test_amo_round_robin;
+    Alcotest.test_case "amo: many seeds + crashes" `Quick test_amo_many_seeds;
+    Alcotest.test_case "amo: bursty schedules" `Quick test_amo_bursty;
+    Alcotest.test_case "effectiveness within loss bound (Thm 6.4)" `Quick
+      test_effectiveness_within_loss_bound;
+    Alcotest.test_case "effectiveness with crashes" `Quick
+      test_effectiveness_with_crashes;
+    Alcotest.test_case "work ~linear in n (Thm 6.4)" `Quick
+      test_work_scales_linearly;
+    Alcotest.test_case "mode accessors" `Quick test_mode_accessors;
+    Alcotest.test_case "WA completes failure-free (Thm 7.1)" `Quick
+      test_wa_completes_failure_free;
+    Alcotest.test_case "WA completes under crashes" `Quick
+      test_wa_completes_under_crashes;
+    Alcotest.test_case "WA under schedulers" `Quick test_wa_under_schedulers;
+  ]

@@ -1,0 +1,220 @@
+(* Tests for the order-statistic tree, including qcheck properties
+   against a sorted-list reference model. *)
+
+module T = Ostree
+
+let of_list = T.of_list
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (T.is_empty T.empty);
+  Alcotest.(check int) "cardinal" 0 (T.cardinal T.empty);
+  Alcotest.(check bool) "mem" false (T.mem 1 T.empty);
+  Alcotest.(check (list int)) "elements" [] (T.elements T.empty)
+
+let test_add_mem () =
+  let t = of_list [ 5; 1; 9; 3 ] in
+  List.iter
+    (fun x -> Alcotest.(check bool) "mem added" true (T.mem x t))
+    [ 5; 1; 9; 3 ];
+  Alcotest.(check bool) "absent" false (T.mem 2 t);
+  Alcotest.(check int) "cardinal" 4 (T.cardinal t)
+
+let test_add_idempotent () =
+  let t = of_list [ 1; 2; 3 ] in
+  let t' = T.add 2 t in
+  Alcotest.(check bool) "physically equal on re-add" true (t == t');
+  Alcotest.(check int) "cardinal unchanged" 3 (T.cardinal t')
+
+let test_remove () =
+  let t = of_list [ 1; 2; 3; 4; 5 ] in
+  let t = T.remove 3 t in
+  Alcotest.(check (list int)) "removed" [ 1; 2; 4; 5 ] (T.elements t);
+  let t' = T.remove 42 t in
+  Alcotest.(check bool) "remove absent is phys-equal" true (t == t')
+
+let test_elements_sorted () =
+  let t = of_list [ 9; 7; 5; 3; 1; 2; 4; 6; 8 ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (T.elements t)
+
+let test_min_max () =
+  let t = of_list [ 4; 2; 8; 6 ] in
+  Alcotest.(check int) "min" 2 (T.min_elt t);
+  Alcotest.(check int) "max" 8 (T.max_elt t);
+  Alcotest.check_raises "min of empty" Not_found (fun () ->
+      ignore (T.min_elt T.empty))
+
+let test_select_rank_roundtrip () =
+  let t = of_list [ 10; 20; 30; 40; 50 ] in
+  for i = 1 to 5 do
+    let x = T.select t i in
+    Alcotest.(check int) "select" (i * 10) x;
+    Alcotest.(check int) "rank inverse" i (T.rank x t)
+  done
+
+let test_select_out_of_range () =
+  let t = of_list [ 1; 2 ] in
+  Alcotest.check_raises "rank 0" (Invalid_argument "Ostree.select: rank out of range")
+    (fun () -> ignore (T.select t 0));
+  Alcotest.check_raises "rank 3" (Invalid_argument "Ostree.select: rank out of range")
+    (fun () -> ignore (T.select t 3))
+
+let test_rank_absent () =
+  let t = of_list [ 1; 3 ] in
+  Alcotest.check_raises "rank of absent" Not_found (fun () ->
+      ignore (T.rank 2 t))
+
+let test_count_le () =
+  let t = of_list [ 2; 4; 6; 8 ] in
+  Alcotest.(check int) "below all" 0 (T.count_le 1 t);
+  Alcotest.(check int) "at element" 2 (T.count_le 4 t);
+  Alcotest.(check int) "between" 2 (T.count_le 5 t);
+  Alcotest.(check int) "above all" 4 (T.count_le 100 t)
+
+let test_of_range () =
+  let t = T.of_range 3 7 in
+  Alcotest.(check (list int)) "range" [ 3; 4; 5; 6; 7 ] (T.elements t);
+  T.check_invariants t;
+  Alcotest.(check bool) "empty range" true (T.is_empty (T.of_range 5 4));
+  let big = T.of_range 1 10_000 in
+  Alcotest.(check int) "big range cardinal" 10_000 (T.cardinal big);
+  T.check_invariants big
+
+let test_subset_equal () =
+  let a = of_list [ 1; 2; 3 ] and b = of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "subset" true (T.subset a b);
+  Alcotest.(check bool) "not subset" false (T.subset b a);
+  Alcotest.(check bool) "equal" true (T.equal a (of_list [ 3; 2; 1 ]));
+  Alcotest.(check bool) "not equal" false (T.equal a b)
+
+let test_fold_iter () =
+  let t = of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (T.fold ( + ) t 0);
+  let acc = ref [] in
+  T.iter (fun x -> acc := x :: !acc) t;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !acc
+
+let test_diff_cardinal () =
+  let s1 = of_list [ 1; 2; 3; 4; 5 ] in
+  let s2 = of_list [ 2; 4 ] in
+  Alcotest.(check int) "diff" 3 (T.diff_cardinal s1 s2);
+  (* s2 not a subset: elements outside s1 must not be counted *)
+  let s3 = of_list [ 2; 100 ] in
+  Alcotest.(check int) "diff with stranger" 4 (T.diff_cardinal s1 s3);
+  Alcotest.(check int) "diff empty" 5 (T.diff_cardinal s1 T.empty)
+
+let test_rank_diff_basic () =
+  let s1 = of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let s2 = of_list [ 2; 5 ] in
+  (* s1 \ s2 = {1, 3, 4, 6} *)
+  Alcotest.(check int) "1st" 1 (T.rank_diff s1 s2 1);
+  Alcotest.(check int) "2nd" 3 (T.rank_diff s1 s2 2);
+  Alcotest.(check int) "3rd" 4 (T.rank_diff s1 s2 3);
+  Alcotest.(check int) "4th" 6 (T.rank_diff s1 s2 4);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Ostree.rank_diff: rank out of range") (fun () ->
+      ignore (T.rank_diff s1 s2 5))
+
+let test_rank_diff_prefix_excluded () =
+  (* the correction set sits entirely below the answer *)
+  let s1 = T.of_range 1 100 in
+  let s2 = of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "shifted head" 4 (T.rank_diff s1 s2 1);
+  Alcotest.(check int) "tail" 100 (T.rank_diff s1 s2 97)
+
+let test_pp () =
+  let t = of_list [ 3; 1; 2 ] in
+  Alcotest.(check string) "pp" "{1, 2, 3}" (Format.asprintf "%a" T.pp t);
+  Alcotest.(check string) "pp empty" "{}" (Format.asprintf "%a" T.pp T.empty)
+
+(* ---- qcheck properties against a reference model ---- *)
+
+let list_model ops =
+  (* apply (add x | remove x) ops to both structures, compare *)
+  List.fold_left
+    (fun (t, l) (is_add, x) ->
+      if is_add then (T.add x t, if List.mem x l then l else List.sort compare (x :: l))
+      else (T.remove x t, List.filter (fun y -> y <> x) l))
+    (T.empty, []) ops
+
+let ops_gen =
+  QCheck.(list (pair bool (int_range 1 64)))
+
+let prop_model_agreement =
+  QCheck.Test.make ~name:"ostree agrees with list model" ~count:500 ops_gen
+    (fun ops ->
+      let t, l = list_model ops in
+      T.check_invariants t;
+      T.elements t = l)
+
+let prop_select_rank =
+  QCheck.Test.make ~name:"select/rank consistent with sorted order" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 80) (int_range 1 1000))
+    (fun xs ->
+      let t = of_list xs in
+      let l = List.sort_uniq compare xs in
+      List.for_all2
+        (fun i x -> T.select t i = x && T.rank x t = i)
+        (List.init (List.length l) (fun i -> i + 1))
+        l)
+
+let prop_rank_diff_naive =
+  QCheck.Test.make ~name:"rank_diff agrees with naive set difference"
+    ~count:500
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 60) (int_range 1 100))
+        (list_of_size Gen.(0 -- 10) (int_range 1 100)))
+    (fun (xs, ys) ->
+      let s1 = of_list xs and s2 = of_list ys in
+      let diff =
+        List.filter (fun x -> not (T.mem x s2)) (T.elements s1)
+      in
+      T.diff_cardinal s1 s2 = List.length diff
+      && List.for_all2
+           (fun i x -> T.rank_diff s1 s2 i = x)
+           (List.init (List.length diff) (fun i -> i + 1))
+           diff)
+
+let prop_balance =
+  QCheck.Test.make ~name:"AVL invariants after arbitrary ops" ~count:300
+    QCheck.(list (pair bool (int_range 1 200)))
+    (fun ops ->
+      let t, _ = list_model ops in
+      T.check_invariants t;
+      true)
+
+let prop_count_le =
+  QCheck.Test.make ~name:"count_le agrees with naive count" ~count:300
+    QCheck.(pair (list (int_range 1 50)) (int_range 0 60))
+    (fun (xs, bound) ->
+      let t = of_list xs in
+      T.count_le bound t
+      = List.length (List.filter (fun x -> x <= bound) (T.elements t)))
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/mem" `Quick test_add_mem;
+    Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "elements sorted" `Quick test_elements_sorted;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "select/rank roundtrip" `Quick test_select_rank_roundtrip;
+    Alcotest.test_case "select out of range" `Quick test_select_out_of_range;
+    Alcotest.test_case "rank of absent" `Quick test_rank_absent;
+    Alcotest.test_case "count_le" `Quick test_count_le;
+    Alcotest.test_case "of_range" `Quick test_of_range;
+    Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+    Alcotest.test_case "fold/iter" `Quick test_fold_iter;
+    Alcotest.test_case "diff_cardinal" `Quick test_diff_cardinal;
+    Alcotest.test_case "rank_diff basic" `Quick test_rank_diff_basic;
+    Alcotest.test_case "rank_diff prefix excluded" `Quick
+      test_rank_diff_prefix_excluded;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Helpers.qtest prop_model_agreement;
+    Helpers.qtest prop_select_rank;
+    Helpers.qtest prop_rank_diff_naive;
+    Helpers.qtest prop_balance;
+    Helpers.qtest prop_count_le;
+  ]

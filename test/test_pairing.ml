@@ -1,0 +1,120 @@
+(* Tests for the two-process pairing baseline, including an exhaustive
+   interleaving check of the two-process building block. *)
+
+let run ?adversary ?scheduler ~n ~m () =
+  Core.Harness.pairing ?adversary ?scheduler ~n ~m ()
+
+let test_chunks_partition () =
+  List.iter
+    (fun (n, m) ->
+      let covered = Array.make (n + 1) 0 in
+      for pair = 1 to Core.Pairing.pair_count ~m do
+        let lo, hi = Core.Pairing.chunk_of_pair ~n ~m ~pair in
+        for j = lo to hi do
+          covered.(j) <- covered.(j) + 1
+        done
+      done;
+      for j = 1 to n do
+        if covered.(j) <> 1 then Alcotest.failf "job %d covered %d times" j covered.(j)
+      done)
+    [ (20, 4); (21, 5); (100, 8); (7, 2); (9, 3) ]
+
+let test_failure_free_loses_at_most_one_per_pair () =
+  List.iter
+    (fun (n, m) ->
+      let s = run ~n ~m () in
+      Helpers.check_amo s.Core.Harness.dos;
+      let pairs = Core.Pairing.pair_count ~m in
+      if s.Core.Harness.do_count < n - pairs then
+        Alcotest.failf "n=%d m=%d: did %d, expected >= %d" n m
+          s.Core.Harness.do_count (n - pairs))
+    [ (50, 4); (51, 5); (100, 8); (10, 2) ]
+
+let test_amo_under_schedules_and_crashes () =
+  for seed = 0 to 30 do
+    let rng = Util.Prng.of_int seed in
+    let n = 40 and m = 6 in
+    let s =
+      run
+        ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
+        ~adversary:(Shm.Adversary.random rng ~f:(Util.Prng.int rng 5) ~m ~horizon:200)
+        ~n ~m ()
+    in
+    Helpers.check_amo s.Core.Harness.dos;
+    Alcotest.(check bool) "wait free" true s.Core.Harness.wait_free
+  done
+
+let test_solo_process_odd_m () =
+  let n = 30 and m = 3 in
+  let s = run ~n ~m () in
+  Helpers.check_amo s.Core.Harness.dos;
+  (* the solo process (p3) completes its whole chunk *)
+  let lo, hi = Core.Pairing.chunk_of_pair ~n ~m ~pair:2 in
+  let counts = Core.Spec.per_process_counts ~m s.Core.Harness.dos in
+  Alcotest.(check int) "solo does its chunk" (hi - lo + 1) counts.(3)
+
+let test_crash_stuck_announcement () =
+  (* Crash the ascending partner immediately after its first announce:
+     the descending partner must sweep down to (but not including) the
+     stuck job. *)
+  let n = 20 and m = 2 in
+  let s =
+    run
+      ~adversary:
+        (Shm.Adversary.after_announce ~victims:[ 1 ] ~announce_phase:"read_partner")
+      ~n ~m ()
+  in
+  Helpers.check_amo s.Core.Harness.dos;
+  (* p1 announced job 1 and died; p2 does 20 down to 2 *)
+  Alcotest.(check int) "lost exactly the stuck job" (n - 1)
+    s.Core.Harness.do_count;
+  Alcotest.(check (list int)) "job 1 is the loss" [ 1 ]
+    (Core.Spec.undone_jobs ~n s.Core.Harness.dos)
+
+let test_exhaustive_two_process_interleavings () =
+  (* Every interleaving of the two-process block on a tiny interval:
+     at-most-once must hold in all of them, and without crashes at
+     most one job may be lost. *)
+  let n = 2 and m = 2 in
+  let metrics () = Shm.Metrics.create ~m in
+  let executions =
+    Helpers.explore
+      ~factory:(fun () -> Core.Pairing.processes ~metrics:(metrics ()) ~n ~m)
+      ~branch_depth:24 ~max_steps:1000
+      ~on_execution:(fun dos ->
+        Helpers.check_amo dos;
+        let done_ = Core.Spec.do_count dos in
+        if done_ < n - 1 then
+          Alcotest.failf "lost more than one job: did %d of %d" done_ n)
+  in
+  (* sanity: the exploration really branched *)
+  Alcotest.(check bool) "explored many interleavings" true (executions > 100)
+
+let test_exhaustive_three_jobs () =
+  let n = 3 and m = 2 in
+  let metrics () = Shm.Metrics.create ~m in
+  let executions =
+    Helpers.explore
+      ~factory:(fun () -> Core.Pairing.processes ~metrics:(metrics ()) ~n ~m)
+      ~branch_depth:14 ~max_steps:1000
+      ~on_execution:(fun dos ->
+        Helpers.check_amo dos;
+        if Core.Spec.do_count dos < n - 1 then Alcotest.fail "lost too much")
+  in
+  Alcotest.(check bool) "explored" true (executions > 100)
+
+let suite =
+  [
+    Alcotest.test_case "chunks partition J" `Quick test_chunks_partition;
+    Alcotest.test_case "<= 1 loss per pair, failure-free" `Quick
+      test_failure_free_loses_at_most_one_per_pair;
+    Alcotest.test_case "amo under schedules and crashes" `Quick
+      test_amo_under_schedules_and_crashes;
+    Alcotest.test_case "solo process with odd m" `Quick test_solo_process_odd_m;
+    Alcotest.test_case "crash leaves announcement stuck" `Quick
+      test_crash_stuck_announcement;
+    Alcotest.test_case "exhaustive interleavings (n=2)" `Slow
+      test_exhaustive_two_process_interleavings;
+    Alcotest.test_case "exhaustive interleavings (n=3, bounded)" `Slow
+      test_exhaustive_three_jobs;
+  ]

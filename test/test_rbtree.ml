@@ -1,0 +1,138 @@
+(* Tests for the red-black order-statistic tree, including
+   cross-validation against the AVL implementation: two independent
+   balancing schemes must agree on every observable. *)
+
+module T = Rbtree
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (T.is_empty T.empty);
+  Alcotest.(check int) "cardinal" 0 (T.cardinal T.empty);
+  T.check_invariants T.empty
+
+let test_add_mem_remove () =
+  let t = T.of_list [ 5; 1; 9; 3; 7 ] in
+  T.check_invariants t;
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] (T.elements t);
+  let t = T.remove 5 t in
+  T.check_invariants t;
+  Alcotest.(check (list int)) "removed" [ 1; 3; 7; 9 ] (T.elements t);
+  Alcotest.(check bool) "mem gone" false (T.mem 5 t);
+  let t = T.remove 42 t in
+  Alcotest.(check int) "remove absent" 4 (T.cardinal t)
+
+let test_add_idempotent () =
+  let t = T.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "re-add" 3 (T.cardinal (T.add 2 t))
+
+let test_select_rank () =
+  let t = T.of_list [ 10; 20; 30; 40 ] in
+  for i = 1 to 4 do
+    Alcotest.(check int) "select" (i * 10) (T.select t i);
+    Alcotest.(check int) "rank" i (T.rank (i * 10) t)
+  done;
+  Alcotest.check_raises "select oob"
+    (Invalid_argument "Rbtree.select: rank out of range") (fun () ->
+      ignore (T.select t 5))
+
+let test_sequential_deletions_keep_invariants () =
+  (* ascending, descending and middle-out deletions *)
+  let build () = T.of_range 1 64 in
+  let check_drain order =
+    let t = ref (build ()) in
+    List.iter
+      (fun x ->
+        t := T.remove x !t;
+        T.check_invariants !t)
+      order;
+    Alcotest.(check bool) "drained" true (T.is_empty !t)
+  in
+  check_drain (List.init 64 (fun i -> i + 1));
+  check_drain (List.init 64 (fun i -> 64 - i));
+  check_drain
+    (List.init 64 (fun i -> if i mod 2 = 0 then 32 - (i / 2) else 33 + (i / 2)))
+
+let test_black_height_logarithmic () =
+  let t = T.of_range 1 1024 in
+  T.check_invariants t;
+  let bh = T.black_height t in
+  (* 2^bh - 1 <= n and paths <= 2*bh: bh between 5 and 11 for n=1024 *)
+  Alcotest.(check bool) "bh sane" true (bh >= 5 && bh <= 11)
+
+let test_rank_diff () =
+  let s1 = T.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let s2 = T.of_list [ 2; 5 ] in
+  Alcotest.(check int) "1st" 1 (T.rank_diff s1 s2 1);
+  Alcotest.(check int) "3rd" 4 (T.rank_diff s1 s2 3);
+  Alcotest.(check int) "diff card" 4 (T.diff_cardinal s1 s2)
+
+(* ---- cross-validation against the AVL implementation ---- *)
+
+let apply_ops ops =
+  List.fold_left
+    (fun (rb, avl) (is_add, x) ->
+      if is_add then (T.add x rb, Ostree.add x avl)
+      else (T.remove x rb, Ostree.remove x avl))
+    (T.empty, Ostree.empty) ops
+
+let prop_agrees_with_avl =
+  QCheck.Test.make ~name:"rbtree and avl agree on elements" ~count:800
+    QCheck.(list (pair bool (int_range 1 80)))
+    (fun ops ->
+      let rb, avl = apply_ops ops in
+      T.check_invariants rb;
+      T.elements rb = Ostree.elements avl)
+
+let prop_agrees_on_queries =
+  QCheck.Test.make ~name:"rbtree and avl agree on select/rank/count_le"
+    ~count:400
+    QCheck.(list (pair bool (int_range 1 60)))
+    (fun ops ->
+      let rb, avl = apply_ops ops in
+      let k = T.cardinal rb in
+      k = Ostree.cardinal avl
+      && List.for_all
+           (fun i -> T.select rb i = Ostree.select avl i)
+           (List.init k (fun i -> i + 1))
+      && List.for_all
+           (fun x -> T.count_le x rb = Ostree.count_le x avl)
+           (List.init 80 (fun i -> i + 1)))
+
+let prop_agrees_on_rank_diff =
+  QCheck.Test.make ~name:"rbtree and avl agree on rank_diff" ~count:400
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 50) (int_range 1 100))
+        (list_of_size Gen.(0 -- 8) (int_range 1 100)))
+    (fun (xs, ys) ->
+      let rb1 = T.of_list xs and rb2 = T.of_list ys in
+      let av1 = Ostree.of_list xs and av2 = Ostree.of_list ys in
+      let d = T.diff_cardinal rb1 rb2 in
+      d = Ostree.diff_cardinal av1 av2
+      && List.for_all
+           (fun i -> T.rank_diff rb1 rb2 i = Ostree.rank_diff av1 av2 i)
+           (List.init d (fun i -> i + 1)))
+
+let prop_invariants_always =
+  QCheck.Test.make ~name:"rb invariants after arbitrary ops" ~count:500
+    QCheck.(list (pair bool (int_range 1 200)))
+    (fun ops ->
+      let rb, _ = apply_ops ops in
+      T.check_invariants rb;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/mem/remove" `Quick test_add_mem_remove;
+    Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+    Alcotest.test_case "select/rank" `Quick test_select_rank;
+    Alcotest.test_case "sequential deletions keep invariants" `Quick
+      test_sequential_deletions_keep_invariants;
+    Alcotest.test_case "black height logarithmic" `Quick
+      test_black_height_logarithmic;
+    Alcotest.test_case "rank_diff" `Quick test_rank_diff;
+    Helpers.qtest prop_agrees_with_avl;
+    Helpers.qtest prop_agrees_on_queries;
+    Helpers.qtest prop_agrees_on_rank_diff;
+    Helpers.qtest prop_invariants_always;
+  ]

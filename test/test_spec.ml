@@ -1,0 +1,65 @@
+(* Tests for the at-most-once specification checker. *)
+
+let test_ok () =
+  match Core.Spec.check_at_most_once [ (1, 1); (2, 2); (1, 3) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "spurious violation"
+
+let test_violation_two_processes () =
+  match Core.Spec.check_at_most_once [ (1, 5); (2, 6); (3, 5) ] with
+  | Ok () -> Alcotest.fail "missed violation"
+  | Error v ->
+      Alcotest.(check int) "job" 5 v.Core.Spec.job;
+      Alcotest.(check int) "first" 1 v.Core.Spec.first_pid;
+      Alcotest.(check int) "second" 3 v.Core.Spec.second_pid
+
+let test_violation_same_process () =
+  (* Definition 2.2 counts repeats by the same process too *)
+  match Core.Spec.check_at_most_once [ (1, 5); (1, 5) ] with
+  | Ok () -> Alcotest.fail "missed same-process repeat"
+  | Error v -> Alcotest.(check int) "job" 5 v.Core.Spec.job
+
+let test_empty () =
+  match Core.Spec.check_at_most_once [] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "empty execution must be fine"
+
+let test_do_count () =
+  Alcotest.(check int) "distinct jobs" 3
+    (Core.Spec.do_count [ (1, 1); (2, 2); (1, 3) ]);
+  Alcotest.(check int) "empty" 0 (Core.Spec.do_count [])
+
+let test_per_process_counts () =
+  let a = Core.Spec.per_process_counts ~m:3 [ (1, 1); (1, 2); (3, 3) ] in
+  Alcotest.(check (array int)) "counts" [| 0; 2; 0; 1 |] a
+
+let test_per_process_bad_pid () =
+  Alcotest.check_raises "bad pid"
+    (Invalid_argument "Spec.per_process_counts: pid out of range") (fun () ->
+      ignore (Core.Spec.per_process_counts ~m:2 [ (3, 1) ]))
+
+let test_undone_jobs () =
+  Alcotest.(check (list int)) "undone" [ 2; 4 ]
+    (Core.Spec.undone_jobs ~n:5 [ (1, 1); (1, 3); (2, 5) ]);
+  Alcotest.(check (list int)) "all undone" [ 1; 2 ]
+    (Core.Spec.undone_jobs ~n:2 [])
+
+let test_assert_raises () =
+  Alcotest.check_raises "assert raises"
+    (Failure "at-most-once violated: job 1 performed twice: by p1 and then by p2")
+    (fun () -> Core.Spec.assert_at_most_once [ (1, 1); (2, 1) ])
+
+let suite =
+  [
+    Alcotest.test_case "ok execution" `Quick test_ok;
+    Alcotest.test_case "violation across processes" `Quick
+      test_violation_two_processes;
+    Alcotest.test_case "violation same process" `Quick
+      test_violation_same_process;
+    Alcotest.test_case "empty execution" `Quick test_empty;
+    Alcotest.test_case "do_count" `Quick test_do_count;
+    Alcotest.test_case "per-process counts" `Quick test_per_process_counts;
+    Alcotest.test_case "per-process bad pid" `Quick test_per_process_bad_pid;
+    Alcotest.test_case "undone jobs" `Quick test_undone_jobs;
+    Alcotest.test_case "assert raises" `Quick test_assert_raises;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for Util.Stats. *)
+
+let feq ?(eps = 1e-9) name a b =
+  if Float.abs (a -. b) > eps then Alcotest.failf "%s: %f <> %f" name a b
+
+let test_mean () =
+  feq "mean" 2.5 (Util.Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "singleton" 7. (Util.Stats.mean [| 7. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Util.Stats.mean [||]))
+
+let test_stddev () =
+  (* sample stddev of 2,4,4,4,5,5,7,9 is sqrt(32/7) *)
+  feq "stddev"
+    (sqrt (32. /. 7.))
+    (Util.Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]);
+  feq "singleton stddev" 0. (Util.Stats.stddev [| 42. |]);
+  feq "constant stddev" 0. (Util.Stats.stddev [| 3.; 3.; 3. |])
+
+let test_min_max () =
+  let lo, hi = Util.Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  feq "min" (-1.) lo;
+  feq "max" 7. hi
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  feq "p0" 1. (Util.Stats.percentile xs 0.);
+  feq "p100" 5. (Util.Stats.percentile xs 100.);
+  feq "p50" 3. (Util.Stats.percentile xs 50.);
+  feq "p25" 2. (Util.Stats.percentile xs 25.);
+  (* interpolation between ranks *)
+  feq "p10" 1.4 (Util.Stats.percentile xs 10.)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 5.; 1.; 4.; 2.; 3. |] in
+  feq "median of unsorted" 3. (Util.Stats.median xs);
+  (* input must be untouched *)
+  Alcotest.(check (array (float 0.0))) "input untouched"
+    [| 5.; 1.; 4.; 2.; 3. |] xs
+
+let test_percentile_range () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of [0,100]") (fun () ->
+      ignore (Util.Stats.percentile [| 1. |] 101.))
+
+let test_linear_fit_exact () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3. *. float_of_int i) +. 2.)) in
+  let fit = Util.Stats.linear_fit pts in
+  feq "slope" 3. fit.Util.Stats.slope;
+  feq "intercept" 2. fit.Util.Stats.intercept;
+  feq "r2" 1. fit.Util.Stats.r2
+
+let test_linear_fit_flat () =
+  let pts = Array.init 5 (fun i -> (float_of_int i, 4.)) in
+  let fit = Util.Stats.linear_fit pts in
+  feq "flat slope" 0. fit.Util.Stats.slope;
+  feq "flat r2" 1. fit.Util.Stats.r2
+
+let test_linear_fit_errors () =
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Stats.linear_fit: need >= 2 points") (fun () ->
+      ignore (Util.Stats.linear_fit [| (1., 1.) |]));
+  Alcotest.check_raises "degenerate x"
+    (Invalid_argument "Stats.linear_fit: degenerate x values") (fun () ->
+      ignore (Util.Stats.linear_fit [| (1., 1.); (1., 2.) |]))
+
+let test_loglog_slope () =
+  (* y = x^2 has log-log slope 2 *)
+  let pts =
+    Array.init 8 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, x *. x))
+  in
+  feq ~eps:1e-6 "quadratic degree" 2. (Util.Stats.loglog_slope pts);
+  (* y = 5x has slope 1 *)
+  let pts =
+    Array.init 8 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, 5. *. x))
+  in
+  feq ~eps:1e-6 "linear degree" 1. (Util.Stats.loglog_slope pts)
+
+let test_loglog_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive point"
+    (Invalid_argument "Stats.loglog_slope: non-positive coordinate") (fun () ->
+      ignore (Util.Stats.loglog_slope [| (0., 1.); (1., 2.) |]))
+
+let test_ratio_spread () =
+  let mean, spread = Util.Stats.ratio_spread [| (1., 2.); (2., 4.); (8., 16.) |] in
+  feq "proportional mean" 2. mean;
+  feq "proportional spread" 1. spread;
+  let _, spread = Util.Stats.ratio_spread [| (1., 1.); (1., 4.) |] in
+  feq "spread 4x" 4. spread
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted input" `Quick
+      test_percentile_unsorted_input;
+    Alcotest.test_case "percentile range check" `Quick test_percentile_range;
+    Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
+    Alcotest.test_case "linear fit flat" `Quick test_linear_fit_flat;
+    Alcotest.test_case "linear fit errors" `Quick test_linear_fit_errors;
+    Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
+    Alcotest.test_case "loglog rejects nonpositive" `Quick
+      test_loglog_rejects_nonpositive;
+    Alcotest.test_case "ratio spread" `Quick test_ratio_spread;
+  ]

@@ -1,0 +1,78 @@
+(* Tests for the trivial split baseline. *)
+
+let test_chunks_partition () =
+  List.iter
+    (fun (n, m) ->
+      let covered = Array.make (n + 1) 0 in
+      for p = 1 to m do
+        let lo, hi = Core.Trivial.chunk ~n ~m ~p in
+        if lo > hi then Alcotest.failf "empty chunk p=%d (n=%d m=%d)" p n m;
+        for j = lo to hi do
+          covered.(j) <- covered.(j) + 1
+        done
+      done;
+      for j = 1 to n do
+        if covered.(j) <> 1 then
+          Alcotest.failf "job %d covered %d times (n=%d m=%d)" j covered.(j) n m
+      done)
+    [ (10, 3); (100, 7); (5, 5); (17, 4); (1, 1) ]
+
+let test_chunk_sizes_balanced () =
+  let n = 17 and m = 4 in
+  for p = 1 to m do
+    let lo, hi = Core.Trivial.chunk ~n ~m ~p in
+    let size = hi - lo + 1 in
+    if size < n / m || size > (n / m) + 1 then
+      Alcotest.failf "unbalanced chunk p=%d size=%d" p size
+  done
+
+let test_failure_free_does_everything () =
+  let s = Core.Harness.trivial ~n:50 ~m:5 () in
+  Helpers.check_amo s.Core.Harness.dos;
+  Alcotest.(check int) "all jobs" 50 s.Core.Harness.do_count;
+  Alcotest.(check bool) "wait free" true s.Core.Harness.wait_free
+
+let test_crash_loses_whole_chunk () =
+  (* crash p2 before it starts: its chunk is lost entirely *)
+  let s =
+    Core.Harness.trivial ~adversary:(Shm.Adversary.at_start [ 2 ]) ~n:60 ~m:6 ()
+  in
+  Helpers.check_amo s.Core.Harness.dos;
+  Alcotest.(check int) "effectiveness = (m-f) * n/m" 50 s.Core.Harness.do_count;
+  let lo, hi = Core.Trivial.chunk ~n:60 ~m:6 ~p:2 in
+  let undone = Core.Spec.undone_jobs ~n:60 s.Core.Harness.dos in
+  Alcotest.(check (list int)) "lost exactly p2's chunk"
+    (List.init (hi - lo + 1) (fun i -> lo + i))
+    undone
+
+let test_matches_predicted_effectiveness () =
+  let n = 100 and m = 4 in
+  let f = 2 in
+  let s =
+    Core.Harness.trivial ~adversary:(Shm.Adversary.at_start [ 1; 3 ]) ~n ~m ()
+  in
+  Alcotest.(check int) "prediction"
+    (Core.Params.trivial_effectiveness ~n ~m ~f)
+    s.Core.Harness.do_count
+
+let test_under_random_schedules () =
+  List.iter
+    (fun (name, sched) ->
+      let s = Core.Harness.trivial ~scheduler:sched ~n:40 ~m:4 () in
+      Helpers.check_amo s.Core.Harness.dos;
+      Alcotest.(check int) (name ^ ": all done") 40 s.Core.Harness.do_count)
+    (Helpers.schedulers_for 77)
+
+let suite =
+  [
+    Alcotest.test_case "chunks partition J" `Quick test_chunks_partition;
+    Alcotest.test_case "chunk sizes balanced" `Quick test_chunk_sizes_balanced;
+    Alcotest.test_case "failure-free completes all" `Quick
+      test_failure_free_does_everything;
+    Alcotest.test_case "crash loses whole chunk" `Quick
+      test_crash_loses_whole_chunk;
+    Alcotest.test_case "matches predicted effectiveness" `Quick
+      test_matches_predicted_effectiveness;
+    Alcotest.test_case "under random schedules" `Quick
+      test_under_random_schedules;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for the 2-3 tree backend, cross-validated against the other
+   two balancing schemes. *)
+
+module T = Twothree
+
+let test_basics () =
+  let t = T.of_list [ 5; 1; 9; 3; 7 ] in
+  T.check_invariants t;
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] (T.elements t);
+  Alcotest.(check bool) "mem" true (T.mem 7 t);
+  Alcotest.(check bool) "not mem" false (T.mem 6 t);
+  Alcotest.(check int) "min" 1 (T.min_elt t);
+  Alcotest.(check int) "max" 9 (T.max_elt t);
+  let t = T.remove 5 t in
+  T.check_invariants t;
+  Alcotest.(check (list int)) "removed" [ 1; 3; 7; 9 ] (T.elements t);
+  Alcotest.(check int) "idempotent add" 4 (T.cardinal (T.add 3 t));
+  Alcotest.(check int) "idempotent remove" 4 (T.cardinal (T.remove 42 t))
+
+let test_select_rank () =
+  let t = T.of_range 1 100 in
+  T.check_invariants t;
+  for i = 1 to 100 do
+    Alcotest.(check int) "select" i (T.select t i);
+    Alcotest.(check int) "rank" i (T.rank i t)
+  done;
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Twothree.select: rank out of range") (fun () ->
+      ignore (T.select t 101))
+
+let test_height_logarithmic () =
+  let t = T.of_range 1 1024 in
+  let h = T.height t in
+  (* 2^h - 1 <= 1024 <= 3^h: h between 7 and 10 *)
+  Alcotest.(check bool) "height sane" true (h >= 7 && h <= 10)
+
+let test_sequential_deletions () =
+  let check_drain order =
+    let t = ref (T.of_range 1 64) in
+    List.iter
+      (fun x ->
+        t := T.remove x !t;
+        T.check_invariants !t)
+      order;
+    Alcotest.(check bool) "drained" true (T.is_empty !t)
+  in
+  check_drain (List.init 64 (fun i -> i + 1));
+  check_drain (List.init 64 (fun i -> 64 - i));
+  check_drain
+    (List.init 64 (fun i -> if i mod 2 = 0 then 32 - (i / 2) else 33 + (i / 2)))
+
+let test_rank_diff () =
+  let s1 = T.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let s2 = T.of_list [ 2; 5 ] in
+  Alcotest.(check int) "1st" 1 (T.rank_diff s1 s2 1);
+  Alcotest.(check int) "3rd" 4 (T.rank_diff s1 s2 3);
+  Alcotest.(check int) "diff card" 4 (T.diff_cardinal s1 s2)
+
+(* three-way cross-validation *)
+
+let apply_ops ops =
+  List.fold_left
+    (fun (tt, rb, avl) (is_add, x) ->
+      if is_add then (T.add x tt, Rbtree.add x rb, Ostree.add x avl)
+      else (T.remove x tt, Rbtree.remove x rb, Ostree.remove x avl))
+    (T.empty, Rbtree.empty, Ostree.empty)
+    ops
+
+let prop_three_way_agreement =
+  QCheck.Test.make ~name:"2-3, red-black and avl agree" ~count:800
+    QCheck.(list (pair bool (int_range 1 80)))
+    (fun ops ->
+      let tt, rb, avl = apply_ops ops in
+      T.check_invariants tt;
+      T.elements tt = Rbtree.elements rb && T.elements tt = Ostree.elements avl)
+
+let prop_queries_agree =
+  QCheck.Test.make ~name:"2-3 select/rank/count_le agree with avl" ~count:400
+    QCheck.(list (pair bool (int_range 1 60)))
+    (fun ops ->
+      let tt, _, avl = apply_ops ops in
+      let k = T.cardinal tt in
+      k = Ostree.cardinal avl
+      && List.for_all
+           (fun i -> T.select tt i = Ostree.select avl i)
+           (List.init k (fun i -> i + 1))
+      && List.for_all
+           (fun x -> T.count_le x tt = Ostree.count_le x avl)
+           (List.init 80 (fun i -> i + 1)))
+
+let prop_rank_diff_agree =
+  QCheck.Test.make ~name:"2-3 rank_diff agrees with avl" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 50) (int_range 1 100))
+        (list_of_size Gen.(0 -- 8) (int_range 1 100)))
+    (fun (xs, ys) ->
+      let tt1 = T.of_list xs and tt2 = T.of_list ys in
+      let av1 = Ostree.of_list xs and av2 = Ostree.of_list ys in
+      let d = T.diff_cardinal tt1 tt2 in
+      d = Ostree.diff_cardinal av1 av2
+      && List.for_all
+           (fun i -> T.rank_diff tt1 tt2 i = Ostree.rank_diff av1 av2 i)
+           (List.init d (fun i -> i + 1)))
+
+let prop_invariants =
+  QCheck.Test.make ~name:"2-3 invariants after arbitrary ops" ~count:500
+    QCheck.(list (pair bool (int_range 1 200)))
+    (fun ops ->
+      let tt, _, _ = apply_ops ops in
+      T.check_invariants tt;
+      true)
+
+(* the algorithm end-to-end on the 2-3 backend *)
+
+module Kk_tt = Core.Kk.Make (Twothree)
+
+let test_kk_on_twothree_backend () =
+  let n = 120 and m = 4 in
+  let metrics = Shm.Metrics.create ~m in
+  let shared = Kk_tt.make_shared ~metrics ~m ~capacity:n ~name:"kk" () in
+  let handles =
+    Array.init m (fun i ->
+        Kk_tt.handle
+          (Kk_tt.create ~shared ~pid:(i + 1) ~beta:m
+             ~policy:Core.Policy.Rank_split ~free:(T.of_range 1 n)
+             ~mode:Core.Kk.Standalone ()))
+  in
+  let outcome =
+    Shm.Executor.run
+      ~scheduler:(Shm.Schedule.round_robin ())
+      ~adversary:Shm.Adversary.none handles
+  in
+  let dos = Shm.Trace.do_events outcome.Shm.Executor.trace in
+  Helpers.check_amo dos;
+  (* identical execution to the AVL backend under the same schedule *)
+  let avl =
+    (Core.Harness.kk ~scheduler:(Shm.Schedule.round_robin ()) ~n ~m ~beta:m ())
+      .Core.Harness.dos
+  in
+  Alcotest.(check (list (pair int int))) "same execution as avl" avl dos
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "select/rank" `Quick test_select_rank;
+    Alcotest.test_case "height logarithmic" `Quick test_height_logarithmic;
+    Alcotest.test_case "sequential deletions" `Quick test_sequential_deletions;
+    Alcotest.test_case "rank_diff" `Quick test_rank_diff;
+    Helpers.qtest prop_three_way_agreement;
+    Helpers.qtest prop_queries_agree;
+    Helpers.qtest prop_rank_diff_agree;
+    Helpers.qtest prop_invariants;
+    Alcotest.test_case "KK on the 2-3 backend" `Quick
+      test_kk_on_twothree_backend;
+  ]

@@ -1,0 +1,105 @@
+(* Tests for the Write-All problem interface and baselines. *)
+
+open Shm
+
+let run ?(scheduler = Schedule.round_robin ()) ?(adversary = Adversary.none)
+    handles =
+  Executor.run ~trace_level:`Outcomes ~scheduler ~adversary handles
+
+let test_instance_checkers () =
+  let metrics = Metrics.create ~m:1 in
+  let inst = Writeall.Wa.make_instance ~metrics ~n:5 in
+  Alcotest.(check bool) "fresh incomplete" false (Writeall.Wa.complete inst);
+  Alcotest.(check int) "written 0" 0 (Writeall.Wa.written_count inst);
+  Alcotest.(check (list int)) "all missing" [ 1; 2; 3; 4; 5 ]
+    (Writeall.Wa.missing inst);
+  Writeall.Wa.write_cell inst ~p:1 3;
+  Alcotest.(check int) "written 1" 1 (Writeall.Wa.written_count inst);
+  Alcotest.(check (list int)) "missing rest" [ 1; 2; 4; 5 ]
+    (Writeall.Wa.missing inst)
+
+let test_naive_completes () =
+  let metrics = Metrics.create ~m:3 in
+  let inst = Writeall.Wa.make_instance ~metrics ~n:30 in
+  let outcome = run (Writeall.Naive.processes inst ~m:3) in
+  Alcotest.(check bool) "complete" true (Writeall.Wa.complete inst);
+  Alcotest.(check bool) "quiescent" true
+    (outcome.Executor.reason = Executor.Quiescent);
+  (* naive work: every process writes every cell *)
+  Alcotest.(check int) "n*m writes" 90 (Metrics.total_writes metrics)
+
+let test_naive_survives_crashes () =
+  for seed = 0 to 10 do
+    let rng = Util.Prng.of_int seed in
+    let m = 4 and n = 40 in
+    let metrics = Metrics.create ~m in
+    let inst = Writeall.Wa.make_instance ~metrics ~n in
+    let _ =
+      run
+        ~scheduler:(Schedule.random (Util.Prng.split rng))
+        ~adversary:(Adversary.random rng ~f:(m - 1) ~m ~horizon:(2 * n))
+        (Writeall.Naive.processes inst ~m)
+    in
+    Alcotest.(check bool) "complete despite crashes" true
+      (Writeall.Wa.complete inst)
+  done
+
+let test_tas_completes () =
+  let metrics = Metrics.create ~m:4 in
+  let inst = Writeall.Wa.make_instance ~metrics ~n:100 in
+  let outcome = run (Writeall.Tas.processes inst ~m:4) in
+  Alcotest.(check bool) "complete" true (Writeall.Wa.complete inst);
+  Alcotest.(check bool) "quiescent" true
+    (outcome.Executor.reason = Executor.Quiescent);
+  (* each cell is written exactly once: the TAS really arbitrates *)
+  let dos = Trace.do_events outcome.Executor.trace in
+  Helpers.check_amo dos;
+  Alcotest.(check int) "n distinct cells" 100 (Core.Spec.do_count dos)
+
+let test_tas_work_near_linear () =
+  let total_actions n m =
+    let metrics = Metrics.create ~m in
+    let inst = Writeall.Wa.make_instance ~metrics ~n in
+    let _ = run (Writeall.Tas.processes inst ~m) in
+    Metrics.total_actions metrics
+  in
+  let w1 = total_actions 200 4 and w2 = total_actions 800 4 in
+  (* 4x cells should be about 4x actions, not 16x *)
+  if float_of_int w2 /. float_of_int w1 > 6. then
+    Alcotest.failf "TAS work superlinear: %d -> %d" w1 w2
+
+let test_tas_random_schedules () =
+  for seed = 0 to 10 do
+    let m = 3 and n = 60 in
+    let metrics = Metrics.create ~m in
+    let inst = Writeall.Wa.make_instance ~metrics ~n in
+    let outcome =
+      run ~scheduler:(Schedule.random (Util.Prng.of_int seed))
+        (Writeall.Tas.processes inst ~m)
+    in
+    Alcotest.(check bool) "complete" true (Writeall.Wa.complete inst);
+    Helpers.check_amo (Trace.do_events outcome.Executor.trace)
+  done
+
+let test_tas_flags_rmw () =
+  Alcotest.(check bool) "declares RMW usage" true Writeall.Tas.uses_rmw
+
+let test_tas_validation () =
+  let metrics = Metrics.create ~m:5 in
+  let inst = Writeall.Wa.make_instance ~metrics ~n:3 in
+  Alcotest.check_raises "m > n" (Invalid_argument "Tas.processes: need m <= n")
+    (fun () -> ignore (Writeall.Tas.processes inst ~m:5))
+
+let suite =
+  [
+    Alcotest.test_case "instance checkers" `Quick test_instance_checkers;
+    Alcotest.test_case "naive completes, work n*m" `Quick test_naive_completes;
+    Alcotest.test_case "naive survives crashes" `Quick
+      test_naive_survives_crashes;
+    Alcotest.test_case "TAS completes, one write per cell" `Quick
+      test_tas_completes;
+    Alcotest.test_case "TAS work near linear" `Quick test_tas_work_near_linear;
+    Alcotest.test_case "TAS random schedules" `Quick test_tas_random_schedules;
+    Alcotest.test_case "TAS flags RMW usage" `Quick test_tas_flags_rmw;
+    Alcotest.test_case "TAS validates m <= n" `Quick test_tas_validation;
+  ]
