@@ -57,6 +57,11 @@ let naive_processes ~metrics =
         alive = (fun () -> (not !stopped) && !cursor <= n_doses);
         crash = (fun () -> stopped := true);
         phase = (fun () -> "scanning");
+        footprint =
+          (fun () ->
+            match !pending with
+            | Some dose -> Shm.Footprint.Write (Shm.Memory.vname board ~cell:dose)
+            | None -> Shm.Footprint.Read (Shm.Memory.vname board ~cell:!cursor));
       })
 
 let run_naive ~seed =

@@ -1,47 +1,282 @@
+exception Max_steps_exceeded of { schedule : int list; steps : int }
+
 type stats = { executions : int; fully_exhaustive : bool }
 
-let run ~factory ~branch_depth ~max_steps ~on_execution () =
+type execution = {
+  schedule : int list;
+  dos : (int * int) list;
+  trace : Shm.Trace.t;
+}
+
+type strategy = Brute_force | Por
+
+(* ---- one live instance being driven forward ---- *)
+
+type inst = {
+  handles : Shm.Automaton.handle array;
+  trace : Shm.Trace.t;
+  mutable stepno : int;
+  mutable rev_sched : int list; (* pids stepped so far, reversed *)
+}
+
+let make_inst factory =
+  {
+    handles = factory ();
+    trace = Shm.Trace.create `Outcomes;
+    stepno = 0;
+    rev_sched = [];
+  }
+
+let step_inst ~max_steps inst p =
+  if inst.stepno >= max_steps then
+    raise
+      (Max_steps_exceeded
+         { schedule = List.rev inst.rev_sched; steps = inst.stepno });
+  let events = inst.handles.(p - 1).Shm.Automaton.step () in
+  List.iter (Shm.Trace.record inst.trace ~step:inst.stepno) events;
+  inst.stepno <- inst.stepno + 1;
+  inst.rev_sched <- p :: inst.rev_sched
+
+let execution_of inst =
+  {
+    schedule = List.rev inst.rev_sched;
+    dos = Shm.Trace.do_events inst.trace;
+    trace = inst.trace;
+  }
+
+(* Finish deterministically (round-robin) — used beyond the branching
+   budget and by [replay ~complete:true]. *)
+let complete_round_robin ~max_steps inst =
+  let sched = Shm.Schedule.round_robin () in
+  let rec go () =
+    let live = Shm.Executor.live_pids inst.handles in
+    if Array.length live > 0 then begin
+      step_inst ~max_steps inst (Shm.Schedule.choose sched ~alive:live);
+      go ()
+    end
+  in
+  go ()
+
+(* ---- the explorer ---- *)
+
+let explore ?(strategy = Por) ~factory ~branch_depth ~max_steps ~on_execution
+    () =
   let executions = ref 0 in
   let truncated = ref false in
-  (* Re-execute [prefix] (reversed pid list) on a fresh instance. *)
-  let replay prefix =
-    let handles : Shm.Automaton.handle array = factory () in
-    let trace = Shm.Trace.create `Outcomes in
-    let step = ref 0 in
-    let do_step p =
-      let events = handles.(p - 1).Shm.Automaton.step () in
-      List.iter (Shm.Trace.record trace ~step:!step) events;
-      incr step
-    in
-    List.iter do_step (List.rev prefix);
-    (trace, (fun () -> Shm.Executor.live_pids handles), do_step)
+  let emit inst =
+    incr executions;
+    on_execution (execution_of inst)
   in
-  let rec go prefix depth =
-    let trace, live_pids, do_step = replay prefix in
-    let live = live_pids () in
-    if Array.length live = 0 then begin
-      incr executions;
-      on_execution (Shm.Trace.do_events trace)
-    end
-    else if depth >= branch_depth then begin
-      truncated := true;
-      let sched = Shm.Schedule.round_robin () in
-      let steps = ref depth in
-      let rec finish () =
-        let live = live_pids () in
-        if Array.length live > 0 then begin
-          if !steps > max_steps then
-            failwith "Explore.run: max_steps exceeded (non-termination?)";
-          incr steps;
-          do_step (Shm.Schedule.choose sched ~alive:live);
-          finish ()
-        end
+  let replay_rev rev_prefix =
+    let inst = make_inst factory in
+    List.iter (step_inst ~max_steps inst) (List.rev rev_prefix);
+    inst
+  in
+  (* [sleep] is the sleep set: processes whose pending action was
+     already explored from an equivalent state in an earlier sibling
+     branch, each with the footprint that action had when it went to
+     sleep (the process has not moved since, so the action — and its
+     footprint — are unchanged).  [branches] counts branching
+     decisions on the path so far. *)
+  let rec node inst sleep branches =
+    let fps = Shm.Executor.live_footprints inst.handles in
+    if Array.length fps = 0 then emit inst
+    else begin
+      (* Persistent set: a pending Internal action touches no shared
+         cell, so it commutes with every current and future action of
+         every other process and stays enabled under them — exploring
+         only it loses no trace class.  Otherwise all live processes. *)
+      let persistent =
+        match strategy with
+        | Brute_force -> Array.to_list (Array.map fst fps)
+        | Por -> (
+            match
+              Array.find_opt (fun (_, f) -> Shm.Footprint.is_local f) fps
+            with
+            | Some (p, _) -> [ p ]
+            | None -> Array.to_list (Array.map fst fps))
       in
-      finish ();
-      incr executions;
-      on_execution (Shm.Trace.do_events trace)
+      let asleep p = List.exists (fun (q, _) -> q = p) sleep in
+      let cands = List.filter (fun p -> not (asleep p)) persistent in
+      match cands with
+      | [] -> () (* all candidates asleep: subtree covered elsewhere *)
+      | _ :: _ :: _ when branches >= branch_depth ->
+          truncated := true;
+          complete_round_robin ~max_steps inst;
+          emit inst
+      | cands ->
+          let branches =
+            match cands with _ :: _ :: _ -> branches + 1 | _ -> branches
+          in
+          let fp_of p =
+            let rec find i =
+              if fst fps.(i) = p then snd fps.(i) else find (i + 1)
+            in
+            find 0
+          in
+          (* Plan every child before the in-place step below mutates
+             the node: child i sleeps on each earlier-explored sibling
+             (and inherited sleeper) whose action is independent of
+             child i's own action. *)
+          let plans =
+            let acc = ref (match strategy with Brute_force -> [] | Por -> sleep) in
+            List.map
+              (fun p ->
+                let fp = fp_of p in
+                let child_sleep =
+                  match strategy with
+                  | Brute_force -> []
+                  | Por ->
+                      List.filter
+                        (fun (_, f) -> Shm.Footprint.independent f fp)
+                        !acc
+                in
+                acc := (p, fp) :: !acc;
+                (p, child_sleep))
+              cands
+          in
+          (match plans with
+          | [] -> assert false
+          | (p0, sl0) :: deferred ->
+              let base_rev = inst.rev_sched in
+              (* first child: step in place, no replay *)
+              step_inst ~max_steps inst p0;
+              node inst sl0 branches;
+              (* siblings: re-execute the prefix on fresh instances *)
+              List.iter
+                (fun (p, sl) -> node (replay_rev (p :: base_rev)) sl branches)
+                deferred)
     end
-    else Array.iter (fun p -> go (p :: prefix) (depth + 1)) live
   in
-  go [] 0;
+  node (make_inst factory) [] 0;
   { executions = !executions; fully_exhaustive = not !truncated }
+
+let run ~factory ~branch_depth ~max_steps ~on_execution () =
+  explore ~strategy:Brute_force ~factory ~branch_depth ~max_steps
+    ~on_execution:(fun e -> on_execution e.dos)
+    ()
+
+(* ---- deterministic replay ---- *)
+
+let replay ~factory ?(max_steps = 100_000) ?(complete = true) schedule =
+  let inst = make_inst factory in
+  List.iter
+    (fun p ->
+      if
+        p >= 1
+        && p <= Array.length inst.handles
+        && inst.handles.(p - 1).Shm.Automaton.alive ()
+      then step_inst ~max_steps inst p)
+    schedule;
+  if complete then complete_round_robin ~max_steps inst;
+  execution_of inst
+
+(* ---- canonical form modulo commutation ---- *)
+
+let canonical_do_log dos =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (p, job) ->
+      let prev = try Hashtbl.find tbl p with Not_found -> [] in
+      Hashtbl.replace tbl p (job :: prev))
+    dos;
+  Hashtbl.fold (fun p jobs acc -> (p, List.rev jobs) :: acc) tbl []
+  |> List.sort compare
+
+(* ---- counterexample shrinking ---- *)
+
+let shrink ~factory ?(max_steps = 100_000) ?(complete = true) ~violates
+    schedule =
+  let attempt sched =
+    let e = replay ~factory ~max_steps ~complete sched in
+    if violates e then Some e else None
+  in
+  match attempt schedule with
+  | None -> None
+  | Some e0 ->
+      (* minimize the effective schedule: delete contiguous chunks,
+         halving the chunk size, until no single step is removable *)
+      let cur = ref (Array.of_list e0.schedule) in
+      let cur_exec = ref e0 in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let chunk = ref (max 1 (Array.length !cur / 2)) in
+        while !chunk >= 1 do
+          let i = ref 0 in
+          while !i < Array.length !cur do
+            let a = !cur in
+            let len = Array.length a in
+            let hi = min len (!i + !chunk) in
+            let candidate =
+              Array.append (Array.sub a 0 !i) (Array.sub a hi (len - hi))
+            in
+            (match attempt (Array.to_list candidate) with
+            | Some e ->
+                cur := candidate;
+                cur_exec := e;
+                progress := true
+                (* retry the same position: the next chunk slid in *)
+            | None -> i := !i + !chunk)
+          done;
+          chunk := (if !chunk = 1 then 0 else !chunk / 2)
+        done
+      done;
+      Some (Array.to_list !cur, !cur_exec)
+
+(* ---- oracle-driven checking ---- *)
+
+type finding = { execution : execution; violations : Oracle.violation list }
+
+type report = {
+  stats : stats;
+  findings : finding list;
+  violating : int;
+  shrunk : (int list * Oracle.violation list) option;
+}
+
+let max_findings = 64
+
+let check ?(strategy = Por) ?(minimize = true) ~factory ~branch_depth
+    ~max_steps ~oracles () =
+  let findings = ref [] in
+  let n_findings = ref 0 in
+  let violating = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let stats =
+    explore ~strategy ~factory ~branch_depth ~max_steps
+      ~on_execution:(fun e ->
+        match Oracle.check_all oracles e.trace with
+        | [] -> ()
+        | violations ->
+            incr violating;
+            let key = canonical_do_log e.dos in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              if !n_findings < max_findings then begin
+                incr n_findings;
+                findings := { execution = e; violations } :: !findings
+              end
+            end)
+      ()
+  in
+  let findings = List.rev !findings in
+  let shrunk =
+    match findings with
+    | first :: _ when minimize ->
+        let names =
+          List.map (fun v -> v.Oracle.oracle) first.violations
+        in
+        let violates (e : execution) =
+          List.exists
+            (fun v -> List.mem v.Oracle.oracle names)
+            (Oracle.check_all oracles e.trace)
+        in
+        Option.map
+          (fun ((sched, e) : int list * execution) ->
+            (sched, Oracle.check_all oracles e.trace))
+          (shrink ~factory ~max_steps ~complete:true ~violates
+             first.execution.schedule)
+    | _ -> None
+  in
+  { stats; findings; violating = !violating; shrunk }

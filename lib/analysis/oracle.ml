@@ -1,0 +1,84 @@
+type violation = { oracle : string; detail : string }
+
+type t = { name : string; check : Shm.Trace.t -> violation list }
+
+let at_most_once =
+  let name = "at-most-once" in
+  let check trace =
+    (* every (job -> first pid) plus one violation per repeat; the
+       whole log is scanned so multiple bad jobs each get reported *)
+    let first = Hashtbl.create 64 in
+    List.fold_left
+      (fun acc (p, job) ->
+        match Hashtbl.find_opt first job with
+        | None ->
+            Hashtbl.add first job p;
+            acc
+        | Some q ->
+            {
+              oracle = name;
+              detail =
+                Printf.sprintf "job %d performed again by p%d (first by p%d)"
+                  job p q;
+            }
+            :: acc)
+      []
+      (Shm.Trace.do_events trace)
+    |> List.rev
+  in
+  { name; check }
+
+let effectiveness ~floor =
+  let name = "effectiveness" in
+  let floor = max 0 floor in
+  let check trace =
+    let count = Core.Spec.do_count (Shm.Trace.do_events trace) in
+    if count >= floor then []
+    else
+      [
+        {
+          oracle = name;
+          detail =
+            Printf.sprintf "%d distinct jobs performed, floor is %d" count
+              floor;
+        };
+      ]
+  in
+  { name; check }
+
+let kk_effectiveness ~n ~m ~beta = effectiveness ~floor:(n - (beta + m - 2))
+
+let quiescence ~m =
+  let name = "quiescence" in
+  let check trace =
+    let settled = Array.make (m + 1) false in
+    List.iter (fun p -> if p <= m then settled.(p) <- true)
+      (Shm.Trace.terminations trace);
+    List.iter (fun p -> if p <= m then settled.(p) <- true)
+      (Shm.Trace.crashes trace);
+    let missing = ref [] in
+    for p = m downto 1 do
+      if not settled.(p) then missing := p :: !missing
+    done;
+    List.map
+      (fun p ->
+        {
+          oracle = name;
+          detail = Printf.sprintf "p%d neither terminated nor crashed" p;
+        })
+      !missing
+  in
+  { name; check }
+
+let check_all oracles trace =
+  List.concat_map (fun o -> o.check trace) oracles
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.oracle v.detail
+
+let assert_ok oracles trace =
+  match check_all oracles trace with
+  | [] -> ()
+  | vs ->
+      failwith
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" pp_violation) vs))

@@ -1,0 +1,49 @@
+(** Trace oracles: reusable correctness checkers over executions.
+
+    The paper's claims are predicates over {e traces}: at-most-once
+    safety (Definition 2.2/Lemma 4.1), the effectiveness floor
+    [n − (β + m − 2)] (Theorem 4.4) and quiescence/wait-freedom
+    (Lemma 4.3).  This module packages each as a named, composable
+    checker consuming an [`Outcomes]-level {!Shm.Trace.t}, so the
+    model checker ({!Explore.check}), the stochastic benchmark
+    harness (E1/E10) and the unit tests all assert the {e same}
+    predicate instead of re-implementing ad-hoc variants.
+
+    An oracle never inspects algorithm state — observable behaviour
+    only, exactly like {!Core.Spec} (which supplies the underlying
+    measures). *)
+
+type violation = {
+  oracle : string;  (** name of the oracle that fired *)
+  detail : string;  (** human-readable description of the breach *)
+}
+
+type t = {
+  name : string;
+  check : Shm.Trace.t -> violation list;
+      (** Empty list = the trace satisfies the property. *)
+}
+
+val at_most_once : t
+(** Fires once per job performed more than once (Definition 2.2),
+    naming the job and the first two performing processes. *)
+
+val effectiveness : floor:int -> t
+(** Fires when the number of {e distinct} jobs performed is below
+    [floor] (clamped at 0).  The caller picks the theorem's bound. *)
+
+val kk_effectiveness : n:int -> m:int -> beta:int -> t
+(** {!effectiveness} at Theorem 4.4's floor [n − (β + m − 2)]. *)
+
+val quiescence : m:int -> t
+(** Fires per process in [1..m] that neither terminated nor crashed —
+    on an execution run to completion this is a wait-freedom breach
+    (Lemma 4.3).  Only meaningful on completed executions. *)
+
+val check_all : t list -> Shm.Trace.t -> violation list
+(** All violations, in oracle order. *)
+
+val assert_ok : t list -> Shm.Trace.t -> unit
+(** @raise Failure listing every violation, if any. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -67,6 +67,15 @@ let status_to_string = function
 
 let default_perform ~p ~job = [ Event.Do { p; job } ]
 
+let footprint ~custom_perform t =
+  match t.status with
+  | Check_counter -> Footprint.Read (Register.name t.counter)
+  | Claim -> Footprint.Update (Memory.vname t.claims ~cell:(current_job t))
+  | Perform ->
+      if custom_perform then Footprint.Unknown else Footprint.Internal
+  | Bump -> Footprint.Update (Register.name t.counter)
+  | End | Stop -> Footprint.Internal
+
 let processes ~metrics ~n ~m ?(perform = default_perform) () =
   if m < 1 || m > n then invalid_arg "Claim_scan.processes: need 1 <= m <= n";
   let claims = Memory.vector ~metrics ~name:"claim" ~len:n ~init:0 in
@@ -91,4 +100,7 @@ let processes ~metrics ~n ~m ?(perform = default_perform) () =
           alive = (fun () -> t.status <> End && t.status <> Stop);
           crash = (fun () -> if t.status <> End then t.status <- Stop);
           phase = (fun () -> status_to_string t.status);
+          footprint =
+            (let custom_perform = not (perform == default_perform) in
+             fun () -> footprint ~custom_perform t);
         })

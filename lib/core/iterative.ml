@@ -121,6 +121,10 @@ let make_inner plan ~pid ~policy ~collision ~verbose ~level ~free =
     ~perform_work:(fun id ->
       let lo, hi = Superjob.interval plan.hierarchy ~level ~id in
       hi - lo + 1)
+    ~perform_footprint:(fun _ ->
+      match plan.mode with
+      | `Amo -> Footprint.Internal (* the do action only emits events *)
+      | `Wa -> Footprint.Unknown (* one step writes a whole interval *))
     ~mode:(Kk.Iter_step { keep_try })
     ()
 
@@ -193,6 +197,16 @@ let worker_phase w =
   | Final_write _ -> "final_write"
   | Running -> Printf.sprintf "L%d:%s" w.level (w.inner_h.Automaton.phase ())
 
+let worker_footprint w =
+  match w.wstatus with
+  | Finished | Stopped -> Footprint.Internal
+  | Final_write [] -> Footprint.Internal
+  | Final_write (j :: _) ->
+      Footprint.Write (Memory.vname (wa_vector w.plan) ~cell:j)
+  | Running ->
+      if w.inner_h.Automaton.alive () then Kk.footprint w.inner
+      else Footprint.Internal (* next step is the level advance *)
+
 let processes ?collision ?(policy = Policy.Rank_split) ?(verbose = false) plan =
   Array.init plan.m (fun i ->
       let pid = i + 1 in
@@ -231,6 +245,7 @@ let processes ?collision ?(policy = Policy.Rank_split) ?(verbose = false) plan =
                   w.wstatus <- Stopped;
                   w.inner_h.Automaton.crash ());
           phase = (fun () -> worker_phase w);
+          footprint = (fun () -> worker_footprint w);
         })
 
 let predicted_loss_bound ~n ~m ~epsilon_inv =

@@ -74,6 +74,8 @@ type t = {
   collision : Collision.t option;
   perform : p:int -> int -> Event.t list;
   perform_work : int -> int;
+  perform_footprint : int -> Footprint.t;
+  mutant_skip_check : bool;
   verbose : bool;
   mutable status : status;
   mutable free : Set.t;
@@ -95,13 +97,23 @@ let default_perform ~p item = [ Event.Do { p; job = item } ]
 
 let create ~shared ~pid ~beta ~policy ~free ?collision
     ?(perform = default_perform) ?(perform_work = fun _ -> 1)
-    ?(verbose = false) ~mode () =
+    ?perform_footprint ?(mutant_skip_check = false) ?(verbose = false) ~mode ()
+    =
   if pid < 1 || pid > shared.sh_m then invalid_arg "Kk.create: pid out of range";
   if beta < 1 then invalid_arg "Kk.create: beta must be >= 1";
   (match (mode, shared.flag) with
   | Iter_step _, None ->
       invalid_arg "Kk.create: Iter_step mode needs a shared flag"
   | _ -> ());
+  let perform_footprint =
+    match perform_footprint with
+    | Some f -> f
+    | None ->
+        (* the default perform only emits a [Do] event; anything
+           caller-supplied may touch shared memory we cannot see *)
+        if perform == default_perform then fun _ -> Footprint.Internal
+        else fun _ -> Footprint.Unknown
+  in
   {
     shared;
     pid;
@@ -111,6 +123,8 @@ let create ~shared ~pid ~beta ~policy ~free ?collision
     collision;
     perform;
     perform_work;
+    perform_footprint;
+    mutant_skip_check;
     verbose;
     status = Comp_next;
     free;
@@ -279,7 +293,8 @@ let step_check t =
   Metrics.on_internal (metrics t) ~p:t.pid;
   Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit);
   let safe =
-    (not (Set.mem t.next_j t.tries)) && not (Set.mem t.next_j t.done_set)
+    t.mutant_skip_check
+    || ((not (Set.mem t.next_j t.tries)) && not (Set.mem t.next_j t.done_set))
   in
   if safe then begin
     (match t.mode with
@@ -334,6 +349,31 @@ let step t =
   | Done_write -> step_done_write t
   | End | Stop -> invalid_arg "Kk.step: process has no enabled action"
 
+(* The footprint mirrors [step] case by case: which cell would the
+   next action touch?  Must stay in lock-step with the step functions
+   above — the explorer's independence relation is only as sound as
+   this map. *)
+let footprint t =
+  match t.status with
+  | Comp_next | Check -> Footprint.Internal
+  | Set_flag -> Footprint.Write (Register.name (Option.get t.shared.flag))
+  | Read_flag -> Footprint.Read (Register.name (Option.get t.shared.flag))
+  | Set_next -> Footprint.Write (Memory.vname t.shared.next ~cell:t.pid)
+  | Gather_try ->
+      if t.q <> t.pid then
+        Footprint.Read (Memory.vname t.shared.next ~cell:t.q)
+      else Footprint.Internal
+  | Gather_done ->
+      if t.q <> t.pid && t.pos.(t.q) <= cols t then
+        Footprint.Read
+          (Memory.mname t.shared.done_m ~row:t.q ~col:t.pos.(t.q))
+      else Footprint.Internal
+  | Do_job -> t.perform_footprint t.next_j
+  | Done_write ->
+      Footprint.Write
+        (Memory.mname t.shared.done_m ~row:t.pid ~col:t.pos.(t.pid))
+  | End | Stop -> Footprint.Internal
+
 let handle t =
   Automaton.check
     {
@@ -342,6 +382,7 @@ let handle t =
       alive = (fun () -> t.status <> End && t.status <> Stop);
       crash = (fun () -> if t.status <> End then t.status <- Stop);
       phase = (fun () -> status_to_string t.status);
+      footprint = (fun () -> footprint t);
     }
 
 let result t = t.output

@@ -60,7 +60,17 @@ module type S = Kk_intf.S
       is the work charged for it; [verbose] makes every step emit
       [Read]/[Write]/[Internal] events for [`Full] traces;
       [collision] records failed checks with blame.
-    - [handle] packages the process for {!Shm.Executor.run}.
+      [perform_footprint] declares the shared footprint of the
+      [perform] callback (defaults: [Internal] for the built-in
+      event-only perform, [Unknown] for a caller-supplied one).
+      [mutant_skip_check] is {e fault injection for the test suite
+      only}: it deletes the [check] guard so the process performs its
+      candidate unconditionally — the seeded safety mutant the model
+      checker must catch (never set it outside tests).
+    - [handle] packages the process for {!Shm.Executor.run}; its
+      [footprint] (also exposed directly as [footprint t]) names the
+      register the next action will touch, driving the explorer's
+      partial-order reduction.
     - [result] is the IterStepKK output set ([Some] once terminated in
       [Iter_step] mode).
     - [do_count], [collisions_detected], [status_name], [free_set],

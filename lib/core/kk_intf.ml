@@ -31,12 +31,16 @@ module type S = sig
     ?collision:Collision.t ->
     ?perform:(p:int -> int -> Shm.Event.t list) ->
     ?perform_work:(int -> int) ->
+    ?perform_footprint:(int -> Shm.Footprint.t) ->
+    ?mutant_skip_check:bool ->
     ?verbose:bool ->
     mode:mode ->
     unit ->
     t
 
   val handle : t -> Shm.Automaton.handle
+
+  val footprint : t -> Shm.Footprint.t
 
   val result : t -> set option
 

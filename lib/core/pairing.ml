@@ -79,6 +79,14 @@ let status_to_string = function
   | End -> "end"
   | Stop -> "stop"
 
+let footprint t =
+  match t.status with
+  | Announce ->
+      if exhausted t then Footprint.Internal
+      else Footprint.Write (Memory.vname t.next ~cell:t.pid)
+  | Read_partner -> Footprint.Read (Memory.vname t.next ~cell:t.partner)
+  | Check | Do_job | End | Stop -> Footprint.Internal
+
 let processes ~metrics ~n ~m =
   if m < 1 || n < m then invalid_arg "Pairing.processes: need 1 <= m <= n";
   let next = Memory.vector ~metrics ~name:"pairing.next" ~len:m ~init:0 in
@@ -108,4 +116,5 @@ let processes ~metrics ~n ~m =
           alive = (fun () -> t.status <> End && t.status <> Stop);
           crash = (fun () -> if t.status <> End then t.status <- Stop);
           phase = (fun () -> status_to_string t.status);
+          footprint = (fun () -> footprint t);
         })

@@ -31,4 +31,7 @@ let processes ~n ~m =
           alive = (fun () -> (not st.stopped) && st.cur <= st.hi);
           crash = (fun () -> st.stopped <- true);
           phase = (fun () -> if st.cur > st.hi then "end" else "working");
+          (* chunks are disjoint and nothing is shared: every action
+             commutes with every other process's *)
+          footprint = (fun () -> Shm.Footprint.Internal);
         })

@@ -4,6 +4,7 @@ type handle = {
   alive : unit -> bool;
   crash : unit -> unit;
   phase : unit -> string;
+  footprint : unit -> Footprint.t;
 }
 
 let check h =
@@ -11,3 +12,5 @@ let check h =
   h
 
 let pids handles = Array.to_list (Array.map (fun h -> h.pid) handles)
+
+let footprint h = h.footprint ()

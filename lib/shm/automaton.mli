@@ -29,6 +29,16 @@ type handle = {
   phase : unit -> string;
       (** The process's current status, e.g. ["comp_next"]; used by
           introspecting adversaries and by error messages. *)
+  footprint : unit -> Footprint.t;
+      (** The shared-memory footprint of the {e next} action [step]
+          would perform — which register the action will read or
+          write, {!Footprint.Internal} for purely local actions, or
+          {!Footprint.Unknown} when not statically known.  Must be
+          pure (no state change) and is only meaningful while
+          [alive () = true].  The partial-order-reduction explorer
+          uses it to compute the independence relation; automata that
+          always answer [Unknown] are still explored correctly, just
+          without reduction. *)
 }
 
 val check : handle -> handle
@@ -37,3 +47,6 @@ val check : handle -> handle
 
 val pids : handle array -> int list
 (** The pids, in array order. *)
+
+val footprint : handle -> Footprint.t
+(** [footprint h = h.footprint ()] — the pending action's footprint. *)

@@ -9,6 +9,15 @@ let live_pids handles =
   done;
   Array.of_list !acc
 
+let live_footprints handles =
+  let acc = ref [] in
+  for i = Array.length handles - 1 downto 0 do
+    let h = handles.(i) in
+    if h.Automaton.alive () then
+      acc := (h.Automaton.pid, h.Automaton.footprint ()) :: !acc
+  done;
+  Array.of_list !acc
+
 let validate handles =
   if Array.length handles = 0 then invalid_arg "Executor.run: no processes";
   Array.iteri

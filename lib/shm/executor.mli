@@ -41,3 +41,8 @@ val run :
 
 val live_pids : Automaton.handle array -> int array
 (** Sorted pids of processes that still have enabled actions. *)
+
+val live_footprints : Automaton.handle array -> (int * Footprint.t) array
+(** [(pid, footprint)] of each live process's pending action, sorted
+    by pid — the raw material of the model checker's independence
+    relation (see {!Footprint} and {!Analysis.Explore}). *)

@@ -1,0 +1,24 @@
+type t =
+  | Internal
+  | Read of string
+  | Write of string
+  | Update of string
+  | Unknown
+
+let is_local = function Internal -> true | _ -> false
+
+let independent a b =
+  match (a, b) with
+  | Internal, _ | _, Internal -> true
+  | Unknown, _ | _, Unknown -> false
+  | Read _, Read _ -> true
+  | (Read x | Write x | Update x), (Read y | Write y | Update y) -> x <> y
+
+let to_string = function
+  | Internal -> "internal"
+  | Read c -> "read " ^ c
+  | Write c -> "write " ^ c
+  | Update c -> "update " ^ c
+  | Unknown -> "unknown"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

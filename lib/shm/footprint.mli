@@ -1,0 +1,40 @@
+(** Shared-memory footprint of a pending action.
+
+    The partial-order-reduction explorer ({!Analysis.Explore}) needs
+    to know, {e before} stepping a process, which register its next
+    action will touch: two pending actions of different processes
+    commute (executing them in either order yields the same state and
+    the same trace up to swapping the two events) iff they do not
+    race on a cell.  Each {!Automaton.handle} therefore exposes the
+    footprint of its next enabled action; this module is the
+    vocabulary and the independence relation over it.
+
+    Cells are identified by their trace names ({!Memory.vname},
+    {!Memory.mname}, {!Register.name}) — unique within one simulated
+    instance, which is the only scope the explorer compares them in. *)
+
+type t =
+  | Internal  (** touches no shared cell (also: pure [Do] actions) *)
+  | Read of string  (** one atomic read of the named cell *)
+  | Write of string  (** one atomic write of the named cell *)
+  | Update of string
+      (** one atomic read-modify-write of the named cell (test-and-set,
+          fetch-and-increment); conflicts like a write *)
+  | Unknown
+      (** not statically known — conservatively conflicts with every
+          shared access.  The safe default for ad-hoc automata. *)
+
+val is_local : t -> bool
+(** [true] only for [Internal]: an action guaranteed to commute with
+    {e every} action of {e every} other process, now and in the
+    future.  Such an action is a sound singleton persistent set. *)
+
+val independent : t -> t -> bool
+(** Do the two pending actions (of {e different} processes) commute?
+    [Internal] is independent of everything; [Unknown] of nothing but
+    [Internal]; two reads always commute; otherwise the actions
+    commute iff they touch different cells. Symmetric. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

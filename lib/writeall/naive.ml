@@ -34,4 +34,10 @@ let processes inst ~m =
           crash = (fun () -> st.stopped <- true);
           phase =
             (fun () -> if st.written >= st.n then "end" else "sweeping");
+          footprint =
+            (fun () ->
+              if st.written >= st.n then Footprint.Internal
+              else
+                let j = ((st.start - 1 + st.written) mod st.n) + 1 in
+                Footprint.Write (Memory.vname inst.Wa.array_ ~cell:j));
         })

@@ -254,7 +254,8 @@ let test_explore_truncation_flag () =
   Alcotest.(check int) "2^3 prefixes" 8 stats.Analysis.Explore.executions
 
 let test_explore_detects_nontermination () =
-  (* an automaton that never finishes must be reported, not hang *)
+  (* an automaton that never finishes must be reported, not hang; the
+     exception carries the offending schedule prefix for replay *)
   let forever pid =
     let stopped = ref false in
     {
@@ -263,16 +264,22 @@ let test_explore_detects_nontermination () =
       alive = (fun () -> not !stopped);
       crash = (fun () -> stopped := true);
       phase = (fun () -> "loop");
+      footprint = (fun () -> Shm.Footprint.Internal);
     }
   in
-  Alcotest.check_raises "raises"
-    (Failure "Explore.run: max_steps exceeded (non-termination?)") (fun () ->
-      ignore
-        (Analysis.Explore.run
-           ~factory:(fun () -> [| forever 1 |])
-           ~branch_depth:2 ~max_steps:50
-           ~on_execution:(fun _ -> ())
-           ()))
+  match
+    Analysis.Explore.run
+      ~factory:(fun () -> [| forever 1 |])
+      ~branch_depth:2 ~max_steps:50
+      ~on_execution:(fun _ -> ())
+      ()
+  with
+  | _ -> Alcotest.fail "non-termination not reported"
+  | exception Analysis.Explore.Max_steps_exceeded { schedule; steps } ->
+      Alcotest.(check int) "steps at budget" 50 steps;
+      Alcotest.(check int) "prefix length" 50 (List.length schedule);
+      Alcotest.(check bool) "prefix names the looping pid" true
+        (List.for_all (fun p -> p = 1) schedule)
 
 let suite =
   [

@@ -1,0 +1,391 @@
+(* Tests for the partial-order-reduction model checker: exhaustive
+   oracle-checked coverage of small KKβ instances, cross-validation of
+   the reduced exploration against the brute-force enumerator,
+   replay/shrink behaviour, and the seeded safety mutant. *)
+
+module E = Analysis.Explore
+module O = Analysis.Oracle
+
+(* ---- factories ---- *)
+
+let kk_factory ?(mutant = false) ~n ~m ~beta () =
+  let metrics = Shm.Metrics.create ~m in
+  let shared = Core.Kk.make_shared ~metrics ~m ~capacity:n ~name:"kk" () in
+  Array.init m (fun i ->
+      Core.Kk.handle
+        (Core.Kk.create ~shared ~pid:(i + 1) ~beta
+           ~policy:Core.Policy.Rank_split ~free:(Core.Job.universe ~n)
+           ~mutant_skip_check:mutant ~mode:Core.Kk.Standalone ()))
+
+let pairing_factory ~n ~m () =
+  Core.Pairing.processes ~metrics:(Shm.Metrics.create ~m) ~n ~m
+
+let trivial_factory ~n ~m () = Core.Trivial.processes ~n ~m
+
+let claim_factory ~n ~m () =
+  Core.Claim_scan.processes ~metrics:(Shm.Metrics.create ~m) ~n ~m ()
+
+(* A deliberately unsafe scan-then-mark automaton (the xray-machine
+   anti-pattern): the "delivered" mark is written one step after the
+   read that justified firing, so two processes can both fire the
+   same job.  Small enough for complete brute-force coverage — the
+   violation cross-validation instance. *)
+let unsafe_board_factory ~n ~m () =
+  let metrics = Shm.Metrics.create ~m in
+  let board = Shm.Memory.vector ~metrics ~name:"board" ~len:n ~init:0 in
+  Array.init m (fun i ->
+      let pid = i + 1 in
+      let cursor = ref 1 in
+      let pending = ref None in
+      let stopped = ref false in
+      Shm.Automaton.check
+        {
+          Shm.Automaton.pid;
+          step =
+            (fun () ->
+              match !pending with
+              | Some j ->
+                  Shm.Memory.vset board ~p:pid j 1;
+                  pending := None;
+                  incr cursor;
+                  if !cursor > n then [ Shm.Event.Terminate { p = pid } ]
+                  else []
+              | None ->
+                  let j = !cursor in
+                  if Shm.Memory.vget board ~p:pid j = 0 then begin
+                    pending := Some j;
+                    [ Shm.Event.Do { p = pid; job = j } ]
+                  end
+                  else begin
+                    incr cursor;
+                    if !cursor > n then [ Shm.Event.Terminate { p = pid } ]
+                    else []
+                  end);
+          alive = (fun () -> (not !stopped) && !cursor <= n);
+          crash = (fun () -> stopped := true);
+          phase = (fun () -> "scan");
+          footprint =
+            (fun () ->
+              match !pending with
+              | Some j -> Shm.Footprint.Write (Shm.Memory.vname board ~cell:j)
+              | None -> Shm.Footprint.Read (Shm.Memory.vname board ~cell:!cursor));
+        })
+
+let kk_oracles ~n ~m ~beta =
+  [ O.at_most_once; O.kk_effectiveness ~n ~m ~beta; O.quiescence ~m ]
+
+let deep = 1_000_000 (* effectively-unbounded branching budget *)
+
+(* ---- exhaustive oracle-checked coverage of the KK grid ---- *)
+
+(* Every (m=2, n<=4, beta in {2,3,4}) and (m=3, n<=3) instance: the
+   reduced exploration must cover the complete execution space
+   (fully_exhaustive) and every execution must satisfy the safety,
+   effectiveness and quiescence oracles. *)
+let test_kk_grid_exhaustive () =
+  let grid =
+    List.concat_map
+      (fun n -> List.map (fun beta -> (2, n, beta)) [ 2; 3; 4 ])
+      [ 2; 3; 4 ]
+    @ List.map (fun n -> (3, n, 3)) [ 2; 3 ]
+    @
+    (* CI's exhaustive matrix entry widens the grid (longer timeout) *)
+    match Sys.getenv_opt "AMO_EXHAUSTIVE" with
+    | Some ("1" | "true") ->
+        List.map (fun beta -> (2, 5, beta)) [ 2; 3; 4 ]
+        @ [ (3, 3, 2); (3, 3, 4) ]
+    | _ -> []
+  in
+  List.iter
+    (fun (m, n, beta) ->
+      let label = Printf.sprintf "KK n=%d m=%d beta=%d" n m beta in
+      let report =
+        E.check ~strategy:E.Por
+          ~factory:(kk_factory ~n ~m ~beta)
+          ~branch_depth:deep ~max_steps:10_000
+          ~oracles:(kk_oracles ~n ~m ~beta)
+          ()
+      in
+      Alcotest.(check bool)
+        (label ^ " fully exhaustive")
+        true report.E.stats.E.fully_exhaustive;
+      Alcotest.(check int) (label ^ " violations") 0 report.E.violating;
+      Alcotest.(check bool)
+        (label ^ " explored something")
+        true
+        (report.E.stats.E.executions > 0))
+    grid
+
+(* ---- POR vs brute force: same behaviours, fewer executions ---- *)
+
+type algo = Trivial | Pairing | Claim
+
+let small_factory = function
+  | Trivial, n, m -> trivial_factory ~n ~m
+  | Pairing, n, _ -> pairing_factory ~n ~m:2
+  | Claim, n, _ -> claim_factory ~n ~m:2
+
+let canonical_set ~strategy ~factory =
+  let logs = Hashtbl.create 64 in
+  let stats =
+    E.explore ~strategy ~factory ~branch_depth:deep ~max_steps:10_000
+      ~on_execution:(fun e ->
+        Hashtbl.replace logs (E.canonical_do_log e.E.dos) ())
+      ()
+  in
+  Alcotest.(check bool) "fully exhaustive" true stats.E.fully_exhaustive;
+  let set = Hashtbl.fold (fun k () acc -> k :: acc) logs [] in
+  (List.sort compare set, stats.E.executions)
+
+let cross_validate ~label factory =
+  let brute, brute_n = canonical_set ~strategy:E.Brute_force ~factory in
+  let por, por_n = canonical_set ~strategy:E.Por ~factory in
+  Alcotest.(check bool)
+    (label ^ ": same canonical do-logs")
+    true (brute = por);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: POR %d <= brute %d executions" label por_n brute_n)
+    true (por_n <= brute_n)
+
+let prop_por_equals_brute =
+  QCheck.Test.make
+    ~name:"POR and brute force visit the same do-logs modulo commutation"
+    ~count:20
+    QCheck.(pair (int_range 0 2) (int_range 1 4))
+    (fun (kind, n) ->
+      let algo, n, m =
+        match kind with
+        | 0 -> (Trivial, n, 1 + (n mod (min 3 n)))
+        | 1 -> (Pairing, 2, 2)
+        | _ -> (Claim, 2 + (n mod 2), 2)
+      in
+      let factory = small_factory (algo, n, m) in
+      let brute, brute_n = canonical_set ~strategy:E.Brute_force ~factory in
+      let por, por_n = canonical_set ~strategy:E.Por ~factory in
+      brute = por && por_n <= brute_n)
+
+(* deterministic cross-validation of the real algorithm (small enough
+   for complete brute-force coverage) *)
+let test_cross_validate_kk () =
+  cross_validate ~label:"KK n=2 m=2" (kk_factory ~n:2 ~m:2 ~beta:2)
+
+let test_cross_validate_pairing () =
+  cross_validate ~label:"pairing n=2 m=2" (pairing_factory ~n:2 ~m:2)
+
+(* both strategies must also agree on the VIOLATION set of an unsafe
+   algorithm — identical distinct violating behaviours *)
+let test_cross_validate_unsafe_violations () =
+  let violation_set strategy =
+    let logs = ref [] in
+    let report =
+      E.check ~strategy ~minimize:false
+        ~factory:(unsafe_board_factory ~n:2 ~m:2)
+        ~branch_depth:deep ~max_steps:10_000 ~oracles:[ O.at_most_once ] ()
+    in
+    List.iter
+      (fun f -> logs := E.canonical_do_log f.E.execution.E.dos :: !logs)
+      report.E.findings;
+    (List.sort compare !logs, report.E.violating)
+  in
+  let brute_logs, brute_total = violation_set E.Brute_force in
+  let por_logs, por_total = violation_set E.Por in
+  Alcotest.(check bool) "mutant violations found" true (brute_total > 0);
+  Alcotest.(check bool) "same violating behaviours" true
+    (brute_logs = por_logs);
+  Alcotest.(check bool) "POR sees no spurious violations" true
+    (por_total <= brute_total)
+
+(* ---- replay ---- *)
+
+let test_replay_is_deterministic () =
+  let factory = kk_factory ~n:3 ~m:2 ~beta:2 in
+  (* an arbitrary schedule, including entries that die along the way *)
+  let sched = [ 1; 1; 2; 1; 2; 2; 2; 1; 1; 1; 2; 1; 2; 2; 1 ] in
+  let e1 = E.replay ~factory sched in
+  let e2 = E.replay ~factory sched in
+  Alcotest.(check (list int)) "same effective schedule" e1.E.schedule
+    e2.E.schedule;
+  Alcotest.(check (list (pair int int))) "same do log" e1.E.dos e2.E.dos;
+  (* the effective schedule replays to itself *)
+  let e3 = E.replay ~factory e1.E.schedule in
+  Alcotest.(check (list int)) "effective schedule is a fixpoint"
+    e1.E.schedule e3.E.schedule
+
+let test_replay_skips_dead_pids () =
+  (* trivial n=2 m=2: each process has exactly one step; the tail of
+     the schedule names dead processes and must be skipped *)
+  let factory = trivial_factory ~n:2 ~m:2 in
+  let e = E.replay ~factory ~complete:false [ 1; 1; 1; 2; 2 ] in
+  Alcotest.(check (list int)) "dead entries dropped" [ 1; 2 ] e.E.schedule
+
+(* ---- the seeded mutant: caught, shrunk, replayable ---- *)
+
+let test_mutant_caught_and_shrunk () =
+  (* beta = 1 keeps processes re-picking jobs while any job looks
+     free, so deleting the claim check actually produces a double-do;
+     with beta >= 2 on tiny n every process terminates before it
+     would ever re-pick, and the mutant is silent. *)
+  let factory = kk_factory ~mutant:true ~n:2 ~m:2 ~beta:1 in
+  let report =
+    E.check ~strategy:E.Por ~factory ~branch_depth:deep ~max_steps:10_000
+      ~oracles:[ O.at_most_once ] ()
+  in
+  Alcotest.(check bool) "mutant caught" true (report.E.violating > 0);
+  match report.E.shrunk with
+  | None -> Alcotest.fail "no shrunk counterexample"
+  | Some (sched, violations) ->
+      (* CI uploads the shrunk counterexample as a build artifact *)
+      (match Sys.getenv_opt "AMO_COUNTEREXAMPLE_DIR" with
+      | Some dir when dir <> "" ->
+          let oc = open_out (Filename.concat dir "shrunk_counterexample.txt") in
+          Printf.fprintf oc
+            "instance: KK n=2 m=2 beta=1 (mutant_skip_check)\nschedule: %s\n"
+            (String.concat " " (List.map string_of_int sched));
+          List.iter
+            (fun v ->
+              Printf.fprintf oc "violation: %s: %s\n" v.O.oracle v.O.detail)
+            violations;
+          close_out oc
+      | _ -> ());
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk to %d <= 25 steps" (List.length sched))
+        true
+        (List.length sched <= 25);
+      Alcotest.(check bool) "shrunk schedule still violates safety" true
+        (List.exists (fun v -> v.O.oracle = "at-most-once") violations);
+      (* replaying the shrunk schedule is deterministic *)
+      let e1 = E.replay ~factory sched in
+      let e2 = E.replay ~factory sched in
+      Alcotest.(check (list (pair int int))) "same trace twice" e1.E.dos
+        e2.E.dos;
+      (* local minimality: removing any single step loses the violation *)
+      let violates (e : E.execution) =
+        List.exists
+          (fun v -> v.O.oracle = "at-most-once")
+          (O.check_all [ O.at_most_once ] e.E.trace)
+      in
+      let arr = Array.of_list sched in
+      Array.iteri
+        (fun i _ ->
+          let shorter =
+            Array.to_list
+              (Array.append (Array.sub arr 0 i)
+                 (Array.sub arr (i + 1) (Array.length arr - i - 1)))
+          in
+          if violates (E.replay ~factory shorter) then
+            Alcotest.failf "removing step %d keeps the violation" i)
+        arr
+
+(* QCheck: whatever violating schedule we start from, the shrinker's
+   output still violates the same oracle and replays deterministically *)
+let prop_shrink_preserves_violation =
+  QCheck.Test.make
+    ~name:"shrunk schedules still violate and replay deterministically"
+    ~count:25
+    QCheck.(pair (int_range 2 3) small_int)
+    (fun (n, seed) ->
+      let factory = kk_factory ~mutant:true ~n ~m:2 ~beta:1 in
+      (* a random complete schedule of the mutant *)
+      let rng = Util.Prng.of_int seed in
+      let sched = ref [] in
+      let inst = factory () in
+      let budget = ref 10_000 in
+      let rec drive () =
+        let live = Shm.Executor.live_pids inst in
+        if Array.length live > 0 && !budget > 0 then begin
+          decr budget;
+          let p = live.(Util.Prng.int rng (Array.length live)) in
+          ignore (inst.(p - 1).Shm.Automaton.step ());
+          sched := p :: !sched;
+          drive ()
+        end
+      in
+      drive ();
+      let sched = List.rev !sched in
+      let violates (e : E.execution) =
+        List.exists
+          (fun v -> v.O.oracle = "at-most-once")
+          (O.check_all [ O.at_most_once ] e.E.trace)
+      in
+      match E.shrink ~factory ~violates sched with
+      | None -> true (* this schedule did not trigger the mutant *)
+      | Some (small, e) ->
+          let e1 = E.replay ~factory small in
+          let e2 = E.replay ~factory small in
+          violates e && violates e1
+          && List.length small <= List.length e.E.schedule
+          && e1.E.dos = e2.E.dos
+          && e1.E.schedule = e2.E.schedule)
+
+(* ---- reduction strength (acceptance criterion) ---- *)
+
+let test_por_reduction_factor () =
+  (* m=3 KKβ at a branching budget brute force can still sustain: POR
+     must (a) explore >= 10x fewer executions at the same budget and
+     (b) cover the complete space with zero violations when the
+     budget is lifted. *)
+  let factory = kk_factory ~n:3 ~m:3 ~beta:3 in
+  let count strategy branch_depth =
+    let stats =
+      E.explore ~strategy ~factory ~branch_depth ~max_steps:10_000
+        ~on_execution:(fun _ -> ())
+        ()
+    in
+    stats.E.executions
+  in
+  let brute = count E.Brute_force 12 in
+  let por = count E.Por 12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "brute %d >= 10x POR %d at depth 12" brute por)
+    true
+    (brute >= 10 * por);
+  let report =
+    E.check ~strategy:E.Por ~factory ~branch_depth:deep ~max_steps:10_000
+      ~oracles:(kk_oracles ~n:3 ~m:3 ~beta:3)
+      ()
+  in
+  Alcotest.(check bool) "complete coverage" true
+    report.E.stats.E.fully_exhaustive;
+  Alcotest.(check int) "zero violations" 0 report.E.violating
+
+(* ---- footprint exposure ---- *)
+
+let test_footprints_exposed () =
+  let handles = kk_factory ~n:3 ~m:2 ~beta:2 () in
+  let fps = Shm.Executor.live_footprints handles in
+  Alcotest.(check int) "both live" 2 (Array.length fps);
+  Array.iter
+    (fun (_, f) ->
+      (* initial status is comp_next: an internal action *)
+      Alcotest.(check bool) "comp_next is local" true
+        (Shm.Footprint.is_local f))
+    fps;
+  (* step p1 to set_next: its pending action becomes a write *)
+  ignore (handles.(0).Shm.Automaton.step ());
+  match Shm.Automaton.footprint handles.(0) with
+  | Shm.Footprint.Write cell ->
+      Alcotest.(check string) "announce cell" "kk.next[1]" cell
+  | f -> Alcotest.failf "expected a write, got %s" (Shm.Footprint.to_string f)
+
+let suite =
+  [
+    Alcotest.test_case "KK grid: exhaustive + oracles" `Slow
+      test_kk_grid_exhaustive;
+    Alcotest.test_case "cross-validate KK n=2 m=2" `Slow
+      test_cross_validate_kk;
+    Alcotest.test_case "cross-validate pairing n=2 m=2" `Quick
+      test_cross_validate_pairing;
+    Alcotest.test_case "cross-validate unsafe violation sets" `Slow
+      test_cross_validate_unsafe_violations;
+    Alcotest.test_case "replay is deterministic" `Quick
+      test_replay_is_deterministic;
+    Alcotest.test_case "replay skips dead pids" `Quick
+      test_replay_skips_dead_pids;
+    Alcotest.test_case "mutant caught, shrunk to <= 25 steps, minimal" `Slow
+      test_mutant_caught_and_shrunk;
+    Alcotest.test_case "POR >= 10x reduction on m=3" `Slow
+      test_por_reduction_factor;
+    Alcotest.test_case "footprints exposed" `Quick test_footprints_exposed;
+    Helpers.qtest prop_por_equals_brute;
+    Helpers.qtest prop_shrink_preserves_violation;
+  ]

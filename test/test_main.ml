@@ -16,6 +16,7 @@ let () =
       ("kk", Test_kk.suite);
       ("superjob", Test_superjob.suite);
       ("analysis", Test_analysis.suite);
+      ("explore", Test_explore.suite);
       ("claim-scan", Test_claim_scan.suite);
       ("harness", Test_harness.suite);
       ("iterative", Test_iterative.suite);

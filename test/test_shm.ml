@@ -183,6 +183,7 @@ let stub ~pid ~steps_to_do =
     alive = (fun () -> (not !stopped) && !remaining > 0);
     crash = (fun () -> stopped := true);
     phase = (fun () -> if !remaining > 0 then "running" else "end");
+    footprint = (fun () -> Footprint.Internal);
   }
 
 let test_executor_quiescence () =
@@ -203,6 +204,7 @@ let test_executor_max_steps () =
       alive = (fun () -> not !stopped);
       crash = (fun () -> stopped := true);
       phase = (fun () -> "loop");
+      footprint = (fun () -> Footprint.Internal);
     }
   in
   let outcome =
@@ -278,6 +280,7 @@ let test_adversary_after_announce () =
       alive = (fun () -> (not !stopped) && !steps < 10);
       crash = (fun () -> stopped := true);
       phase = (fun () -> if !steps >= 1 then "announced" else "init");
+      footprint = (fun () -> Footprint.Internal);
     }
   in
   let handles = [| announcing 1; announcing 2 |] in
