@@ -1,0 +1,108 @@
+(* Snapshot regression gate.
+
+     dune exec bench/compare.exe -- --baseline bench/baselines --current OUT
+
+   Diffs every BENCH_<exp>.json present in the baseline directory
+   against its counterpart in the current directory using
+   Obs.Snapshot.diff: the compared quantity is measured/predicted
+   where the experiment records a paper bound, raw measurement
+   otherwise; a change against the metric's direction beyond
+   --tolerance (percent) is a regression.  Exit 1 on any regression
+   unless --warn-only. *)
+
+let usage () =
+  prerr_endline
+    "usage: compare.exe --baseline DIR --current DIR [--tolerance PCT] \
+     [--warn-only]";
+  exit 2
+
+let () =
+  let baseline_dir = ref "" in
+  let current_dir = ref "" in
+  let tolerance = ref 10. in
+  let warn_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: d :: rest ->
+        baseline_dir := d;
+        parse rest
+    | "--current" :: d :: rest ->
+        current_dir := d;
+        parse rest
+    | "--tolerance" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some t when t >= 0. ->
+            tolerance := t;
+            parse rest
+        | _ -> usage ())
+    | "--warn-only" :: rest ->
+        warn_only := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !baseline_dir = "" || !current_dir = "" then usage ();
+  let is_snapshot f =
+    String.length f > 6
+    && String.sub f 0 6 = "BENCH_"
+    && Filename.check_suffix f ".json"
+  in
+  let snapshots =
+    Sys.readdir !baseline_dir |> Array.to_list |> List.filter is_snapshot
+    |> List.sort compare
+  in
+  if snapshots = [] then begin
+    Printf.eprintf "no BENCH_*.json snapshots in %s\n" !baseline_dir;
+    exit 2
+  end;
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  let missing = ref 0 in
+  List.iter
+    (fun file ->
+      let bpath = Filename.concat !baseline_dir file in
+      let cpath = Filename.concat !current_dir file in
+      match Obs.Snapshot.load bpath with
+      | Error e ->
+          Printf.eprintf "error: %s: %s\n" bpath e;
+          exit 2
+      | Ok baseline -> (
+          if not (Sys.file_exists cpath) then begin
+            incr missing;
+            Printf.printf "  %-22s MISSING in %s\n" file !current_dir
+          end
+          else
+            match Obs.Snapshot.load cpath with
+            | Error e ->
+                Printf.eprintf "error: %s: %s\n" cpath e;
+                exit 2
+            | Ok current ->
+                incr compared;
+                let changes =
+                  Obs.Snapshot.diff ~tolerance_pct:!tolerance ~baseline
+                    ~current ()
+                in
+                List.iter
+                  (fun (c : Obs.Snapshot.change) ->
+                    if c.Obs.Snapshot.regressed then begin
+                      incr regressions;
+                      Printf.printf
+                        "  %-22s REGRESSION %-28s %12.4f -> %12.4f (%+.1f%%)\n"
+                        file c.Obs.Snapshot.metric_name c.Obs.Snapshot.baseline
+                        c.Obs.Snapshot.current c.Obs.Snapshot.delta_pct
+                    end
+                    else if Float.abs c.Obs.Snapshot.delta_pct > 0.01 then
+                      Printf.printf
+                        "  %-22s ok         %-28s %12.4f -> %12.4f (%+.1f%%)\n"
+                        file c.Obs.Snapshot.metric_name c.Obs.Snapshot.baseline
+                        c.Obs.Snapshot.current c.Obs.Snapshot.delta_pct)
+                  changes))
+    snapshots;
+  Printf.printf
+    "\ncompared %d snapshot(s): %d regression(s), %d missing (tolerance \
+     %.1f%%)\n"
+    !compared !regressions !missing !tolerance;
+  if !regressions > 0 || !missing > 0 then
+    if !warn_only then
+      print_endline "warn-only mode: regressions reported but not fatal"
+    else exit 1

@@ -40,6 +40,8 @@ let run () =
        enumeration with partial-order reduction, against the same oracles \
        as the sampled runs";
   let all_ok = ref true in
+  let total_violations = ref 0 in
+  let brute_total = ref 0 and por_total = ref 0 in
   let case ~name ~factory ~branch_depth ~full ~oracles =
     let go strategy depth =
       E.check ~strategy ~minimize:false ~factory ~branch_depth:depth
@@ -54,6 +56,9 @@ let run () =
     in
     let brute_n = brute.E.stats.E.executions
     and por_n = por.E.stats.E.executions in
+    total_violations := !total_violations + violations;
+    brute_total := !brute_total + brute_n;
+    por_total := !por_total + por_n;
     if violations > 0 then all_ok := false;
     if por_n > brute_n then all_ok := false;
     (match complete with
@@ -71,7 +76,19 @@ let run () =
       I violations;
     ]
   in
-  let rows =
+  let smoke_rows () =
+    [
+      case ~name:"pairing n=2 m=2" ~factory:(pairing_factory ~n:2 ~m:2)
+        ~branch_depth:30 ~full:true
+        ~oracles:[ O.at_most_once; O.effectiveness ~floor:1; O.quiescence ~m:2 ];
+      case ~name:"KK n=3 m=2 beta=2" ~factory:(kk_factory ~n:3 ~m:2 ~beta:2)
+        ~branch_depth:10 ~full:true
+        ~oracles:
+          [ O.at_most_once; O.kk_effectiveness ~n:3 ~m:2 ~beta:2;
+            O.quiescence ~m:2 ];
+    ]
+  in
+  let full_rows () =
     [
       (* the two-process building block, covered completely *)
       case ~name:"pairing n=2 m=2" ~factory:(pairing_factory ~n:2 ~m:2)
@@ -108,11 +125,16 @@ let run () =
         ~oracles:[ O.at_most_once; O.effectiveness ~floor:3; O.quiescence ~m:2 ];
     ]
   in
+  let rows = if !Exp_common.smoke then smoke_rows () else full_rows () in
   table
     ~header:
       [ "instance"; "depth"; "brute execs"; "POR execs"; "POR full cover";
         "violations" ]
     rows;
+  record_metric "violations" (float_of_int !total_violations);
+  (* exact enumeration is deterministic, so these counts are stable *)
+  record_metric "brute_executions" (float_of_int !brute_total);
+  record_metric "por_executions" (float_of_int !por_total);
   verdict !all_ok
     "zero oracle violations across every enumerated interleaving; POR never \
      exceeds brute force and certifies complete coverage where attempted"

@@ -25,6 +25,14 @@ let run () =
     | [] -> ()
     | vs -> violations := !violations + List.length vs
   in
+  let kk_n = if_smoke 128 512 in
+  let kk_seeds = if_smoke 3 12 in
+  let it_n = if_smoke 256 1024 in
+  let it_seeds = if_smoke 2 6 in
+  let it_ms = if_smoke [ 2; 4 ] [ 2; 4; 8 ] in
+  param_int "kk_n" kk_n;
+  param_int "kk_seeds" kk_seeds;
+  param_int "iterative_n" it_n;
   (* KK over a (m, beta, f, seed) grid *)
   List.iter
     (fun m ->
@@ -34,9 +42,9 @@ let run () =
           List.iter
             (fun seed ->
               let f = seed mod m in
-              let s = kk_random_run ~seed ~n:512 ~m ~beta ~f in
+              let s = kk_random_run ~seed ~n:kk_n ~m ~beta ~f in
               check s.Core.Harness.trace)
-            (seeds 12))
+            (seeds kk_seeds))
         [ (fun m -> m); (fun m -> 2 * m); (fun m -> 3 * m * m) ])
     m_grid;
   (* IterativeKK *)
@@ -53,12 +61,15 @@ let run () =
           let s =
             Core.Harness.iterative
               ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
-              ~adversary ~n:1024 ~m ~epsilon_inv:2 ()
+              ~adversary ~n:it_n ~m ~epsilon_inv:2 ()
           in
           check s.Core.Harness.trace)
-        (seeds 6))
-    [ 2; 4; 8 ];
+        (seeds it_seeds))
+    it_ms;
   table
     ~header:[ "executions"; "safety violations" ]
     [ [ I !runs; I !violations ] ];
+  record_metric "violations" (float_of_int !violations);
+  record_metric ~direction:Obs.Snapshot.Higher_is_better "executions"
+    (float_of_int !runs);
   verdict (!violations = 0) "0 violations over %d randomized executions" !runs

@@ -19,8 +19,10 @@ let run () =
     ~claim:
       "KK(beta=m) tracks the n-f upper bound to within O(m); static \
        baselines lose Theta(n/m) per crash (for m >= 4)";
-  let n = 4096 in
+  let n = if_smoke 512 4096 in
+  param_int "n" n;
   let all_ok = ref true in
+  let kk_gap_max = ref 0 in
   let rows =
     List.map
       (fun m ->
@@ -56,6 +58,7 @@ let run () =
           Core.Spec.do_count (Shm.Trace.do_events outcome.Shm.Executor.trace)
         in
         let upper = Core.Params.effectiveness_upper_bound ~n ~f in
+        kk_gap_max := max !kk_gap_max (upper - kk_worst);
         if upper - kk_worst > 2 * m then all_ok := false;
         if claim_worst <> upper then all_ok := false;
         if m >= 4 && not (kk_worst > trivial_meas && kk_worst > pairing_meas)
@@ -80,6 +83,12 @@ let run () =
         "trivial(pred)"; "trivial(meas)"; "pairing(meas)";
       ]
     rows;
+  (* largest m in the grid sets the 2m budget the gap is held to *)
+  let m_max = List.fold_left max 0 m_grid in
+  record_metric
+    ~predicted:(float_of_int (2 * m_max))
+    "kk_gap_from_upper_max"
+    (float_of_int !kk_gap_max);
   verdict !all_ok
     "KK stays within 2m of the n-f upper bound (which the RMW witness meets \
      exactly); static baselines fall behind by Theta(n/m) per crash for m >= 4"

@@ -32,7 +32,7 @@ let measure ~policy_name ~make_policy ~n ~m ~beta =
       collisions := !collisions + Core.Collision.total s.Core.Harness.collision;
       work := !work + Shm.Metrics.total_work s.Core.Harness.metrics;
       done_ := !done_ + s.Core.Harness.do_count)
-    (seeds 8);
+    (seeds (if_smoke 3 8));
   let r = float_of_int !runs in
   [
     S policy_name;
@@ -50,8 +50,10 @@ let run () =
       "rank-splitting (Fig. 2 compNext) is what keeps collisions rare and \
        the algorithm wait-free; random choice (Censor-Hillel-style) pays \
        more collisions; greedy lowest-free breaks the bounds";
-  let n = 1024 and m = 4 in
+  let n = if_smoke 256 1024 and m = 4 in
   let beta = 3 * m * m in
+  param_int "n" n;
+  param_int "m" m;
   let rows =
     [
       measure ~policy_name:"rank-split"
@@ -85,6 +87,10 @@ let run () =
   let rank = get_collisions (List.nth rows 0) in
   let rand = get_collisions (List.nth rows 1) in
   let greedy = get_collisions (List.nth rows 2) in
+  record_metric "rank_split_collisions_per_run" rank;
+  record_metric "random_collisions_per_run" rand;
+  record_metric ~direction:Obs.Snapshot.Higher_is_better
+    "lowest_free_collisions_per_run" greedy;
   verdict
     ((rank <= rand +. 1.) && rand < greedy && not ll.Core.Harness.wait_free)
     "collision ordering rank-split (%.1f) <= random (%.1f) < lowest-free \

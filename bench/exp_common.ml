@@ -8,12 +8,39 @@
    written to DIR/<experiment-id>.csv. *)
 let csv_dir : string option ref = ref None
 
+(* When set (--json [DIR]), each experiment's verdict also writes a
+   versioned Obs.Snapshot to DIR/BENCH_<id>.json. *)
+let json_dir : string option ref = ref None
+
+(* --smoke: shrink every grid so the whole suite runs in seconds (the
+   CI bench-smoke job); snapshots are still written, against
+   smoke-sized committed baselines. *)
+let smoke = ref false
+
+let if_smoke small full = if !smoke then small else full
+
 let current_id = ref ""
+let current_title = ref ""
+let current_claim = ref ""
+let rev_params : (string * Obs.Json.t) list ref = ref []
+let rev_metrics : Obs.Snapshot.metric list ref = ref []
 
 let section ~id ~title ~claim =
   current_id := id;
+  current_title := title;
+  current_claim := claim;
+  rev_params := [];
+  rev_metrics := [];
   Printf.printf "\n=== %s: %s ===\n" id title;
   Printf.printf "    paper claim: %s\n\n" claim
+
+let record_param name v = rev_params := (name, v) :: !rev_params
+let param_int name i = record_param name (Obs.Json.Int i)
+let param_str name s = record_param name (Obs.Json.String s)
+
+let record_metric ?direction ?predicted name measured =
+  rev_metrics :=
+    Obs.Snapshot.metric ?direction ?predicted ~name measured :: !rev_metrics
 
 type cell = S of string | I of int | F of float
 
@@ -43,12 +70,32 @@ let table ~header rows =
       Analysis.Csv.write_file ~path ~header rows
   | None -> ()
 
+let write_snapshot ~ok =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+      let snap =
+        Obs.Snapshot.make ~title:!current_title ~claim:!current_claim
+          ~params:(List.rev !rev_params)
+          ~metrics:(List.rev !rev_metrics)
+          ~ok
+          (String.lowercase_ascii !current_id)
+      in
+      let path = Obs.Snapshot.save ~dir snap in
+      Printf.printf "  snapshot: %s\n" path
+
 let verdict ok fmt =
   Printf.ksprintf
     (fun msg ->
       Printf.printf "  %s %s\n" (if ok then "[REPRODUCED]" else "[MISMATCH]") msg;
+      write_snapshot ~ok;
       ok)
     fmt
+
+(* Render an Obs.Profile tail summary as table cells — E4/E5 report
+   per-process distributions, not just totals. *)
+let summary_cells (s : Obs.Profile.summary) =
+  [ I s.Obs.Profile.p50; I s.Obs.Profile.p99; I s.Obs.Profile.max ]
 
 (* Standard parameter grids, shared across experiments so tables are
    comparable. *)

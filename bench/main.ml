@@ -26,24 +26,41 @@ let experiments =
   ]
 
 let usage () =
-  prerr_endline "usage: main.exe [--csv DIR] [e1|...|e12|bechamel]...";
+  prerr_endline
+    "usage: main.exe [--csv DIR] [--json] [--json-dir DIR] [--smoke] \
+     [e1|...|e12|bechamel]...";
   exit 2
+
+let check_dir ~flag dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "%s: %s is not a directory\n" flag dir;
+    exit 2
+  end;
+  dir
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --csv DIR: also write every experiment table to DIR/<id>.csv *)
-  let rec take_csv acc = function
+  (* --csv DIR: also write every experiment table to DIR/<id>.csv
+     --json: write BENCH_<id>.json snapshots to the current directory
+     --json-dir DIR: same, into DIR
+     --smoke: tiny grids, for CI smoke runs *)
+  let rec take_flags acc = function
     | "--csv" :: dir :: rest ->
-        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
-          Printf.eprintf "--csv: %s is not a directory\n" dir;
-          exit 2
-        end;
-        Exp_common.csv_dir := Some dir;
-        take_csv acc rest
-    | a :: rest -> take_csv (a :: acc) rest
+        Exp_common.csv_dir := Some (check_dir ~flag:"--csv" dir);
+        take_flags acc rest
+    | "--json" :: rest ->
+        if !Exp_common.json_dir = None then Exp_common.json_dir := Some ".";
+        take_flags acc rest
+    | "--json-dir" :: dir :: rest ->
+        Exp_common.json_dir := Some (check_dir ~flag:"--json-dir" dir);
+        take_flags acc rest
+    | "--smoke" :: rest ->
+        Exp_common.smoke := true;
+        take_flags acc rest
+    | a :: rest -> take_flags (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = take_csv [] args in
+  let args = take_flags [] args in
   let requested =
     match args with
     | [] -> List.map fst experiments

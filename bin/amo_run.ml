@@ -3,14 +3,21 @@
    Examples:
      amo_run kk --jobs 1000 --procs 8
      amo_run kk --jobs 1000 --procs 8 --beta 192 --sched random --seed 7 --crashes 3
+     amo_run kk --jobs 200 --procs 4 --trace-out kk.trace.json   # open in Perfetto
+     amo_run kk --jobs 1000 --procs 8 --json                     # machine-readable
      amo_run worst --jobs 1000 --procs 8
      amo_run iterative --jobs 65536 --procs 8 --eps-inv 2
      amo_run wa --jobs 65536 --procs 8 --eps-inv 2
      amo_run trivial --jobs 1000 --procs 8 --crashes 2
      amo_run pairing --jobs 1000 --procs 8 --crashes 2
-     amo_run multicore --jobs 20000 --procs 4 *)
+     amo_run multicore --jobs 20000 --procs 4
+
+   Exit status: 0 on success, 1 when a run violates its oracle
+   (at-most-once, Write-All completeness, or a tight-bound prediction),
+   2 on usage errors. *)
 
 open Cmdliner
+module J = Obs.Json
 
 let pp_summary ~label ~n ~m ~f:_ (s : Core.Harness.summary) =
   (* report the crashes that actually happened, not the requested budget *)
@@ -56,6 +63,68 @@ let exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt
   if show_gantt then
     Fmt.pr "gantt (D=do, X=crash, T=terminate):@.%s"
       (Analysis.Gantt.render ~m s.trace)
+
+(* ---- observability helpers ---- *)
+
+let apply_log_level = function
+  | None -> ()
+  | Some name -> (
+      match Obs.Log.level_of_string name with
+      | Some l -> Obs.Log.set_level l
+      | None ->
+          Fmt.epr "amo_run: unknown log level %S (use quiet|info|debug)@." name;
+          exit 2)
+
+(* a Chrome trace needs the full event stream; plain runs keep the
+   cheap outcome-only trace *)
+let trace_level_for trace_out : Shm.Trace.level =
+  if trace_out = None then `Outcomes else `Full
+
+let write_trace ~label ~m ~json trace_out (trace : Shm.Trace.t) =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Obs.Chrome_trace.write_file ~run_name:label ~m ~path trace;
+      if not json then Fmt.pr "chrome trace    : %s@." path
+
+let summary_json ~label ~n ~m extra (s : Core.Harness.summary) =
+  let f = List.length s.crashed in
+  let amo_ok = Result.is_ok (Core.Spec.check_at_most_once s.dos) in
+  let metrics =
+    match J.parse (Shm.Metrics.to_json s.metrics) with
+    | Ok j -> j
+    | Error _ -> J.Null
+  in
+  J.Obj
+    ([
+       ("algorithm", J.String label);
+       ("n", J.Int n);
+       ("m", J.Int m);
+       ("amo_ok", J.Bool amo_ok);
+       ("do_count", J.Int s.do_count);
+       ("upper_bound", J.Int (Core.Params.effectiveness_upper_bound ~n ~f));
+       ("wait_free", J.Bool s.wait_free);
+       ("steps", J.Int s.steps);
+       ("crashed", J.List (List.map (fun p -> J.Int p) s.crashed));
+       ("work", J.Int (Shm.Metrics.total_work s.metrics));
+       ("reads", J.Int (Shm.Metrics.total_reads s.metrics));
+       ("writes", J.Int (Shm.Metrics.total_writes s.metrics));
+       ("collisions", J.Int (Core.Collision.total s.collision));
+       ("metrics", metrics);
+     ]
+    @ extra)
+
+(* Print one summary (text or JSON), returning whether at-most-once
+   held so the caller can set the exit status. *)
+let report ~json ~label ~n ~m ?(extra_json = []) ?(extra_text = fun () -> ())
+    (s : Core.Harness.summary) =
+  if json then
+    print_endline (J.to_string ~minify:false (summary_json ~label ~n ~m extra_json s))
+  else begin
+    pp_summary ~label ~n ~m ~f:0 s;
+    extra_text ()
+  end;
+  Result.is_ok (Core.Spec.check_at_most_once s.dos)
 
 (* ---- common options ---- *)
 
@@ -107,6 +176,24 @@ let show_gantt =
   let doc = "Print an ASCII Gantt chart of the run." in
   Arg.(value & flag & info [ "gantt" ] ~doc)
 
+let log_level =
+  let doc =
+    "Diagnostic verbosity for library logging: quiet, info or debug \
+     (overrides the AMO_LOG environment variable)."
+  in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let json_flag =
+  let doc = "Emit the run summary as a single JSON object on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_out =
+  let doc =
+    "Write the execution as Chrome trace_event JSON to $(docv) (open in \
+     Perfetto or chrome://tracing).  Implies a full-detail trace."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let make_sched kind rng =
   match kind with
   | `Rr -> Shm.Schedule.round_robin ()
@@ -121,169 +208,301 @@ let make_adversary rng ~f ~m ~n =
 
 let kk_cmd =
   let run n m beta_opt seed sched_kind f csv_dos csv_timeline show_timeline
-      show_gantt =
+      show_gantt log_level json trace_out =
+    apply_log_level log_level;
     let beta = Option.value beta_opt ~default:m in
     let rng = Util.Prng.of_int seed in
+    let label = Printf.sprintf "KK(beta=%d)" beta in
     let s =
       Core.Harness.kk
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
-        ~n ~m ~beta ()
+        ~trace_level:(trace_level_for trace_out)
+        ~verbose:(trace_out <> None) ~n ~m ~beta ()
     in
-    pp_summary ~label:(Printf.sprintf "KK(beta=%d)" beta) ~n ~m ~f s;
-    Fmt.pr "guaranteed eff. : %d  (Theorem 4.4: n - (beta + m - 2))@."
-      (Core.Params.predicted_effectiveness (Core.Params.make ~n ~m ~beta));
-    exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt s
+    let guaranteed =
+      Core.Params.predicted_effectiveness (Core.Params.make ~n ~m ~beta)
+    in
+    let ok =
+      report ~json ~label ~n ~m
+        ~extra_json:[ ("guaranteed_effectiveness", J.Int guaranteed) ]
+        ~extra_text:(fun () ->
+          Fmt.pr "guaranteed eff. : %d  (Theorem 4.4: n - (beta + m - 2))@."
+            guaranteed)
+        s
+    in
+    write_trace ~label ~m ~json trace_out s.trace;
+    exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt s;
+    if not ok then exit 1
   in
   let doc = "Run algorithm KKbeta (the paper's core contribution)." in
   Cmd.v (Cmd.info "kk" ~doc)
     Term.(
       const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ csv_dos
-      $ csv_timeline $ show_timeline $ show_gantt)
+      $ csv_timeline $ show_timeline $ show_gantt $ log_level $ json_flag
+      $ trace_out)
 
 let claim_cmd =
-  let run n m seed sched_kind f =
+  let run n m seed sched_kind f log_level json trace_out =
+    apply_log_level log_level;
     let rng = Util.Prng.of_int seed in
     let metrics = Shm.Metrics.create ~m in
     let handles = Core.Claim_scan.processes ~metrics ~n ~m () in
     let outcome =
-      Shm.Executor.run ~trace_level:`Outcomes
+      Shm.Executor.run
+        ~trace_level:(trace_level_for trace_out)
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
         handles
     in
     let dos = Shm.Trace.do_events outcome.Shm.Executor.trace in
-    (match Core.Spec.check_at_most_once dos with
-    | Ok () -> Fmt.pr "at-most-once    : OK@."
-    | Error v ->
-        Fmt.pr "at-most-once    : VIOLATED (%s)@."
-          (Format.asprintf "%a" Core.Spec.pp_violation v));
+    let amo_ok = Result.is_ok (Core.Spec.check_at_most_once dos) in
     let f_actual =
       List.length (Shm.Trace.crashes outcome.Shm.Executor.trace)
     in
-    Fmt.pr "algorithm       : claim-scan (test-and-set; outside the r/w model)@.";
-    Fmt.pr "jobs performed  : %d / %d (optimal n-f: %d)@."
-      (Core.Spec.do_count dos) n
-      (Core.Claim_scan.predicted_effectiveness ~n ~f:f_actual);
-    Fmt.pr "total actions   : %d@." (Shm.Metrics.total_actions metrics)
+    let optimal = Core.Claim_scan.predicted_effectiveness ~n ~f:f_actual in
+    if json then
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("algorithm", J.String "claim-scan");
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("amo_ok", J.Bool amo_ok);
+                ("do_count", J.Int (Core.Spec.do_count dos));
+                ("optimal", J.Int optimal);
+                ("actions", J.Int (Shm.Metrics.total_actions metrics));
+              ]))
+    else begin
+      (match Core.Spec.check_at_most_once dos with
+      | Ok () -> Fmt.pr "at-most-once    : OK@."
+      | Error v ->
+          Fmt.pr "at-most-once    : VIOLATED (%s)@."
+            (Format.asprintf "%a" Core.Spec.pp_violation v));
+      Fmt.pr
+        "algorithm       : claim-scan (test-and-set; outside the r/w model)@.";
+      Fmt.pr "jobs performed  : %d / %d (optimal n-f: %d)@."
+        (Core.Spec.do_count dos) n optimal;
+      Fmt.pr "total actions   : %d@." (Shm.Metrics.total_actions metrics)
+    end;
+    write_trace ~label:"claim-scan" ~m ~json trace_out
+      outcome.Shm.Executor.trace;
+    if not amo_ok then exit 1
   in
   let doc =
     "Run the test-and-set claim scanner (the paper's RMW upper-bound witness)."
   in
   Cmd.v (Cmd.info "claim" ~doc)
-    Term.(const run $ jobs $ procs $ seed $ sched $ crashes)
+    Term.(
+      const run $ jobs $ procs $ seed $ sched $ crashes $ log_level $ json_flag
+      $ trace_out)
 
 let worst_cmd =
-  let run n m beta_opt =
+  let run n m beta_opt log_level json trace_out =
+    apply_log_level log_level;
     let beta = Option.value beta_opt ~default:m in
-    let s = Core.Harness.kk_worst_case ~n ~m ~beta () in
-    pp_summary ~label:(Printf.sprintf "KK(beta=%d) vs worst-case adversary" beta)
-      ~n ~m ~f:(m - 1) s;
+    let label = Printf.sprintf "KK(beta=%d) vs worst-case adversary" beta in
+    let s =
+      Core.Harness.kk_worst_case
+        ~trace_level:(trace_level_for trace_out)
+        ~n ~m ~beta ()
+    in
     let predicted =
       Core.Params.predicted_effectiveness (Core.Params.make ~n ~m ~beta)
     in
-    Fmt.pr "prediction      : exactly %d jobs (tight by Theorem 4.4): %s@."
-      predicted
-      (if s.do_count = predicted then "MATCHED" else "MISMATCH")
+    let matched = s.do_count = predicted in
+    let ok =
+      report ~json ~label ~n ~m
+        ~extra_json:
+          [
+            ("predicted_exact", J.Int predicted); ("matched", J.Bool matched);
+          ]
+        ~extra_text:(fun () ->
+          Fmt.pr "prediction      : exactly %d jobs (tight by Theorem 4.4): %s@."
+            predicted
+            (if matched then "MATCHED" else "MISMATCH"))
+        s
+    in
+    write_trace ~label ~m ~json trace_out s.trace;
+    if not (ok && matched) then exit 1
   in
   let doc =
     "Run KKbeta against the constructive worst-case adversary of Theorem 4.4."
   in
-  Cmd.v (Cmd.info "worst" ~doc) Term.(const run $ jobs $ procs $ beta)
+  Cmd.v (Cmd.info "worst" ~doc)
+    Term.(const run $ jobs $ procs $ beta $ log_level $ json_flag $ trace_out)
 
 let iterative_cmd =
-  let run n m eps_inv seed sched_kind f =
+  let run n m eps_inv seed sched_kind f log_level json trace_out =
+    apply_log_level log_level;
     let rng = Util.Prng.of_int seed in
+    let label = Printf.sprintf "IterativeKK(eps=1/%d)" eps_inv in
     let s =
       Core.Harness.iterative
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
+        ~trace_level:(trace_level_for trace_out)
         ~n ~m ~epsilon_inv:eps_inv ()
     in
-    pp_summary
-      ~label:(Printf.sprintf "IterativeKK(eps=1/%d)" eps_inv)
-      ~n ~m ~f s;
-    Fmt.pr "loss bound      : <= %d jobs (Theorem 6.4)@."
-      (Core.Iterative.predicted_loss_bound ~n ~m ~epsilon_inv:eps_inv)
+    let loss_bound =
+      Core.Iterative.predicted_loss_bound ~n ~m ~epsilon_inv:eps_inv
+    in
+    let ok =
+      report ~json ~label ~n ~m
+        ~extra_json:[ ("loss_bound", J.Int loss_bound) ]
+        ~extra_text:(fun () ->
+          Fmt.pr "loss bound      : <= %d jobs (Theorem 6.4)@." loss_bound)
+        s
+    in
+    write_trace ~label ~m ~json trace_out s.trace;
+    if not ok then exit 1
   in
   let doc = "Run IterativeKK(eps): work-optimal at-most-once." in
   Cmd.v (Cmd.info "iterative" ~doc)
-    Term.(const run $ jobs $ procs $ eps_inv $ seed $ sched $ crashes)
+    Term.(
+      const run $ jobs $ procs $ eps_inv $ seed $ sched $ crashes $ log_level
+      $ json_flag $ trace_out)
 
 let wa_cmd =
-  let run n m eps_inv seed sched_kind f =
+  let run n m eps_inv seed sched_kind f log_level json trace_out =
+    apply_log_level log_level;
     let rng = Util.Prng.of_int seed in
+    let label = Printf.sprintf "WA_IterativeKK(eps=1/%d)" eps_inv in
     let s, complete =
       Core.Harness.writeall_iterative
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
+        ~trace_level:(trace_level_for trace_out)
         ~n ~m ~epsilon_inv:eps_inv ()
     in
-    Fmt.pr "algorithm       : WA_IterativeKK(eps=1/%d)@." eps_inv;
-    Fmt.pr "write-all done  : %b@." complete;
-    Fmt.pr "steps           : %d@." s.steps;
-    Fmt.pr "work (weighted) : %d@." (Shm.Metrics.total_work s.metrics);
-    Fmt.pr "shared writes   : %d@." (Shm.Metrics.total_writes s.metrics)
+    if json then
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("algorithm", J.String label);
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("write_all_complete", J.Bool complete);
+                ("steps", J.Int s.steps);
+                ("work", J.Int (Shm.Metrics.total_work s.metrics));
+                ("writes", J.Int (Shm.Metrics.total_writes s.metrics));
+              ]))
+    else begin
+      Fmt.pr "algorithm       : %s@." label;
+      Fmt.pr "write-all done  : %b@." complete;
+      Fmt.pr "steps           : %d@." s.steps;
+      Fmt.pr "work (weighted) : %d@." (Shm.Metrics.total_work s.metrics);
+      Fmt.pr "shared writes   : %d@." (Shm.Metrics.total_writes s.metrics)
+    end;
+    write_trace ~label ~m ~json trace_out s.trace;
+    if not complete then exit 1
   in
   let doc = "Run WA_IterativeKK(eps): work-optimal Write-All." in
   Cmd.v (Cmd.info "wa" ~doc)
-    Term.(const run $ jobs $ procs $ eps_inv $ seed $ sched $ crashes)
+    Term.(
+      const run $ jobs $ procs $ eps_inv $ seed $ sched $ crashes $ log_level
+      $ json_flag $ trace_out)
 
 let trivial_cmd =
-  let run n m seed sched_kind f =
+  let run n m seed sched_kind f log_level json trace_out =
+    apply_log_level log_level;
     let rng = Util.Prng.of_int seed in
     let s =
       Core.Harness.trivial
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
+        ~trace_level:(trace_level_for trace_out)
         ~n ~m ()
     in
-    pp_summary ~label:"trivial split" ~n ~m ~f s;
-    Fmt.pr "guaranteed eff. : %d  ((m-f) * n/m)@."
-      (Core.Params.trivial_effectiveness ~n ~m ~f)
+    let guaranteed = Core.Params.trivial_effectiveness ~n ~m ~f in
+    let ok =
+      report ~json ~label:"trivial split" ~n ~m
+        ~extra_json:[ ("guaranteed_effectiveness", J.Int guaranteed) ]
+        ~extra_text:(fun () ->
+          Fmt.pr "guaranteed eff. : %d  ((m-f) * n/m)@." guaranteed)
+        s
+    in
+    write_trace ~label:"trivial split" ~m ~json trace_out s.trace;
+    if not ok then exit 1
   in
   let doc = "Run the trivial split baseline." in
   Cmd.v (Cmd.info "trivial" ~doc)
-    Term.(const run $ jobs $ procs $ seed $ sched $ crashes)
+    Term.(
+      const run $ jobs $ procs $ seed $ sched $ crashes $ log_level $ json_flag
+      $ trace_out)
 
 let pairing_cmd =
-  let run n m seed sched_kind f =
+  let run n m seed sched_kind f log_level json trace_out =
+    apply_log_level log_level;
     let rng = Util.Prng.of_int seed in
     let s =
       Core.Harness.pairing
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
+        ~trace_level:(trace_level_for trace_out)
         ~n ~m ()
     in
-    pp_summary ~label:"two-process pairing" ~n ~m ~f s
+    let ok = report ~json ~label:"two-process pairing" ~n ~m s in
+    write_trace ~label:"two-process pairing" ~m ~json trace_out s.trace;
+    if not ok then exit 1
   in
   let doc = "Run the two-process pairing baseline." in
   Cmd.v (Cmd.info "pairing" ~doc)
-    Term.(const run $ jobs $ procs $ seed $ sched $ crashes)
+    Term.(
+      const run $ jobs $ procs $ seed $ sched $ crashes $ log_level $ json_flag
+      $ trace_out)
 
 let msg_cmd =
-  let run n m servers seed f =
+  let run n m servers seed f log_level json =
+    apply_log_level log_level;
     let rng = Util.Prng.of_int seed in
     let crash_plan =
       List.init (min f (m - 1)) (fun i ->
           ((i + 1) * 50 * n / m, `Client (i + 1)))
     in
     let o = Msg.Kk_mp.run_kk ~crash_plan ~servers ~n ~m ~beta:m ~rng () in
-    (match Core.Spec.check_at_most_once o.Msg.Kk_mp.dos with
-    | Ok () -> Fmt.pr "at-most-once    : OK (message passing, ABD registers)@."
-    | Error v ->
-        Fmt.pr "at-most-once    : VIOLATED (%s)@."
-          (Format.asprintf "%a" Core.Spec.pp_violation v));
-    Fmt.pr "jobs performed  : %d / %d (guarantee >= %d)@."
-      (Core.Spec.do_count o.Msg.Kk_mp.dos)
-      n
-      (n - (m + m - 2));
-    Fmt.pr "clients crashed : [%s]@."
-      (String.concat "; " (List.map string_of_int o.Msg.Kk_mp.crashed_clients));
-    Fmt.pr "stuck clients   : [%s]@."
-      (String.concat "; " (List.map string_of_int o.Msg.Kk_mp.stuck));
-    Fmt.pr "deliveries      : %d (%.1f per job)@." o.Msg.Kk_mp.deliveries
-      (float_of_int o.Msg.Kk_mp.deliveries /. float_of_int n)
+    let amo_ok = Result.is_ok (Core.Spec.check_at_most_once o.Msg.Kk_mp.dos) in
+    if json then
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("algorithm", J.String "KK over ABD message passing");
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("servers", J.Int servers);
+                ("amo_ok", J.Bool amo_ok);
+                ("do_count", J.Int (Core.Spec.do_count o.Msg.Kk_mp.dos));
+                ("guarantee", J.Int (n - (m + m - 2)));
+                ( "crashed_clients",
+                  J.List
+                    (List.map (fun p -> J.Int p) o.Msg.Kk_mp.crashed_clients) );
+                ( "stuck",
+                  J.List (List.map (fun p -> J.Int p) o.Msg.Kk_mp.stuck) );
+                ("deliveries", J.Int o.Msg.Kk_mp.deliveries);
+              ]))
+    else begin
+      (match Core.Spec.check_at_most_once o.Msg.Kk_mp.dos with
+      | Ok () ->
+          Fmt.pr "at-most-once    : OK (message passing, ABD registers)@."
+      | Error v ->
+          Fmt.pr "at-most-once    : VIOLATED (%s)@."
+            (Format.asprintf "%a" Core.Spec.pp_violation v));
+      Fmt.pr "jobs performed  : %d / %d (guarantee >= %d)@."
+        (Core.Spec.do_count o.Msg.Kk_mp.dos)
+        n
+        (n - (m + m - 2));
+      Fmt.pr "clients crashed : [%s]@."
+        (String.concat "; "
+           (List.map string_of_int o.Msg.Kk_mp.crashed_clients));
+      Fmt.pr "stuck clients   : [%s]@."
+        (String.concat "; " (List.map string_of_int o.Msg.Kk_mp.stuck));
+      Fmt.pr "deliveries      : %d (%.1f per job)@." o.Msg.Kk_mp.deliveries
+        (float_of_int o.Msg.Kk_mp.deliveries /. float_of_int n)
+    end;
+    if not amo_ok then exit 1
   in
   let servers =
     let doc = "Number of ABD replica servers." in
@@ -293,25 +512,54 @@ let msg_cmd =
     "Run KKbeta over message passing (ABD-emulated atomic registers)."
   in
   Cmd.v (Cmd.info "msg" ~doc)
-    Term.(const run $ jobs $ procs $ servers $ seed $ crashes)
+    Term.(
+      const run $ jobs $ procs $ servers $ seed $ crashes $ log_level
+      $ json_flag)
 
 let multicore_cmd =
-  let run n m beta_opt =
+  let run n m beta_opt log_level json =
+    apply_log_level log_level;
     let beta = Option.value beta_opt ~default:m in
     let r = Multicore.Runner.run_kk ~n ~m ~beta () in
-    (match Core.Spec.check_at_most_once r.dos with
-    | Ok () -> Fmt.pr "at-most-once    : OK (real domains)@."
-    | Error v ->
-        Fmt.pr "at-most-once    : VIOLATED (%s)@."
-          (Format.asprintf "%a" Core.Spec.pp_violation v));
-    Fmt.pr "jobs performed  : %d / %d@." (Core.Spec.do_count r.dos) n;
-    Fmt.pr "wall time       : %.3fs@." r.wall_seconds;
-    for p = 1 to m do
-      Fmt.pr "  p%-2d performed : %d@." p r.per_process.(p)
-    done
+    let amo_ok = Result.is_ok (Core.Spec.check_at_most_once r.dos) in
+    if json then
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("algorithm", J.String (Printf.sprintf "KK(beta=%d) on domains" beta));
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("amo_ok", J.Bool amo_ok);
+                ("do_count", J.Int (Core.Spec.do_count r.dos));
+                ("wall_seconds", J.Float r.wall_seconds);
+                ("work", J.Int (Shm.Metrics.total_work r.metrics));
+                ( "per_process",
+                  J.List
+                    (List.init m (fun i -> J.Int r.per_process.(i + 1))) );
+                ( "metrics",
+                  match J.parse (Shm.Metrics.to_json r.metrics) with
+                  | Ok j -> j
+                  | Error _ -> J.Null );
+              ]))
+    else begin
+      (match Core.Spec.check_at_most_once r.dos with
+      | Ok () -> Fmt.pr "at-most-once    : OK (real domains)@."
+      | Error v ->
+          Fmt.pr "at-most-once    : VIOLATED (%s)@."
+            (Format.asprintf "%a" Core.Spec.pp_violation v));
+      Fmt.pr "jobs performed  : %d / %d@." (Core.Spec.do_count r.dos) n;
+      Fmt.pr "wall time       : %.3fs@." r.wall_seconds;
+      Fmt.pr "work (weighted) : %d@." (Shm.Metrics.total_work r.metrics);
+      for p = 1 to m do
+        Fmt.pr "  p%-2d performed : %d@." p r.per_process.(p)
+      done
+    end;
+    if not amo_ok then exit 1
   in
   let doc = "Run KKbeta on real OCaml 5 domains with atomic registers." in
-  Cmd.v (Cmd.info "multicore" ~doc) Term.(const run $ jobs $ procs $ beta)
+  Cmd.v (Cmd.info "multicore" ~doc)
+    Term.(const run $ jobs $ procs $ beta $ log_level $ json_flag)
 
 let () =
   let doc = "at-most-once and Write-All algorithms (Kentros & Kiayias)" in

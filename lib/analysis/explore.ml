@@ -59,12 +59,25 @@ let complete_round_robin ~max_steps inst =
 
 (* ---- the explorer ---- *)
 
-let explore ?(strategy = Por) ~factory ~branch_depth ~max_steps ~on_execution
-    () =
+(* Progress cadence for the sink / debug log: power of two so the
+   modulo is a mask, rare enough not to perturb timing. *)
+let progress_every = 4096
+
+let explore ?(strategy = Por) ?(sink = Obs.Sink.null) ~factory ~branch_depth
+    ~max_steps ~on_execution () =
+  let observing = not (Obs.Sink.is_null sink) in
   let executions = ref 0 in
   let truncated = ref false in
   let emit inst =
     incr executions;
+    if !executions mod progress_every = 0 then begin
+      if observing then
+        Obs.Sink.emit sink
+          (Obs.Sink.record ~ts:!executions ~kind:Obs.Sink.Counter
+             ~args:[ ("executions", Obs.Json.Int !executions) ]
+             "explore.progress");
+      Util.Logging.debug "explore: %d executions visited" !executions
+    end;
     on_execution (execution_of inst)
   in
   let replay_rev rev_prefix =
@@ -149,7 +162,19 @@ let explore ?(strategy = Por) ~factory ~branch_depth ~max_steps ~on_execution
     end
   in
   node (make_inst factory) [] 0;
-  { executions = !executions; fully_exhaustive = not !truncated }
+  let stats = { executions = !executions; fully_exhaustive = not !truncated } in
+  if observing then
+    Obs.Sink.emit sink
+      (Obs.Sink.record ~ts:!executions ~kind:Obs.Sink.Counter
+         ~args:
+           [
+             ("executions", Obs.Json.Int stats.executions);
+             ("fully_exhaustive", Obs.Json.Bool stats.fully_exhaustive);
+           ]
+         "explore.done");
+  Util.Logging.debug "explore: done, %d executions (exhaustive=%b)"
+    stats.executions stats.fully_exhaustive;
+  stats
 
 let run ~factory ~branch_depth ~max_steps ~on_execution () =
   explore ~strategy:Brute_force ~factory ~branch_depth ~max_steps
@@ -237,19 +262,35 @@ type report = {
 
 let max_findings = 64
 
-let check ?(strategy = Por) ?(minimize = true) ~factory ~branch_depth
-    ~max_steps ~oracles () =
+let check ?(strategy = Por) ?(minimize = true) ?(sink = Obs.Sink.null)
+    ~factory ~branch_depth ~max_steps ~oracles () =
   let findings = ref [] in
   let n_findings = ref 0 in
   let violating = ref 0 in
   let seen = Hashtbl.create 64 in
   let stats =
-    explore ~strategy ~factory ~branch_depth ~max_steps
+    explore ~strategy ~sink ~factory ~branch_depth ~max_steps
       ~on_execution:(fun e ->
         match Oracle.check_all oracles e.trace with
         | [] -> ()
         | violations ->
             incr violating;
+            if not (Obs.Sink.is_null sink) then
+              Obs.Sink.emit sink
+                (Obs.Sink.record ~ts:(List.length e.schedule)
+                   ~kind:Obs.Sink.Instant
+                   ~args:
+                     [
+                       ( "oracles",
+                         Obs.Json.List
+                           (List.map
+                              (fun v -> Obs.Json.String v.Oracle.oracle)
+                              violations) );
+                     ]
+                   "explore.violation");
+            Util.Logging.debug "explore: violation #%d (%s)" !violating
+              (String.concat ", "
+                 (List.map (fun v -> v.Oracle.oracle) violations));
             let key = canonical_do_log e.dos in
             if not (Hashtbl.mem seen key) then begin
               Hashtbl.add seen key ();

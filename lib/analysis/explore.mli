@@ -63,6 +63,7 @@ type strategy =
 
 val explore :
   ?strategy:strategy ->
+  ?sink:Obs.Sink.t ->
   factory:(unit -> Shm.Automaton.handle array) ->
   branch_depth:int ->
   max_steps:int ->
@@ -70,7 +71,10 @@ val explore :
   unit ->
   stats
 (** Enumerate executions (default strategy {!Por}), calling
-    [on_execution] on each.  @raise Max_steps_exceeded. *)
+    [on_execution] on each.  A non-null [sink] (default
+    {!Obs.Sink.null}) receives periodic [explore.progress] counters
+    and a final [explore.done] record; progress is also reported at
+    debug log level.  @raise Max_steps_exceeded. *)
 
 val run :
   factory:(unit -> Shm.Automaton.handle array) ->
@@ -144,6 +148,7 @@ type report = {
 val check :
   ?strategy:strategy ->
   ?minimize:bool ->
+  ?sink:Obs.Sink.t ->
   factory:(unit -> Shm.Automaton.handle array) ->
   branch_depth:int ->
   max_steps:int ->
@@ -153,4 +158,6 @@ val check :
 (** Explore (default {!Por}) and judge every execution against the
     [oracles]; when a violation is found and [minimize] (default
     [true]), the first counterexample is shrunk before reporting.
-    @raise Max_steps_exceeded. *)
+    [sink] is threaded to {!explore}; each violating execution
+    additionally emits an [explore.violation] instant naming the
+    fired oracles.  @raise Max_steps_exceeded. *)

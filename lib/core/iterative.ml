@@ -143,6 +143,8 @@ let advance_level w =
   in
   Metrics.add_work plan.metrics ~p:w.pid
     ((Ostree.cardinal result + 1) * plan.log_n);
+  Util.Logging.debug "p%d: level L%d done, %d super-jobs carried forward"
+    w.pid w.level (Ostree.cardinal result);
   if w.level + 1 < num_levels plan then begin
     let free = Superjob.map_down plan.hierarchy ~from_level:w.level result in
     w.level <- w.level + 1;

@@ -2,11 +2,20 @@ type outcome = {
   dos : (int * int) list;
   per_process : int array;
   wall_seconds : float;
+  metrics : Shm.Metrics.t;
 }
+
+(* Each domain owns a full-width ledger but only ever touches its own
+   pid's cells, so counting is uncontended; the ledgers are merged
+   after join.  Work charges mirror the simulator's (Core.Kk): the
+   rank cost per compNext, one tree-op unit per gather hit, two per
+   done-set update, so measured multicore work is comparable with
+   Theorem 5.6's bound the same way E4's is. *)
 
 (* One process's run: a direct transcription of Fig. 2 against atomic
    registers.  Shared state: [next] (m cells) and [done_m] (m x n). *)
-let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid =
+let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid ~ledger
+    ~log_unit =
   let free = ref (Ostree.of_range 1 n) in
   let done_set = ref Ostree.empty in
   let tries = ref Ostree.empty in
@@ -18,7 +27,11 @@ let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid =
     for q = 1 to m do
       if q <> pid then begin
         let v = Atomic_mem.vget next q in
-        if v > 0 then tries := Ostree.add v !tries
+        Shm.Metrics.on_read ledger ~p:pid;
+        if v > 0 then begin
+          tries := Ostree.add v !tries;
+          Shm.Metrics.add_work ledger ~p:pid log_unit
+        end
       end
     done
   in
@@ -30,10 +43,12 @@ let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid =
           if pos.(q) > n then continue := false
           else begin
             let v = Atomic_mem.mget done_m q pos.(q) in
+            Shm.Metrics.on_read ledger ~p:pid;
             if v > 0 then begin
               done_set := Ostree.add v !done_set;
               free := Ostree.remove v !free;
-              pos.(q) <- pos.(q) + 1
+              pos.(q) <- pos.(q) + 1;
+              Shm.Metrics.add_work ledger ~p:pid (2 * log_unit)
             end
             else continue := false
           end
@@ -44,17 +59,28 @@ let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid =
   let running = ref true in
   while !running do
     if Ostree.diff_cardinal !free !tries >= beta && !count < budget then begin
+      Shm.Metrics.on_internal ledger ~p:pid;
+      Shm.Metrics.add_work ledger ~p:pid
+        (Core.Policy.work_cost ~try_cardinal:(Ostree.cardinal !tries)
+           ~log_n:log_unit);
       let next_j = Core.Policy.choose policy ~p:pid ~m ~free:!free ~try_set:!tries in
       Atomic_mem.vset next pid next_j;
+      Shm.Metrics.on_write ledger ~p:pid;
       gather_try ();
       gather_done ();
+      Shm.Metrics.on_internal ledger ~p:pid;
+      Shm.Metrics.add_work ledger ~p:pid (2 * log_unit);
       if
         (not (Ostree.mem next_j !tries)) && not (Ostree.mem next_j !done_set)
       then begin
         (* do the job, then publish it *)
         performed := next_j :: !performed;
         incr count;
+        Shm.Metrics.on_internal ledger ~p:pid;
+        Shm.Metrics.add_work ledger ~p:pid 1;
         Atomic_mem.mset done_m pid pos.(pid) next_j;
+        Shm.Metrics.on_write ledger ~p:pid;
+        Shm.Metrics.add_work ledger ~p:pid (2 * log_unit);
         done_set := Ostree.add next_j !done_set;
         free := Ostree.remove next_j !free;
         pos.(pid) <- pos.(pid) + 1
@@ -75,8 +101,9 @@ type level_shared = {
 (* One IterStepKK instance (Fig. 3 inner call) for process [pid] on
    level [ls]: KK with the shared termination flag; returns the output
    set FREE \ TRY (ids of this level's super-jobs). *)
-let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed =
+let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed ~ledger =
   let cols = Atomic_mem.mcols ls.lv_done in
+  let log_unit = Core.Params.log2_ceil (max 2 cols) in
   let free = ref free0 in
   let done_set = ref Ostree.empty in
   let tries = ref Ostree.empty in
@@ -86,7 +113,11 @@ let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed =
     for q = 1 to m do
       if q <> pid then begin
         let v = Atomic_mem.vget ls.lv_next q in
-        if v > 0 then tries := Ostree.add v !tries
+        Shm.Metrics.on_read ledger ~p:pid;
+        if v > 0 then begin
+          tries := Ostree.add v !tries;
+          Shm.Metrics.add_work ledger ~p:pid log_unit
+        end
       end
     done
   in
@@ -98,10 +129,12 @@ let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed =
           if pos.(q) > cols then continue := false
           else begin
             let v = Atomic_mem.mget ls.lv_done q pos.(q) in
+            Shm.Metrics.on_read ledger ~p:pid;
             if v > 0 then begin
               done_set := Ostree.add v !done_set;
               free := Ostree.remove v !free;
-              pos.(q) <- pos.(q) + 1
+              pos.(q) <- pos.(q) + 1;
+              Shm.Metrics.add_work ledger ~p:pid (2 * log_unit)
             end
             else continue := false
           end
@@ -119,15 +152,28 @@ let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed =
   let result = ref None in
   while !result = None do
     if Ostree.diff_cardinal !free !tries >= beta then begin
+      Shm.Metrics.on_internal ledger ~p:pid;
+      Shm.Metrics.add_work ledger ~p:pid
+        (Core.Policy.work_cost ~try_cardinal:(Ostree.cardinal !tries)
+           ~log_n:log_unit);
       let id = Core.Policy.choose policy ~p:pid ~m ~free:!free ~try_set:!tries in
       Atomic_mem.vset ls.lv_next pid id;
+      Shm.Metrics.on_write ledger ~p:pid;
       gather_try ();
       gather_done ();
+      Shm.Metrics.on_internal ledger ~p:pid;
+      Shm.Metrics.add_work ledger ~p:pid (2 * log_unit);
       if (not (Ostree.mem id !tries)) && not (Ostree.mem id !done_set) then begin
-        if Atomic.get ls.lv_flag = 1 then result := Some (finalize ())
+        let flag = Atomic.get ls.lv_flag in
+        Shm.Metrics.on_read ledger ~p:pid;
+        if flag = 1 then result := Some (finalize ())
         else begin
           performed id;
+          Shm.Metrics.on_internal ledger ~p:pid;
+          Shm.Metrics.add_work ledger ~p:pid 1;
           Atomic_mem.mset ls.lv_done pid pos.(pid) id;
+          Shm.Metrics.on_write ledger ~p:pid;
+          Shm.Metrics.add_work ledger ~p:pid (2 * log_unit);
           done_set := Ostree.add id !done_set;
           free := Ostree.remove id !free;
           pos.(pid) <- pos.(pid) + 1
@@ -136,6 +182,7 @@ let iter_step_loop ~m ~beta ~policy ~ls ~pid ~free0 ~performed =
     end
     else begin
       Atomic.set ls.lv_flag 1;
+      Shm.Metrics.on_write ledger ~p:pid;
       result := Some (finalize ())
     end
   done;
@@ -160,10 +207,12 @@ let run_iterative ~n ~m ~epsilon_inv () =
           lv_flag = Atomic.make 0;
         })
   in
+  let ledgers = Array.init m (fun _ -> Shm.Metrics.create ~m) in
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init m (fun i ->
         let pid = i + 1 in
+        let ledger = ledgers.(i) in
         Domain.spawn (fun () ->
             let performed = ref [] in
             let free = ref (Core.Superjob.ids_at hierarchy 0) in
@@ -171,7 +220,7 @@ let run_iterative ~n ~m ~epsilon_inv () =
               let log id = performed := (level, id) :: !performed in
               let out =
                 iter_step_loop ~m ~beta ~policy:Core.Policy.Rank_split
-                  ~ls:levels.(level) ~pid ~free0:!free ~performed:log
+                  ~ls:levels.(level) ~pid ~free0:!free ~performed:log ~ledger
               in
               if level + 1 < num_levels then
                 free := Core.Superjob.map_down hierarchy ~from_level:level out
@@ -180,6 +229,8 @@ let run_iterative ~n ~m ~epsilon_inv () =
   in
   let logs = Array.map Domain.join domains in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  let metrics = Shm.Metrics.create ~m in
+  Array.iter (Shm.Metrics.merge metrics) ledgers;
   let per_process = Array.make (m + 1) 0 in
   let dos = ref [] in
   (* expand super-jobs into their constituent jobs; build reversed,
@@ -196,7 +247,7 @@ let run_iterative ~n ~m ~epsilon_inv () =
           done)
         log)
     logs;
-  { dos = List.rev !dos; per_process; wall_seconds }
+  { dos = List.rev !dos; per_process; wall_seconds; metrics }
 
 let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
     ?(job_budget = fun ~pid:_ -> max_int) () =
@@ -204,17 +255,23 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
   if beta < 1 then invalid_arg "Runner.run_kk: beta must be >= 1";
   let next = Atomic_mem.vector ~len:m ~init:0 in
   let done_m = Atomic_mem.matrix ~rows:m ~cols:n ~init:0 in
+  let log_unit = Core.Params.log2_ceil (max 2 n) in
+  let ledgers = Array.init m (fun _ -> Shm.Metrics.create ~m) in
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init m (fun i ->
         let pid = i + 1 in
         let pol = policy ~pid in
         let budget = job_budget ~pid in
+        let ledger = ledgers.(i) in
         Domain.spawn (fun () ->
-            process_loop ~n ~m ~beta ~policy:pol ~budget ~next ~done_m ~pid))
+            process_loop ~n ~m ~beta ~policy:pol ~budget ~next ~done_m ~pid
+              ~ledger ~log_unit))
   in
   let logs = Array.map Domain.join domains in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  let metrics = Shm.Metrics.create ~m in
+  Array.iter (Shm.Metrics.merge metrics) ledgers;
   let per_process = Array.make (m + 1) 0 in
   let dos = ref [] in
   Array.iteri
@@ -223,4 +280,4 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
       per_process.(pid) <- List.length jobs;
       List.iter (fun j -> dos := (pid, j) :: !dos) jobs)
     logs;
-  { dos = List.rev !dos; per_process; wall_seconds }
+  { dos = List.rev !dos; per_process; wall_seconds; metrics }

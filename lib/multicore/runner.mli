@@ -21,6 +21,13 @@ type outcome = {
           within a process is program order) *)
   per_process : int array;  (** jobs performed by each pid; index 0 unused *)
   wall_seconds : float;
+  metrics : Shm.Metrics.t;
+      (** merged per-domain ledgers: each domain counts its own
+          reads/writes/internals and mirrors the simulator's work
+          charges (rank cost per [compNext], tree-op units per gather
+          hit and done-set update), so multicore work totals are
+          directly comparable with {!Core.Kk} runs and with Theorem
+          5.6's bound *)
 }
 
 val run_kk :

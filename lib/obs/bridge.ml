@@ -1,0 +1,60 @@
+(* Adapters from the generic Shm.Probe seam to obs consumers.  The
+   probe layer lives in shm so the executor can stream events without
+   depending on this library; these constructors close the loop. *)
+
+let kind_of_event (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> Sink.Instant
+  | _ -> Sink.Span
+
+let name_of_event (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Do { job; _ } -> Printf.sprintf "do(%d)" job
+  | Shm.Event.Crash _ -> "crash"
+  | Shm.Event.Terminate _ -> "terminate"
+  | Shm.Event.Read { cell; _ } -> "read " ^ cell
+  | Shm.Event.Write { cell; _ } -> "write " ^ cell
+  | Shm.Event.Internal { action; _ } -> action
+
+let args_of_event (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Do { job; _ } -> [ ("job", Json.Int job) ]
+  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> []
+  | Shm.Event.Read { cell; value; _ } | Shm.Event.Write { cell; value; _ } ->
+      [ ("cell", Json.String cell); ("value", Json.Int value) ]
+  | Shm.Event.Internal { action; _ } -> [ ("action", Json.String action) ]
+
+let sink_probe sink =
+  if Sink.is_null sink then Shm.Probe.null
+  else
+    Shm.Probe.make (fun ~step ~phase ev ->
+        let args = ("phase", Json.String phase) :: args_of_event ev in
+        Sink.emit sink
+          (Sink.record ~ts:step ~dur:1 ~pid:(Shm.Event.pid ev)
+             ~kind:(kind_of_event ev) ~args (name_of_event ev)))
+
+let profile_probe profile =
+  Shm.Probe.make (fun ~step:_ ~phase ev ->
+      let pid = Shm.Event.pid ev in
+      match ev with
+      | Shm.Event.Read _ -> Profile.add profile ~pid ~series:("read@" ^ phase) 1
+      | Shm.Event.Write _ ->
+          Profile.add profile ~pid ~series:("write@" ^ phase) 1
+      | Shm.Event.Internal _ ->
+          Profile.add profile ~pid ~series:("internal@" ^ phase) 1
+      | Shm.Event.Do _ | Shm.Event.Crash _ | Shm.Event.Terminate _ -> ())
+
+let emit_metrics sink ?(ts = 0) metrics =
+  if not (Sink.is_null sink) then
+    for p = 1 to Shm.Metrics.m metrics do
+      Sink.emit sink
+        (Sink.record ~ts ~pid:p ~kind:Sink.Counter
+           ~args:
+             [
+               ("reads", Json.Int (Shm.Metrics.reads metrics ~p));
+               ("writes", Json.Int (Shm.Metrics.writes metrics ~p));
+               ("internals", Json.Int (Shm.Metrics.internals metrics ~p));
+               ("work", Json.Int (Shm.Metrics.work metrics ~p));
+             ]
+           "metrics")
+    done

@@ -1,0 +1,18 @@
+(** Connect {!Shm.Probe} (the executor's observer seam) to obs
+    consumers. *)
+
+val sink_probe : Sink.t -> Shm.Probe.t
+(** A probe that emits one structured record per executor event into
+    the sink: 1-step spans for reads/writes/internal actions and
+    [Do]s, instants for crashes/terminations, each tagged with the
+    acting process's phase.  [sink_probe Sink.null = Probe.null], so
+    an unconfigured sink keeps the executor's fast path. *)
+
+val profile_probe : Profile.t -> Shm.Probe.t
+(** A probe that buckets shared accesses by [(pid, kind@phase)] —
+    e.g. series ["read@gather_try"] — yielding per-phase access
+    distributions. *)
+
+val emit_metrics : Sink.t -> ?ts:int -> Shm.Metrics.t -> unit
+(** Emit one [Counter] record per process with its final ledger
+    (reads/writes/internals/work).  No-op on a null sink. *)

@@ -1,0 +1,98 @@
+(* Chrome trace_event format (the JSON array flavour understood by
+   chrome://tracing and Perfetto).  The whole run is one "process"
+   (pid 1) named after the run; each simulated process is a thread
+   (tid = pid), so the UI shows one track per process.  Logical steps
+   map to microseconds: ts = step, dur = 1. *)
+
+let event_name (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Do { job; _ } -> Printf.sprintf "do(%d)" job
+  | Shm.Event.Crash _ -> "crash"
+  | Shm.Event.Terminate _ -> "terminate"
+  | Shm.Event.Read { cell; _ } -> cell
+  | Shm.Event.Write { cell; _ } -> cell
+  | Shm.Event.Internal { action; _ } -> action
+
+let event_cat (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Do _ -> "do"
+  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> "lifecycle"
+  | Shm.Event.Read _ -> "read"
+  | Shm.Event.Write _ -> "write"
+  | Shm.Event.Internal _ -> "internal"
+
+let event_args (e : Shm.Event.t) =
+  match e with
+  | Shm.Event.Do { job; _ } -> [ ("job", Json.Int job) ]
+  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> []
+  | Shm.Event.Read { cell; value; _ } ->
+      [ ("cell", Json.String cell); ("value", Json.Int value) ]
+  | Shm.Event.Write { cell; value; _ } ->
+      [ ("cell", Json.String cell); ("value", Json.Int value) ]
+  | Shm.Event.Internal { action; _ } -> [ ("action", Json.String action) ]
+
+let entry_to_json { Shm.Trace.step; event } =
+  let p = Shm.Event.pid event in
+  let common =
+    [
+      ("name", Json.String (event_name event));
+      ("cat", Json.String (event_cat event));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int p);
+      ("ts", Json.Int step);
+    ]
+  in
+  let shape =
+    match event with
+    | Shm.Event.Crash _ | Shm.Event.Terminate _ ->
+        [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+    | _ -> [ ("ph", Json.String "X"); ("dur", Json.Int 1) ]
+  in
+  let args =
+    match event_args event with [] -> [] | a -> [ ("args", Json.Obj a) ]
+  in
+  Json.Obj (common @ shape @ args)
+
+let metadata ~run_name ~m =
+  let meta name tid args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("ts", Json.Int 0);
+        ("args", Json.Obj args);
+      ]
+  in
+  meta "process_name" 0 [ ("name", Json.String run_name) ]
+  :: List.concat
+       (List.init m (fun i ->
+            let p = i + 1 in
+            [
+              meta "thread_name" p
+                [ ("name", Json.String (Printf.sprintf "p%d" p)) ];
+              meta "thread_sort_index" p [ ("sort_index", Json.Int p) ];
+            ]))
+
+let events ?(run_name = "amo run") ~m trace =
+  metadata ~run_name ~m @ List.map entry_to_json (Shm.Trace.entries trace)
+
+(* One event per line: diff-friendly goldens, still a single valid
+   JSON document. *)
+let to_string ?run_name ~m trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Json.to_string ev))
+    (events ?run_name ~m trace);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write_file ?run_name ~m ~path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?run_name ~m trace))

@@ -1,0 +1,25 @@
+(** Export {!Shm.Trace} executions as Chrome [trace_event] JSON.
+
+    The produced file loads in [chrome://tracing] and Perfetto: the
+    run is one process with one thread ("track") per simulated
+    process, reads/writes/[compNext]-style internal actions and [Do]s
+    render as 1-step spans, crashes and terminations as instant
+    markers.  Logical executor steps map to microseconds.
+
+    Only events the trace retained are exported — record the run at
+    [`Full] (and, for KK automata, [~verbose:true] so memory accesses
+    emit events) to get per-access spans; an [`Outcomes] trace still
+    shows [Do]/crash/terminate marks.
+
+    Output is deterministic (stable ordering, one event per line), so
+    traces of deterministic schedules are byte-stable — suitable as
+    golden files. *)
+
+val events : ?run_name:string -> m:int -> Shm.Trace.t -> Json.t list
+(** Metadata records (process/thread names for [m] processes) followed
+    by one record per trace entry, in trace order. *)
+
+val to_string : ?run_name:string -> m:int -> Shm.Trace.t -> string
+(** A complete [{"traceEvents": [...]}] document. *)
+
+val write_file : ?run_name:string -> m:int -> path:string -> Shm.Trace.t -> unit

@@ -1,0 +1,115 @@
+(* Buckets: index 0 holds the value 0 (and any clamped negatives);
+   bucket b >= 1 holds values in [2^(b-1), 2^b - 1].  With 63-bit
+   OCaml ints the top bucket is 62: [2^61, max_int]. *)
+
+let top_bucket = 62
+let n_buckets = top_bucket + 1
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float; (* float: [n] samples of [max_int] overflow int *)
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    n = 0;
+    sum = 0.;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 v
+  end
+
+let bucket_lo b = if b <= 0 then 0 else 1 lsl (b - 1)
+
+let bucket_hi b =
+  if b <= 0 then 0 else if b >= top_bucket then max_int else (1 lsl b) - 1
+
+let add t v =
+  let v = max 0 v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let total t = t.sum
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = if t.n = 0 then 0 else t.max_v
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let buckets t =
+  let acc = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    if t.counts.(b) > 0 then acc := (b, t.counts.(b)) :: !acc
+  done;
+  !acc
+
+let merge a b =
+  let t = create () in
+  Array.blit a.counts 0 t.counts 0 n_buckets;
+  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  t.min_v <- min a.min_v b.min_v;
+  t.max_v <- max a.max_v b.max_v;
+  t
+
+(* Upper-bound estimate: the smallest bucket upper bound covering the
+   requested rank.  Exact for ranks landing in bucket 0 and for
+   p = 100 (true max); within a factor of 2 elsewhere — tails in a
+   log-bucketed histogram are resolution-limited by construction. *)
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p in [0,100]";
+  if t.n = 0 then 0
+  else if p >= 100. then t.max_v
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p /. 100. *. float_of_int t.n)) in
+      max 1 r
+    in
+    let rec go b cum =
+      if b >= n_buckets then t.max_v
+      else begin
+        let cum = cum + t.counts.(b) in
+        if cum >= rank then min (bucket_hi b) t.max_v else go (b + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ("sum", Json.Float t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (b, c) ->
+               Json.Obj
+                 [
+                   ("bucket", Json.Int b);
+                   ("lo", Json.Int (bucket_lo b));
+                   ("hi", Json.Int (bucket_hi b));
+                   ("count", Json.Int c);
+                 ])
+             (buckets t)) );
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d min=%d p50=%d p90=%d p99=%d max=%d" t.n
+    (min_value t) (percentile t 50.) (percentile t 90.) (percentile t 99.)
+    (max_value t)

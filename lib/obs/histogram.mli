@@ -1,0 +1,54 @@
+(** Log-bucketed integer histograms.
+
+    Work, read and write counts range over many orders of magnitude
+    across processes and phases, so distributions are kept in
+    power-of-two buckets: bucket [0] holds the value [0], bucket [b]
+    ([b >= 1]) holds values in [[2^(b-1), 2^b - 1]], and the top
+    bucket (62) absorbs everything up to [max_int].  Constant space,
+    O(1) insert, and tail percentiles good to a factor of 2 — the
+    right trade for "did p99 work per process blow up?" questions. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample.  Negative values clamp to bucket 0. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in ([0..62]). *)
+
+val bucket_lo : int -> int
+(** Smallest value of a bucket ([0] for bucket 0). *)
+
+val bucket_hi : int -> int
+(** Largest value of a bucket ([max_int] for the top bucket). *)
+
+val count : t -> int
+val total : t -> float
+(** Sum of samples (float: sums of near-[max_int] samples overflow). *)
+
+val min_value : t -> int
+(** Exact smallest sample; [0] when empty. *)
+
+val max_value : t -> int
+(** Exact largest sample; [0] when empty. *)
+
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [\[0,100\]]: an upper-bound estimate
+    (the covering bucket's upper edge, capped at the true max).  [100.]
+    returns the exact max.  @raise Invalid_argument on out-of-range
+    [p]. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty [(bucket, count)] pairs, ascending. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; exact (no re-bucketing error). *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit
+(** One-line [n]/[min]/[p50]/[p90]/[p99]/[max] summary. *)

@@ -1,0 +1,10 @@
+(** Leveled logging — the observability layer's public face of
+    {!Util.Logging}.
+
+    The implementation lives in [util] so that the low layers ([shm],
+    [core]) can log without depending on [obs] (which itself depends
+    on [shm] for trace export); both names share one level and one
+    output formatter.  See {!Util.Logging} for the semantics
+    ([AMO_LOG] environment variable, [quiet]/[info]/[debug]). *)
+
+include module type of Util.Logging

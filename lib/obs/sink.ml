@@ -1,0 +1,70 @@
+type kind = Span | Instant | Counter | Log
+
+let kind_to_string = function
+  | Span -> "span"
+  | Instant -> "instant"
+  | Counter -> "counter"
+  | Log -> "log"
+
+type record = {
+  ts : int;
+  dur : int;
+  pid : int;
+  kind : kind;
+  name : string;
+  args : (string * Json.t) list;
+}
+
+let record ?(dur = 0) ?(pid = 0) ?(args = []) ~ts ~kind name =
+  { ts; dur; pid; kind; name; args }
+
+let record_to_json r =
+  let base =
+    [
+      ("ts", Json.Int r.ts);
+      ("dur", Json.Int r.dur);
+      ("pid", Json.Int r.pid);
+      ("kind", Json.String (kind_to_string r.kind));
+      ("name", Json.String r.name);
+    ]
+  in
+  Json.Obj (if r.args = [] then base else base @ [ ("args", Json.Obj r.args) ])
+
+type t =
+  | Null
+  | Memory of { cap : int; q : record Queue.t; mutable total : int }
+  | Jsonl of { oc : out_channel; mutable total : int }
+
+let null = Null
+
+let default_capacity = 65_536
+
+let memory ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Sink.memory: capacity must be >= 1";
+  Memory { cap = capacity; q = Queue.create (); total = 0 }
+
+let jsonl oc = Jsonl { oc; total = 0 }
+
+let is_null = function Null -> true | _ -> false
+
+let emit t r =
+  match t with
+  | Null -> ()
+  | Memory m ->
+      Queue.push r m.q;
+      if Queue.length m.q > m.cap then ignore (Queue.pop m.q);
+      m.total <- m.total + 1
+  | Jsonl j ->
+      Json.to_channel j.oc (record_to_json r);
+      j.total <- j.total + 1
+
+let records = function
+  | Memory m -> List.of_seq (Queue.to_seq m.q)
+  | Null | Jsonl _ -> []
+
+let total_emitted = function
+  | Null -> 0
+  | Memory m -> m.total
+  | Jsonl j -> j.total
+
+let flush = function Jsonl j -> flush j.oc | Null | Memory _ -> ()

@@ -1,0 +1,66 @@
+(** Pluggable structured-event sink.
+
+    Instrumented components (the executor via {!Bridge}, the model
+    checker, the bench harness) emit {!record}s — spans, instants,
+    counters, log lines — into a sink chosen by the application:
+
+    - {!null}: drops everything (the default; instrumentation must
+      cost nothing when nobody listens — emitters should test
+      {!is_null} before building argument lists);
+    - {!memory}: bounded in-memory ring buffer, for tests and
+      post-run analysis;
+    - {!jsonl}: line-delimited JSON on an [out_channel], one record
+      per line, for streaming to files or pipes.
+
+    Timestamps are logical (the executor's step counter), matching the
+    paper's action-counting model rather than wall clock. *)
+
+type kind = Span | Instant | Counter | Log
+
+val kind_to_string : kind -> string
+
+type record = {
+  ts : int;  (** logical time, e.g. executor step *)
+  dur : int;  (** span length in steps; [0] for points *)
+  pid : int;  (** owning process, [0] = whole run *)
+  kind : kind;
+  name : string;
+  args : (string * Json.t) list;
+}
+
+val record :
+  ?dur:int ->
+  ?pid:int ->
+  ?args:(string * Json.t) list ->
+  ts:int ->
+  kind:kind ->
+  string ->
+  record
+(** Convenience constructor; [dur], [pid] default [0], [args] empty. *)
+
+val record_to_json : record -> Json.t
+
+type t
+
+val null : t
+
+val memory : ?capacity:int -> unit -> t
+(** Ring buffer keeping the most recent [capacity] (default 65536)
+    records.  @raise Invalid_argument on non-positive capacity. *)
+
+val jsonl : out_channel -> t
+(** Writes each record as one minified JSON line.  The channel is
+    owned by the caller (not closed by the sink); call {!flush}. *)
+
+val emit : t -> record -> unit
+
+val is_null : t -> bool
+(** True for {!null}: lets hot paths skip building records. *)
+
+val records : t -> record list
+(** Retained records, oldest first.  Empty for {!null}/{!jsonl}. *)
+
+val total_emitted : t -> int
+(** All records ever emitted, including any the ring evicted. *)
+
+val flush : t -> unit

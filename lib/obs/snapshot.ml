@@ -1,0 +1,216 @@
+let schema_version = 1
+
+type direction = Lower_is_better | Higher_is_better
+
+let direction_to_string = function
+  | Lower_is_better -> "lower"
+  | Higher_is_better -> "higher"
+
+let direction_of_string = function
+  | "lower" -> Some Lower_is_better
+  | "higher" -> Some Higher_is_better
+  | _ -> None
+
+type metric = {
+  name : string;
+  measured : float;
+  predicted : float option;
+  direction : direction;
+}
+
+let metric ?(direction = Lower_is_better) ?predicted ~name measured =
+  { name; measured; predicted; direction }
+
+let ratio m =
+  match m.predicted with
+  | Some p when p <> 0. -> Some (m.measured /. p)
+  | _ -> None
+
+type t = {
+  experiment : string;
+  title : string;
+  claim : string;
+  params : (string * Json.t) list;
+  metrics : metric list;
+  ok : bool;
+}
+
+let make ?(title = "") ?(claim = "") ?(params = []) ?(metrics = []) ~ok
+    experiment =
+  { experiment; title; claim; params; metrics; ok }
+
+let metric_to_json m =
+  let base =
+    [ ("name", Json.String m.name); ("measured", Json.Float m.measured) ]
+  in
+  let pred =
+    match m.predicted with
+    | None -> []
+    | Some p -> [ ("predicted", Json.Float p) ]
+  in
+  let r =
+    match ratio m with None -> [] | Some r -> [ ("ratio", Json.Float r) ]
+  in
+  Json.Obj
+    (base @ pred @ r
+    @ [ ("direction", Json.String (direction_to_string m.direction)) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("experiment", Json.String t.experiment);
+      ("title", Json.String t.title);
+      ("claim", Json.String t.claim);
+      ("params", Json.Obj t.params);
+      ("metrics", Json.List (List.map metric_to_json t.metrics));
+      ("ok", Json.Bool t.ok);
+    ]
+
+let metric_of_json j =
+  match
+    ( Option.bind (Json.member "name" j) Json.get_string,
+      Option.bind (Json.member "measured" j) Json.get_float )
+  with
+  | Some name, Some measured ->
+      let predicted = Option.bind (Json.member "predicted" j) Json.get_float in
+      let direction =
+        match
+          Option.bind (Json.member "direction" j) Json.get_string
+        with
+        | Some s -> Option.value (direction_of_string s) ~default:Lower_is_better
+        | None -> Lower_is_better
+      in
+      Ok { name; measured; predicted; direction }
+  | _ -> Error "metric: missing name/measured"
+
+let of_json j =
+  match Option.bind (Json.member "schema_version" j) Json.get_int with
+  | None -> Error "snapshot: missing schema_version"
+  | Some v when v > schema_version ->
+      Error (Printf.sprintf "snapshot: unsupported schema_version %d" v)
+  | Some _ -> begin
+      match
+        ( Option.bind (Json.member "experiment" j) Json.get_string,
+          Option.bind (Json.member "ok" j) Json.get_bool )
+      with
+      | Some experiment, Some ok ->
+          let str key =
+            Option.value ~default:""
+              (Option.bind (Json.member key j) Json.get_string)
+          in
+          let params =
+            Option.value ~default:[]
+              (Option.bind (Json.member "params" j) Json.get_obj)
+          in
+          let rec metrics acc = function
+            | [] -> Ok (List.rev acc)
+            | mj :: rest -> (
+                match metric_of_json mj with
+                | Ok m -> metrics (m :: acc) rest
+                | Error e -> Error e)
+          in
+          Result.map
+            (fun metrics ->
+              {
+                experiment;
+                title = str "title";
+                claim = str "claim";
+                params;
+                metrics;
+                ok;
+              })
+            (metrics []
+               (Option.value ~default:[]
+                  (Option.bind (Json.member "metrics" j) Json.get_list)))
+      | _ -> Error "snapshot: missing experiment/ok"
+    end
+
+let of_string s = Result.bind (Json.parse s) of_json
+
+let filename experiment = Printf.sprintf "BENCH_%s.json" experiment
+
+let save ~dir t =
+  let path = Filename.concat dir (filename t.experiment) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~minify:false (to_json t)));
+  path
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string s
+
+(* ---- regression comparison ---- *)
+
+type change = {
+  experiment : string;
+  metric_name : string;
+  baseline : float;
+  current : float;
+  delta_pct : float;
+  regressed : bool;
+}
+
+(* The compared quantity is measured/predicted when a prediction is
+   recorded (insensitive to grid-size changes), raw measured
+   otherwise. *)
+let compared_value m =
+  match ratio m with Some r -> r | None -> m.measured
+
+let diff ?(tolerance_pct = 10.) ~baseline ~current () =
+  let changes =
+    List.filter_map
+      (fun bm ->
+        match
+          List.find_opt (fun cm -> cm.name = bm.name) current.metrics
+        with
+        | None -> None
+        | Some cm ->
+            let b = compared_value bm and c = compared_value cm in
+            let delta_pct =
+              if b = c then 0.
+              else if b = 0. then Float.infinity
+              else (c -. b) /. Float.abs b *. 100.
+            in
+            let regressed =
+              match bm.direction with
+              | Lower_is_better -> delta_pct > tolerance_pct
+              | Higher_is_better -> delta_pct < -.tolerance_pct
+            in
+            Some
+              {
+                experiment = current.experiment;
+                metric_name = bm.name;
+                baseline = b;
+                current = c;
+                delta_pct;
+                regressed;
+              })
+      baseline.metrics
+  in
+  let verdict_change =
+    if baseline.ok && not current.ok then
+      [
+        {
+          experiment = current.experiment;
+          metric_name = "verdict";
+          baseline = 1.;
+          current = 0.;
+          delta_pct = -100.;
+          regressed = true;
+        };
+      ]
+    else []
+  in
+  verdict_change @ changes
+
+let regressions changes = List.filter (fun c -> c.regressed) changes

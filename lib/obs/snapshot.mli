@@ -1,0 +1,83 @@
+(** Versioned, machine-readable bench snapshots.
+
+    Every bench experiment can emit a [BENCH_<exp>.json] file
+    capturing its parameters, each measured quantity, the paper's
+    predicted bound where one exists (e.g. Theorem 5.6's
+    O(n·m·log n·log m) work bound for E4), their ratio, and the
+    experiment's pass/fail verdict.  Snapshots round-trip through
+    {!Json} and are diffed against committed baselines by
+    [bench/compare.exe], which flags direction-aware regressions
+    beyond a tolerance. *)
+
+val schema_version : int
+
+type direction = Lower_is_better | Higher_is_better
+
+type metric = {
+  name : string;
+  measured : float;
+  predicted : float option;
+      (** The paper-derived bound, when the experiment has one. *)
+  direction : direction;
+}
+
+val metric :
+  ?direction:direction -> ?predicted:float -> name:string -> float -> metric
+(** Defaults: [direction = Lower_is_better], no prediction. *)
+
+val ratio : metric -> float option
+(** [measured /. predicted] when a non-zero prediction is recorded. *)
+
+type t = {
+  experiment : string;  (** e.g. ["e4"] *)
+  title : string;
+  claim : string;  (** the paper claim this experiment checks *)
+  params : (string * Json.t) list;
+  metrics : metric list;
+  ok : bool;  (** the experiment's own verdict *)
+}
+
+val make :
+  ?title:string ->
+  ?claim:string ->
+  ?params:(string * Json.t) list ->
+  ?metrics:metric list ->
+  ok:bool ->
+  string ->
+  t
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val filename : string -> string
+(** [filename "e4" = "BENCH_e4.json"]. *)
+
+val save : dir:string -> t -> string
+(** Write pretty-printed JSON to [dir/BENCH_<exp>.json]; returns the
+    path. *)
+
+val load : string -> (t, string) result
+
+(** {1 Regression comparison} *)
+
+type change = {
+  experiment : string;
+  metric_name : string;
+  baseline : float;
+  current : float;
+  delta_pct : float;
+  regressed : bool;
+}
+
+val diff : ?tolerance_pct:float -> baseline:t -> current:t -> unit -> change list
+(** Compare metrics present in both snapshots (matched by name).  The
+    compared quantity is the measured/predicted ratio when a
+    prediction is recorded — insensitive to deliberate grid-size
+    changes — and the raw measurement otherwise.  A change regresses
+    when it moves against the metric's direction by more than
+    [tolerance_pct] (default 10%).  A baseline-ok experiment whose
+    current run fails its own verdict always yields a regressed
+    ["verdict"] change. *)
+
+val regressions : change list -> change list

@@ -5,7 +5,17 @@ type t = {
 
 let name t = t.name
 
-let decide t ~step ~handles = t.decide ~step ~handles
+(* All built-in adversaries report their stop decisions at debug
+   level; nothing is ever written unconditionally. *)
+let log_victims name ~step = function
+  | [] -> []
+  | victims ->
+      Util.Logging.debug "adversary %s: stop {%s} at step %d" name
+        (String.concat ", " (List.map string_of_int victims))
+        step;
+      victims
+
+let decide t ~step ~handles = log_victims t.name ~step (t.decide ~step ~handles)
 
 let none = { name = "none"; decide = (fun ~step:_ ~handles:_ -> []) }
 

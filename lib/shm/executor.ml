@@ -27,8 +27,10 @@ let validate handles =
         invalid_arg "Executor.run: handles.(i) must have pid i+1")
     handles
 
-let run ?max_steps ?(trace_level = `Outcomes) ~scheduler ~adversary handles =
+let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null) ~scheduler
+    ~adversary handles =
   validate handles;
+  let observing = not (Probe.is_null probe) in
   let max_steps =
     match max_steps with
     | Some s -> s
@@ -48,8 +50,12 @@ let run ?max_steps ?(trace_level = `Outcomes) ~scheduler ~adversary handles =
         if p >= 1 && p <= Array.length handles then begin
           let h = handles.(p - 1) in
           if h.Automaton.alive () then begin
+            (* Capture the phase before [crash] discards it. *)
+            let phase = if observing then h.Automaton.phase () else "" in
             h.Automaton.crash ();
-            Trace.record trace ~step:!step (Event.Crash { p })
+            let ev = Event.Crash { p } in
+            Trace.record trace ~step:!step ev;
+            if observing then Probe.on_event probe ~step:!step ~phase ev
           end
         end)
       victims;
@@ -61,8 +67,14 @@ let run ?max_steps ?(trace_level = `Outcomes) ~scheduler ~adversary handles =
     end
     else begin
       let p = Schedule.choose scheduler ~alive in
-      let events = handles.(p - 1).Automaton.step () in
+      let h = handles.(p - 1) in
+      (* The phase is read before the step moves the automaton on;
+         with a null probe we skip it — [phase ()] may allocate. *)
+      let phase = if observing then h.Automaton.phase () else "" in
+      let events = h.Automaton.step () in
       List.iter (Trace.record trace ~step:!step) events;
+      if observing then
+        List.iter (Probe.on_event probe ~step:!step ~phase) events;
       incr step
     end
   done;

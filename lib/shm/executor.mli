@@ -26,6 +26,7 @@ type outcome = {
 val run :
   ?max_steps:int ->
   ?trace_level:Trace.level ->
+  ?probe:Probe.t ->
   scheduler:Schedule.t ->
   adversary:Adversary.t ->
   Automaton.handle array ->
@@ -35,7 +36,10 @@ val run :
     [handles.(i)] must have pid [i + 1] (checked).  [max_steps]
     defaults to a generous bound derived from the number of processes;
     pass an explicit bound in wait-freedom tests.  [trace_level]
-    defaults to [`Outcomes].
+    defaults to [`Outcomes].  [probe] (default {!Probe.null}) observes
+    every recorded event regardless of trace level; with the null
+    probe no observation cost — not even the [phase ()] lookup — is
+    paid.
 
     @raise Invalid_argument on malformed handle arrays. *)
 

@@ -50,6 +50,40 @@ let total_internals t = sum t.internals
 let total_actions t = total_reads t + total_writes t + total_internals t
 let total_work t = sum t.work
 
+let merge a b =
+  if a.m <> b.m then invalid_arg "Metrics.merge: ledgers for different m";
+  let add dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src in
+  add a.reads b.reads;
+  add a.writes b.writes;
+  add a.internals b.internals;
+  add a.work b.work
+
+(* Hand-built JSON: shm sits below the obs library, which owns the
+   real encoder, so this stays a plain string.  All fields are ints —
+   no escaping concerns. *)
+let to_json t =
+  let buf = Buffer.create 256 in
+  let arr name a =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":[" name);
+    for p = 1 to t.m do
+      if p > 1 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int a.(p))
+    done;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf (Printf.sprintf "{\"m\":%d," t.m);
+  arr "reads" t.reads;
+  Buffer.add_char buf ',';
+  arr "writes" t.writes;
+  Buffer.add_char buf ',';
+  arr "internals" t.internals;
+  Buffer.add_char buf ',';
+  arr "work" t.work;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"total_work\":%d,\"total_actions\":%d}" (total_work t)
+       (total_actions t));
+  Buffer.contents buf
+
 let reset t =
   Array.fill t.reads 0 (t.m + 1) 0;
   Array.fill t.writes 0 (t.m + 1) 0;

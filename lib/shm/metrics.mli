@@ -51,6 +51,17 @@ val total_actions : t -> int
 val total_work : t -> int
 (** Weighted work units summed over all processes. *)
 
+val merge : t -> t -> unit
+(** [merge a b] adds [b]'s counters into [a] pointwise.  Multicore
+    runs keep one ledger per domain (uncontended) and merge after
+    join.
+    @raise Invalid_argument if the ledgers have different [m]. *)
+
+val to_json : t -> string
+(** The ledger as a JSON object: per-process counter arrays (index 0
+    is process 1) plus totals.  A plain string because this library
+    sits below the [obs] JSON encoder. *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

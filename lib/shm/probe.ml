@@ -1,0 +1,20 @@
+type t = { on_event : step:int -> phase:string -> Event.t -> unit }
+
+let null = { on_event = (fun ~step:_ ~phase:_ _ -> ()) }
+
+let is_null t = t == null
+
+let make on_event = { on_event }
+
+let on_event t ~step ~phase ev = t.on_event ~step ~phase ev
+
+let compose a b =
+  if is_null a then b
+  else if is_null b then a
+  else
+    {
+      on_event =
+        (fun ~step ~phase ev ->
+          a.on_event ~step ~phase ev;
+          b.on_event ~step ~phase ev);
+    }

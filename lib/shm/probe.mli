@@ -1,0 +1,26 @@
+(** Execution observer hook.
+
+    A probe receives every event the executor records, together with
+    the logical step and the acting process's phase at the moment of
+    the action.  It is the seam higher layers (the [obs] library's
+    sinks and profiles) attach to without [shm] depending on them.
+
+    The executor treats {!null} specially: with a null probe it skips
+    all observation work, including the [phase ()] call — which may
+    allocate — so un-observed runs pay nothing. *)
+
+type t
+
+val null : t
+(** The no-op probe.  Recognized by physical equality: pass [null]
+    itself, not a fresh probe with empty closures. *)
+
+val is_null : t -> bool
+
+val make : (step:int -> phase:string -> Event.t -> unit) -> t
+
+val on_event : t -> step:int -> phase:string -> Event.t -> unit
+
+val compose : t -> t -> t
+(** Fan out to both probes, in order.  Composing with {!null} returns
+    the other probe unchanged. *)

@@ -1,0 +1,45 @@
+type level = Quiet | Info | Debug
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "silent" | "none" | "0" -> Some Quiet
+  | "info" | "1" -> Some Info
+  | "debug" | "2" -> Some Debug
+  | _ -> None
+
+let from_env () =
+  match Sys.getenv_opt "AMO_LOG" with
+  | None -> Quiet
+  | Some s -> Option.value (level_of_string s) ~default:Quiet
+
+let current = ref (from_env ())
+
+let set_level l = current := l
+let level () = !current
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let enabled l = rank l <= rank !current && l <> Quiet
+
+let out = ref Format.err_formatter
+
+let set_formatter ppf = out := ppf
+
+let formatter () = !out
+
+let finish ppf = Format.fprintf ppf "@."
+
+let log l fmt =
+  if enabled l then begin
+    Format.fprintf !out "[amo:%s] " (level_to_string l);
+    Format.kfprintf finish !out fmt
+  end
+  else Format.ikfprintf (fun _ -> ()) !out fmt
+
+let info fmt = log Info fmt
+let debug fmt = log Debug fmt

@@ -23,5 +23,6 @@ let () =
       ("writeall", Test_writeall.suite);
       ("multicore", Test_multicore.suite);
       ("msg", Test_msg.suite);
+      ("obs", Test_obs.suite);
       ("conformance", Test_conformance.suite);
     ]

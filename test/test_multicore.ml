@@ -74,6 +74,24 @@ let test_per_process_totals () =
   let total = Array.fold_left ( + ) 0 r.Multicore.Runner.per_process in
   Alcotest.(check int) "per-process sums to dos" (List.length r.Multicore.Runner.dos) total
 
+let test_metrics_ledger () =
+  let n = 500 and m = 2 in
+  let r = Multicore.Runner.run_kk ~n ~m ~beta:m () in
+  let metrics = r.Multicore.Runner.metrics in
+  (* merged per-domain ledgers: every process paid for its accesses *)
+  Alcotest.(check bool) "work charged" true (Shm.Metrics.total_work metrics > 0);
+  for p = 1 to m do
+    if Shm.Metrics.reads metrics ~p = 0 then
+      Alcotest.failf "p%d recorded no shared reads" p;
+    if Shm.Metrics.writes metrics ~p < r.Multicore.Runner.per_process.(p) then
+      Alcotest.failf "p%d wrote less than it performed" p
+  done;
+  (* every perform is at least one write to done plus the final
+     done-bit write; n jobs give a crude lower bound on total writes *)
+  Alcotest.(check bool) "writes cover performs" true
+    (Shm.Metrics.total_writes metrics
+    >= List.length r.Multicore.Runner.dos)
+
 let test_validation () =
   Alcotest.check_raises "m > n" (Invalid_argument "Runner.run_kk: need 1 <= m <= n")
     (fun () -> ignore (Multicore.Runner.run_kk ~n:2 ~m:3 ~beta:1 ()))
@@ -91,5 +109,6 @@ let suite =
       test_iterative_on_domains;
     Alcotest.test_case "iterative validation" `Quick test_iterative_validation;
     Alcotest.test_case "per-process totals" `Quick test_per_process_totals;
+    Alcotest.test_case "metrics ledger" `Quick test_metrics_ledger;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

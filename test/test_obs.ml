@@ -1,0 +1,411 @@
+(* Tests for the observability layer (lib/obs) and its seams:
+   log-bucketed histograms, the dependency-free JSON codec, versioned
+   bench snapshots with regression diffing, the executor probe →
+   sink/profile bridges, a golden byte-stable Chrome trace, and the
+   guarantee that library code is silent unless logging is enabled. *)
+
+module J = Obs.Json
+module H = Obs.Histogram
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- histogram ---- *)
+
+let test_histogram_edges () =
+  let h = H.create () in
+  H.add h 0;
+  H.add h 1;
+  H.add h max_int;
+  Alcotest.(check int) "count" 3 (H.count h);
+  Alcotest.(check int) "bucket of 0" 0 (H.bucket_of 0);
+  Alcotest.(check int) "bucket of 1" 1 (H.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 2 (H.bucket_of 2);
+  Alcotest.(check int) "bucket of 3" 2 (H.bucket_of 3);
+  Alcotest.(check int) "bucket of 4" 3 (H.bucket_of 4);
+  Alcotest.(check int) "bucket of max_int" 62 (H.bucket_of max_int);
+  Alcotest.(check int) "top bucket absorbs to max_int" max_int (H.bucket_hi 62);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" max_int (H.max_value h);
+  Alcotest.(check int) "p100 is the exact max" max_int (H.percentile h 100.);
+  (* negative samples clamp into bucket 0 *)
+  H.add h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (H.percentile h 25.);
+  Alcotest.check_raises "percentile range"
+    (Invalid_argument "Histogram.percentile: p in [0,100]") (fun () ->
+      ignore (H.percentile h 101.))
+
+let test_histogram_bucket_tiling () =
+  (* consecutive buckets tile the non-negative ints without gaps *)
+  for b = 1 to 62 do
+    Alcotest.(check int)
+      (Printf.sprintf "lo(%d) = hi(%d)+1" b (b - 1))
+      (H.bucket_hi (b - 1) + 1)
+      (H.bucket_lo b)
+  done;
+  List.iter
+    (fun v ->
+      let b = H.bucket_of v in
+      if v < H.bucket_lo b || v > H.bucket_hi b then
+        Alcotest.failf "%d outside its bucket %d" v b)
+    [ 0; 1; 2; 3; 4; 7; 8; 1023; 1024; 4097; max_int - 1; max_int ]
+
+let test_histogram_merge_and_percentile () =
+  let a = H.create () and b = H.create () in
+  for i = 1 to 100 do
+    H.add a i
+  done;
+  for _ = 1 to 100 do
+    H.add b 1000
+  done;
+  let m = H.merge a b in
+  Alcotest.(check int) "merged count" 200 (H.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 525.25 (H.mean m);
+  (* p99 lands in 1000's bucket; the estimate is capped at the true max *)
+  Alcotest.(check int) "p99 capped at max" 1000 (H.percentile m 99.);
+  Alcotest.(check int) "originals untouched" 100 (H.count a);
+  (* to_json parses back and reports the same count *)
+  let j = H.to_json m in
+  match J.member "n" j with
+  | Some (J.Int 200) -> ()
+  | _ -> Alcotest.fail "histogram json count"
+
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Int 1);
+        ( "b",
+          J.List [ J.Null; J.Bool true; J.Float 1.5; J.String "x\n\"y\"\t\\" ]
+        );
+        ("empty_obj", J.Obj []);
+        ("empty_list", J.List []);
+        ("neg", J.Int (-42));
+        ("big", J.Float 1.2345678901e+30);
+      ]
+  in
+  let minified = J.to_string v in
+  (match J.parse minified with
+  | Ok v' -> Alcotest.(check string) "minified" minified (J.to_string v')
+  | Error e -> Alcotest.fail e);
+  (* pretty output parses back to the same value *)
+  (match J.parse (J.to_string ~minify:false v) with
+  | Ok v' -> Alcotest.(check string) "pretty" minified (J.to_string v')
+  | Error e -> Alcotest.fail e);
+  (* unicode escapes decode to UTF-8 *)
+  (match J.parse "\"A\\u00e9\"" with
+  | Ok (J.String "A\xc3\xa9") -> ()
+  | _ -> Alcotest.fail "unicode escape");
+  (* strictness *)
+  List.iter
+    (fun bad ->
+      match J.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,2] x"; "{\"a\":}"; "nul"; "'single'"; "" ]
+
+let test_json_nonfinite_floats () =
+  Alcotest.(check string) "nan" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string)
+    "inf" "[null,null]"
+    (J.to_string (J.List [ J.Float Float.infinity; J.Float Float.neg_infinity ]))
+
+(* ---- snapshots ---- *)
+
+let sample_snapshot ?(ok = true) ?(work = 202.5) () =
+  Obs.Snapshot.make ~title:"sample" ~claim:"a paper claim"
+    ~params:[ ("n", J.Int 1024); ("grid", J.String "a,b") ]
+    ~metrics:
+      [
+        Obs.Snapshot.metric ~predicted:100. ~name:"work" work;
+        Obs.Snapshot.metric ~direction:Obs.Snapshot.Higher_is_better
+          ~name:"effectiveness" 9.;
+      ]
+    ~ok "e_test"
+
+let test_snapshot_roundtrip () =
+  let snap = sample_snapshot () in
+  let s1 = J.to_string ~minify:false (Obs.Snapshot.to_json snap) in
+  match Obs.Snapshot.of_string s1 with
+  | Error e -> Alcotest.fail e
+  | Ok snap' ->
+      (* decode → encode is byte-identical: snapshots are diff-stable *)
+      let s2 = J.to_string ~minify:false (Obs.Snapshot.to_json snap') in
+      Alcotest.(check string) "byte-stable" s1 s2;
+      Alcotest.(check string) "experiment" "e_test" snap'.Obs.Snapshot.experiment
+
+let test_snapshot_save_load () =
+  let dir = Filename.get_temp_dir_name () in
+  let snap = sample_snapshot () in
+  let path = Obs.Snapshot.save ~dir snap in
+  Alcotest.(check string)
+    "filename" "BENCH_e_test.json" (Filename.basename path);
+  (match Obs.Snapshot.load path with
+  | Ok s ->
+      Alcotest.(check bool) "ok" true s.Obs.Snapshot.ok;
+      Alcotest.(check int) "metrics" 2 (List.length s.Obs.Snapshot.metrics)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_snapshot_version_guard () =
+  match Obs.Snapshot.of_string {|{"schema_version":99,"experiment":"x","ok":true}|} with
+  | Ok _ -> Alcotest.fail "accepted future schema"
+  | Error _ -> ()
+
+let test_snapshot_diff_detects_regression () =
+  let baseline = sample_snapshot ~work:100. () in
+  (* synthetic 2x work regression: ratio 1.0 -> 2.0 *)
+  let current = sample_snapshot ~work:200. () in
+  let changes = Obs.Snapshot.diff ~baseline ~current () in
+  let regs = Obs.Snapshot.regressions changes in
+  (match regs with
+  | [ c ] ->
+      Alcotest.(check string) "metric" "work" c.Obs.Snapshot.metric_name;
+      Alcotest.(check (float 1e-6)) "delta" 100. c.Obs.Snapshot.delta_pct
+  | _ -> Alcotest.failf "expected 1 regression, got %d" (List.length regs));
+  (* within tolerance: clean *)
+  let near = sample_snapshot ~work:105. () in
+  Alcotest.(check int)
+    "5% within tolerance" 0
+    (List.length (Obs.Snapshot.regressions (Obs.Snapshot.diff ~baseline ~current:near ())));
+  (* a drop against a Higher_is_better metric regresses *)
+  let worse_eff =
+    Obs.Snapshot.make
+      ~metrics:
+        [
+          Obs.Snapshot.metric ~predicted:100. ~name:"work" 100.;
+          Obs.Snapshot.metric ~direction:Obs.Snapshot.Higher_is_better
+            ~name:"effectiveness" 4.;
+        ]
+      ~ok:true "e_test"
+  in
+  let regs = Obs.Snapshot.regressions (Obs.Snapshot.diff ~baseline ~current:worse_eff ()) in
+  (match regs with
+  | [ c ] ->
+      Alcotest.(check string) "higher-is-better" "effectiveness"
+        c.Obs.Snapshot.metric_name
+  | _ -> Alcotest.fail "expected effectiveness regression");
+  (* verdict flip is always a regression, even with identical metrics *)
+  let failed = sample_snapshot ~work:100. ~ok:false () in
+  let regs = Obs.Snapshot.regressions (Obs.Snapshot.diff ~baseline ~current:failed ()) in
+  if not (List.exists (fun c -> c.Obs.Snapshot.metric_name = "verdict") regs)
+  then Alcotest.fail "verdict flip not flagged"
+
+(* ---- sinks and bridges ---- *)
+
+let kk_instance ?(verbose = false) ~n ~m ~beta () =
+  let metrics = Shm.Metrics.create ~m in
+  let shared = Core.Kk.make_shared ~metrics ~m ~capacity:n ~name:"kk" () in
+  let procs =
+    Array.init m (fun i ->
+        Core.Kk.create ~shared ~pid:(i + 1) ~beta ~policy:Core.Policy.Rank_split
+          ~free:(Core.Job.universe ~n) ~verbose ~mode:Core.Kk.Standalone ())
+  in
+  (metrics, Array.map Core.Kk.handle procs)
+
+let test_sink_ring_buffer () =
+  let sink = Obs.Sink.memory ~capacity:4 () in
+  for i = 1 to 10 do
+    Obs.Sink.emit sink (Obs.Sink.record ~ts:i ~kind:Obs.Sink.Log "msg")
+  done;
+  Alcotest.(check int) "total emitted" 10 (Obs.Sink.total_emitted sink);
+  let kept = Obs.Sink.records sink in
+  Alcotest.(check (list int))
+    "ring keeps newest, oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun r -> r.Obs.Sink.ts) kept);
+  Alcotest.(check bool) "not null" false (Obs.Sink.is_null sink);
+  Alcotest.(check bool) "null is null" true (Obs.Sink.is_null Obs.Sink.null)
+
+let test_executor_feeds_sink () =
+  let sink = Obs.Sink.memory () in
+  let _, handles = kk_instance ~verbose:true ~n:12 ~m:2 ~beta:2 () in
+  let outcome =
+    Shm.Executor.run ~trace_level:`Full
+      ~probe:(Obs.Bridge.sink_probe sink)
+      ~scheduler:(Shm.Schedule.round_robin ())
+      ~adversary:Shm.Adversary.none handles
+  in
+  let dos = Shm.Trace.do_events outcome.Shm.Executor.trace in
+  Helpers.check_amo dos;
+  let recs = Obs.Sink.records sink in
+  Alcotest.(check bool) "captured records" true (recs <> []);
+  (* one span per perform, tagged with the acting process's phase *)
+  let do_spans =
+    List.filter
+      (fun r ->
+        r.Obs.Sink.kind = Obs.Sink.Span
+        && String.length r.Obs.Sink.name > 3
+        && String.sub r.Obs.Sink.name 0 3 = "do(")
+      recs
+  in
+  Alcotest.(check int) "span per perform" (List.length dos)
+    (List.length do_spans);
+  List.iter
+    (fun r ->
+      match List.assoc_opt "phase" r.Obs.Sink.args with
+      | Some (J.String _) -> ()
+      | _ -> Alcotest.fail "record missing phase arg")
+    recs;
+  (* a null sink gives back the null probe: the fast path stays on *)
+  Alcotest.(check bool) "null sink -> null probe" true
+    (Shm.Probe.is_null (Obs.Bridge.sink_probe Obs.Sink.null))
+
+let test_executor_feeds_profile () =
+  let profile = Obs.Profile.create () in
+  let _, handles = kk_instance ~verbose:true ~n:12 ~m:2 ~beta:2 () in
+  ignore
+    (Shm.Executor.run ~trace_level:`Outcomes
+       ~probe:(Obs.Bridge.profile_probe profile)
+       ~scheduler:(Shm.Schedule.round_robin ())
+       ~adversary:Shm.Adversary.none handles);
+  let series = Obs.Profile.series profile in
+  let has prefix =
+    List.exists
+      (fun s ->
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix)
+      series
+  in
+  Alcotest.(check bool) "read series by phase" true (has "read@");
+  Alcotest.(check bool) "write series by phase" true (has "write@");
+  Alcotest.(check (list int)) "both pids seen" [ 1; 2 ] (Obs.Profile.pids profile)
+
+let test_profile_of_metrics () =
+  let m = 3 in
+  let s = Core.Harness.kk ~n:60 ~m ~beta:m () in
+  let p = Obs.Profile.of_metrics s.Core.Harness.metrics in
+  let sum = Obs.Profile.summary p ~series:"work" in
+  Alcotest.(check int) "one sample per process" m sum.Obs.Profile.count;
+  let merged = Obs.Profile.merged p ~series:"work" in
+  Alcotest.(check (float 1e-9))
+    "profile total = ledger total"
+    (float_of_int (Shm.Metrics.total_work s.Core.Harness.metrics))
+    (H.total merged)
+
+let test_metrics_merge_and_json () =
+  let a = Shm.Metrics.create ~m:2 and b = Shm.Metrics.create ~m:2 in
+  Shm.Metrics.on_read a ~p:1;
+  Shm.Metrics.on_write a ~p:2;
+  Shm.Metrics.add_work a ~p:1 5;
+  Shm.Metrics.on_read b ~p:1;
+  Shm.Metrics.on_internal b ~p:2;
+  Shm.Metrics.add_work b ~p:2 7;
+  Shm.Metrics.merge a b;
+  Alcotest.(check int) "reads merged" 2 (Shm.Metrics.reads a ~p:1);
+  Alcotest.(check int) "internals merged" 1 (Shm.Metrics.internals a ~p:2);
+  Alcotest.(check int) "work merged" 12 (Shm.Metrics.total_work a);
+  Alcotest.(check int) "b untouched" 2 (Shm.Metrics.total_actions b);
+  Alcotest.check_raises "m mismatch"
+    (Invalid_argument "Metrics.merge: ledgers for different m") (fun () ->
+      Shm.Metrics.merge a (Shm.Metrics.create ~m:3));
+  (* the shm-level JSON string parses with the obs codec *)
+  match J.parse (Shm.Metrics.to_json a) with
+  | Ok j -> (
+      match J.member "total_work" j with
+      | Some (J.Int 12) -> ()
+      | _ -> Alcotest.fail "total_work in json")
+  | Error e -> Alcotest.fail e
+
+(* ---- golden Chrome trace ---- *)
+
+let test_golden_chrome_trace () =
+  (* same deterministic run that produced test/golden/kk_n6_m2.trace.json
+     (via `amo_run kk --jobs 6 --procs 2 --beta 2 --trace-out ...`);
+     the export must stay byte-stable *)
+  let s = Core.Harness.kk ~trace_level:`Full ~verbose:true ~n:6 ~m:2 ~beta:2 () in
+  let got = Obs.Chrome_trace.to_string ~run_name:"KK(beta=2)" ~m:2 s.Core.Harness.trace in
+  let golden =
+    (* cwd is test/ under `dune runtest`, the repo root under `dune exec` *)
+    List.find Sys.file_exists
+      [ "golden/kk_n6_m2.trace.json"; "test/golden/kk_n6_m2.trace.json" ]
+  in
+  let want = read_file golden in
+  Alcotest.(check string) "byte-stable chrome trace" want got
+
+(* ---- libraries are silent ---- *)
+
+let with_output_captured fn =
+  flush stdout;
+  flush stderr;
+  let tmp = Filename.temp_file "amo_silent" ".log" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let save_out = Unix.dup Unix.stdout and save_err = Unix.dup Unix.stderr in
+  Unix.dup2 fd Unix.stdout;
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      flush stderr;
+      Unix.dup2 save_out Unix.stdout;
+      Unix.dup2 save_err Unix.stderr;
+      Unix.close save_out;
+      Unix.close save_err)
+    fn;
+  let out = read_file tmp in
+  Sys.remove tmp;
+  out
+
+let exercise_libraries () =
+  ignore (Core.Harness.kk ~n:40 ~m:3 ~beta:3 ());
+  (* crash adversary + iterated runs cover the modules that used to
+     print (adversary decisions, level transitions, gantt, oracles) *)
+  let rng = Util.Prng.of_int 3 in
+  let s =
+    Core.Harness.kk
+      ~adversary:(Shm.Adversary.random rng ~f:1 ~m:3 ~horizon:160)
+      ~n:40 ~m:3 ~beta:3 ()
+  in
+  ignore (Analysis.Gantt.render ~m:3 s.Core.Harness.trace);
+  ignore (Core.Harness.iterative ~n:64 ~m:2 ~epsilon_inv:1 ())
+
+let test_libraries_silent_by_default () =
+  let saved = Obs.Log.level () in
+  Obs.Log.set_level Obs.Log.Quiet;
+  let captured = with_output_captured exercise_libraries in
+  Obs.Log.set_level saved;
+  Alcotest.(check string) "no unconditional output" "" captured
+
+let test_logging_opt_in () =
+  let saved = Obs.Log.level () in
+  Obs.Log.set_level Obs.Log.Debug;
+  let captured = with_output_captured exercise_libraries in
+  Obs.Log.set_level saved;
+  Alcotest.(check bool) "debug level produces diagnostics" true
+    (captured <> "");
+  Alcotest.(check bool) "tagged lines" true
+    (String.length captured >= 5 && String.sub captured 0 5 = "[amo:")
+
+let suite =
+  [
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "histogram bucket tiling" `Quick
+      test_histogram_bucket_tiling;
+    Alcotest.test_case "histogram merge + percentile" `Quick
+      test_histogram_merge_and_percentile;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json non-finite floats" `Quick
+      test_json_nonfinite_floats;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot save/load" `Quick test_snapshot_save_load;
+    Alcotest.test_case "snapshot version guard" `Quick
+      test_snapshot_version_guard;
+    Alcotest.test_case "snapshot diff detects 2x regression" `Quick
+      test_snapshot_diff_detects_regression;
+    Alcotest.test_case "sink ring buffer" `Quick test_sink_ring_buffer;
+    Alcotest.test_case "executor feeds sink" `Quick test_executor_feeds_sink;
+    Alcotest.test_case "executor feeds profile" `Quick
+      test_executor_feeds_profile;
+    Alcotest.test_case "profile of metrics" `Quick test_profile_of_metrics;
+    Alcotest.test_case "metrics merge + json" `Quick
+      test_metrics_merge_and_json;
+    Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome_trace;
+    Alcotest.test_case "libraries silent by default" `Quick
+      test_libraries_silent_by_default;
+    Alcotest.test_case "logging opt-in" `Quick test_logging_opt_in;
+  ]
