@@ -8,7 +8,9 @@
    where the experiment records a paper bound, raw measurement
    otherwise; a change against the metric's direction beyond
    --tolerance (percent) is a regression.  Exit 1 on any regression
-   unless --warn-only. *)
+   unless --warn-only.  A schema-version mismatch between a baseline
+   and its current snapshot means the metrics cannot be compared at
+   all: that is always fatal (exit 2), --warn-only notwithstanding. *)
 
 let usage () =
   prerr_endline
@@ -58,6 +60,7 @@ let () =
   let regressions = ref 0 in
   let compared = ref 0 in
   let missing = ref 0 in
+  let mismatched = ref 0 in
   List.iter
     (fun file ->
       let bpath = Filename.concat !baseline_dir file in
@@ -78,6 +81,12 @@ let () =
                 exit 2
             | Ok current ->
                 incr compared;
+                (match Obs.Snapshot.schema_mismatch ~baseline ~current with
+                | Some msg ->
+                    incr mismatched;
+                    Printf.printf "  %-22s SCHEMA MISMATCH\n" file;
+                    Printf.eprintf "error: %s\n" msg
+                | None -> ());
                 let changes =
                   Obs.Snapshot.diff ~tolerance_pct:!tolerance ~baseline
                     ~current ()
@@ -99,9 +108,12 @@ let () =
                   changes))
     snapshots;
   Printf.printf
-    "\ncompared %d snapshot(s): %d regression(s), %d missing (tolerance \
-     %.1f%%)\n"
-    !compared !regressions !missing !tolerance;
+    "\ncompared %d snapshot(s): %d regression(s), %d missing, %d schema \
+     mismatch(es) (tolerance %.1f%%)\n"
+    !compared !regressions !missing !mismatched !tolerance;
+  (* schema mismatches are fatal even under --warn-only: the diff
+     above was computed across incompatible metric semantics *)
+  if !mismatched > 0 then exit 2;
   if !regressions > 0 || !missing > 0 then
     if !warn_only then
       print_endline "warn-only mode: regressions reported but not fatal"

@@ -11,6 +11,8 @@
      amo_run trivial --jobs 1000 --procs 8 --crashes 2
      amo_run pairing --jobs 1000 --procs 8 --crashes 2
      amo_run multicore --jobs 20000 --procs 4
+     amo_run chaos --soak 500 --jobs 20 --procs 4 --seed 3
+     amo_run chaos --plan CHAOS_counterexample.json            # replay, exit 1
 
    Exit status: 0 on success, 1 when a run violates its oracle
    (at-most-once, Write-All completeness, or a tight-bound prediction),
@@ -516,6 +518,158 @@ let msg_cmd =
       const run $ jobs $ procs $ servers $ seed $ crashes $ log_level
       $ json_flag)
 
+let chaos_cmd =
+  let run plan_file soak_count n m beta_opt seed out_dir log_level json =
+    apply_log_level log_level;
+    let pr_violations vs =
+      List.iter
+        (fun v ->
+          if not json then
+            Fmt.pr "violation       : %s@."
+              (Format.asprintf "%a" Analysis.Oracle.pp_violation v))
+        vs
+    in
+    match plan_file with
+    | Some path -> (
+        (* replay mode: execute one plan file, exit 1 on violation *)
+        match Fault.Plan.load path with
+        | Error e ->
+            Fmt.epr "amo_run: %s: %s@." path e;
+            exit 2
+        | Ok plan when plan.Fault.Plan.net <> [] ->
+            let r = Fault.Chaos.run_net_plan plan in
+            if json then
+              print_endline
+                (J.to_string ~minify:false
+                   (J.Obj
+                      [
+                        ("plan", Fault.Plan.to_json plan);
+                        ("do_count", J.Int (List.length r.dos));
+                        ( "stuck",
+                          J.List (List.map (fun p -> J.Int p) r.stuck) );
+                        ("deliveries", J.Int r.deliveries);
+                        ( "violations",
+                          J.List
+                            (List.map
+                               (fun v ->
+                                 J.String v.Analysis.Oracle.oracle)
+                               r.violations) );
+                      ]))
+            else begin
+              Fmt.pr "plan            : %a@." Fault.Plan.pp plan;
+              Fmt.pr "platform        : message passing (ABD registers)@.";
+              Fmt.pr "jobs performed  : %d@." (List.length r.dos);
+              Fmt.pr "stuck clients   : [%s]@."
+                (String.concat "; " (List.map string_of_int r.stuck));
+              Fmt.pr "deliveries      : %d@." r.deliveries;
+              Fmt.pr "oracles         : %s@."
+                (if r.violations = [] then "OK"
+                 else Printf.sprintf "%d VIOLATED" (List.length r.violations))
+            end;
+            pr_violations r.violations;
+            if r.violations <> [] then exit 1
+        | Ok plan ->
+            let r = Fault.Chaos.run_plan plan in
+            if json then
+              print_endline
+                (J.to_string ~minify:false
+                   (J.Obj
+                      [
+                        ("plan", Fault.Plan.to_json plan);
+                        ("do_count", J.Int r.do_count);
+                        ("steps", J.Int r.steps);
+                        ("wait_free", J.Bool r.wait_free);
+                        ( "crashes",
+                          J.List (List.map (fun p -> J.Int p) r.crashes) );
+                        ( "restarts",
+                          J.List (List.map (fun p -> J.Int p) r.restarts) );
+                        ( "violations",
+                          J.List
+                            (List.map
+                               (fun v ->
+                                 J.String v.Analysis.Oracle.oracle)
+                               r.violations) );
+                      ]))
+            else begin
+              Fmt.pr "plan            : %a@." Fault.Plan.pp plan;
+              Fmt.pr "platform        : shared memory@.";
+              Fmt.pr "jobs performed  : %d / %d@." r.do_count
+                plan.Fault.Plan.n;
+              Fmt.pr "steps           : %d@." r.steps;
+              Fmt.pr "crashed procs   : [%s]@."
+                (String.concat "; " (List.map string_of_int r.crashes));
+              Fmt.pr "restarted procs : [%s]@."
+                (String.concat "; " (List.map string_of_int r.restarts));
+              Fmt.pr "oracles         : %s@."
+                (if r.violations = [] then "OK"
+                 else Printf.sprintf "%d VIOLATED" (List.length r.violations))
+            end;
+            pr_violations r.violations;
+            if r.violations <> [] then exit 1)
+    | None ->
+        (* soak mode: seeded random plans, shrink + save any failure *)
+        let beta = Option.value beta_opt ~default:m in
+        let s =
+          Fault.Chaos.soak ~seed ~count:soak_count ~n ~m ~beta ()
+        in
+        let saved =
+          match s.first_failure with
+          | None -> None
+          | Some (mp, _) ->
+              let path =
+                Filename.concat out_dir ("CHAOS_" ^ mp.Fault.Plan.name ^ ".json")
+              in
+              Fault.Plan.save ~path mp;
+              Some path
+        in
+        if json then
+          print_endline
+            (J.to_string ~minify:false
+               (J.Obj
+                  [
+                    ("plans", J.Int s.runs);
+                    ("recovery_plans", J.Int s.recovery_runs);
+                    ("failures", J.Int s.failures);
+                    ("restarts", J.Int s.total_restarts);
+                    ( "counterexample",
+                      match saved with Some p -> J.String p | None -> J.Null );
+                  ]))
+        else begin
+          Fmt.pr "chaos soak      : %d plans (n=%d m=%d beta=%d seed=%d)@."
+            s.runs n m beta seed;
+          Fmt.pr "recovery plans  : %d (%d restarts)@." s.recovery_runs
+            s.total_restarts;
+          Fmt.pr "oracle failures : %d@." s.failures;
+          match saved with
+          | Some p -> Fmt.pr "counterexample  : %s (shrunk, replayable)@." p
+          | None -> ()
+        end;
+        if s.failures > 0 then exit 1
+  in
+  let plan_file =
+    let doc =
+      "Replay a fault plan from $(docv) (as produced by the chaos shrinker) \
+       instead of soaking; exit 1 if any oracle fires."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let soak_count =
+    let doc = "Number of random plans to soak when no --plan is given." in
+    Arg.(value & opt int 200 & info [ "soak" ] ~docv:"COUNT" ~doc)
+  in
+  let out_dir =
+    let doc = "Directory for shrunk counterexample plans found while soaking." in
+    Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Chaos-test KKbeta under composable fault plans (crashes, restarts, \
+     stalls, partitions); replay or soak."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ plan_file $ soak_count $ jobs $ procs $ beta $ seed $ out_dir
+      $ log_level $ json_flag)
+
 let multicore_cmd =
   let run n m beta_opt log_level json =
     apply_log_level log_level;
@@ -576,5 +730,6 @@ let () =
             trivial_cmd;
             pairing_cmd;
             msg_cmd;
+            chaos_cmd;
             multicore_cmd;
           ]))

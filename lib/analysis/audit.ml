@@ -19,11 +19,16 @@ let check ~m trace =
         else begin
           last_step := step;
           match (states.(p), event) with
+          | Dead_crashed, Shm.Event.Restart _ ->
+              states.(p) <- Live;
+              go rest
           | Dead_crashed, _ ->
               Error { at_step = step; pid = p; what = "event after crash" }
           | Dead_terminated, _ ->
               Error
                 { at_step = step; pid = p; what = "event after termination" }
+          | Live, Shm.Event.Restart _ ->
+              Error { at_step = step; pid = p; what = "restart while live" }
           | Live, Shm.Event.Crash _ ->
               states.(p) <- Dead_crashed;
               go rest

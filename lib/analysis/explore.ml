@@ -210,6 +210,36 @@ let canonical_do_log dos =
 
 (* ---- counterexample shrinking ---- *)
 
+(* Generic greedy delta-debugging: delete contiguous chunks, halving
+   the chunk size, until no single element is removable while
+   [violates] keeps holding.  [items] must violate already. *)
+let ddmin ~violates items =
+  let cur = ref (Array.of_list items) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let chunk = ref (max 1 (Array.length !cur / 2)) in
+    while !chunk >= 1 do
+      let i = ref 0 in
+      while !i < Array.length !cur do
+        let a = !cur in
+        let len = Array.length a in
+        let hi = min len (!i + !chunk) in
+        let candidate =
+          Array.append (Array.sub a 0 !i) (Array.sub a hi (len - hi))
+        in
+        if violates (Array.to_list candidate) then begin
+          cur := candidate;
+          progress := true
+          (* retry the same position: the next chunk slid in *)
+        end
+        else i := !i + !chunk
+      done;
+      chunk := (if !chunk = 1 then 0 else !chunk / 2)
+    done
+  done;
+  Array.to_list !cur
+
 let shrink ~factory ?(max_steps = 100_000) ?(complete = true) ~violates
     schedule =
   let attempt sched =
@@ -219,35 +249,20 @@ let shrink ~factory ?(max_steps = 100_000) ?(complete = true) ~violates
   match attempt schedule with
   | None -> None
   | Some e0 ->
-      (* minimize the effective schedule: delete contiguous chunks,
-         halving the chunk size, until no single step is removable *)
-      let cur = ref (Array.of_list e0.schedule) in
-      let cur_exec = ref e0 in
-      let progress = ref true in
-      while !progress do
-        progress := false;
-        let chunk = ref (max 1 (Array.length !cur / 2)) in
-        while !chunk >= 1 do
-          let i = ref 0 in
-          while !i < Array.length !cur do
-            let a = !cur in
-            let len = Array.length a in
-            let hi = min len (!i + !chunk) in
-            let candidate =
-              Array.append (Array.sub a 0 !i) (Array.sub a hi (len - hi))
-            in
-            (match attempt (Array.to_list candidate) with
+      (* [best] tracks the execution of the last accepted candidate,
+         which is exactly the replay of the final minimal schedule *)
+      let best = ref e0 in
+      let minimal =
+        ddmin
+          ~violates:(fun sched ->
+            match attempt sched with
             | Some e ->
-                cur := candidate;
-                cur_exec := e;
-                progress := true
-                (* retry the same position: the next chunk slid in *)
-            | None -> i := !i + !chunk)
-          done;
-          chunk := (if !chunk = 1 then 0 else !chunk / 2)
-        done
-      done;
-      Some (Array.to_list !cur, !cur_exec)
+                best := e;
+                true
+            | None -> false)
+          e0.schedule
+      in
+      Some (minimal, !best)
 
 (* ---- oracle-driven checking ---- *)
 

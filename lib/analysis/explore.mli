@@ -110,6 +110,17 @@ val canonical_do_log : (int * int) list -> (int * int list) list
     logs, so {!Brute_force} and {!Por} visit the same {e set} of
     canonical logs on a fully covered space. *)
 
+val ddmin :
+  violates:('a list -> bool) -> 'a list -> 'a list
+(** Generic greedy delta-debugging minimization: starting from a list
+    for which [violates] holds, repeatedly deletes contiguous chunks
+    (halving down to single elements) as long as the property keeps
+    holding, until no single element can be removed.  The result is a
+    locally (1-)minimal violating sublist.  [violates input] must be
+    [true]; otherwise the input is returned unchanged.  {!shrink} is
+    this applied to schedules; the fault layer applies it to fault
+    plans ({!Fault.Chaos}). *)
+
 val shrink :
   factory:(unit -> Shm.Automaton.handle array) ->
   ?max_steps:int ->

@@ -1,4 +1,5 @@
 let precedence = function
+  | 'R' -> 5
   | 'X' -> 4
   | 'T' -> 3
   | 'D' -> 2
@@ -8,6 +9,7 @@ let precedence = function
 let mark_of_event (e : Shm.Event.t) =
   match e with
   | Shm.Event.Crash _ -> 'X'
+  | Shm.Event.Restart _ -> 'R'
   | Shm.Event.Terminate _ -> 'T'
   | Shm.Event.Do _ -> 'D'
   | Shm.Event.Read _ | Shm.Event.Write _ | Shm.Event.Internal _ -> '#'
@@ -34,6 +36,7 @@ let render ~m ?(width = 72) trace =
         match event with
         | Shm.Event.Crash _ | Shm.Event.Terminate _ ->
             ended.(p) <- min ended.(p) b
+        | Shm.Event.Restart _ -> ended.(p) <- max_int
         | _ -> ()
       end)
     entries;

@@ -48,14 +48,46 @@ let effectiveness ~floor =
 
 let kk_effectiveness ~n ~m ~beta = effectiveness ~floor:(n - (beta + m - 2))
 
+let recovery_effectiveness ~n ~m ~beta =
+  let name = "recovery-effectiveness" in
+  let base = n - (beta + m - 2) in
+  let check trace =
+    (* each restart may conservatively burn one job (the re-marked
+       announcement, see Core.Kk.restart), so the floor degrades by
+       one per observed restart *)
+    let restarts = List.length (Shm.Trace.restarts trace) in
+    let floor = max 0 (base - restarts) in
+    let count = Core.Spec.do_count (Shm.Trace.do_events trace) in
+    if count >= floor then []
+    else
+      [
+        {
+          oracle = name;
+          detail =
+            Printf.sprintf
+              "%d distinct jobs performed, recovery floor is %d (base %d, %d \
+               restarts)"
+              count floor base restarts;
+        };
+      ]
+  in
+  { name; check }
+
 let quiescence ~m =
   let name = "quiescence" in
   let check trace =
+    (* a process is settled iff its LAST lifecycle event is a crash or
+       termination — a restart re-opens it *)
     let settled = Array.make (m + 1) false in
-    List.iter (fun p -> if p <= m then settled.(p) <- true)
-      (Shm.Trace.terminations trace);
-    List.iter (fun p -> if p <= m then settled.(p) <- true)
-      (Shm.Trace.crashes trace);
+    List.iter
+      (fun { Shm.Trace.event; _ } ->
+        match event with
+        | Shm.Event.Crash { p } | Shm.Event.Terminate { p } ->
+            if p >= 1 && p <= m then settled.(p) <- true
+        | Shm.Event.Restart { p } ->
+            if p >= 1 && p <= m then settled.(p) <- false
+        | _ -> ())
+      (Shm.Trace.entries trace);
     let missing = ref [] in
     for p = m downto 1 do
       if not settled.(p) then missing := p :: !missing

@@ -35,10 +35,20 @@ val effectiveness : floor:int -> t
 val kk_effectiveness : n:int -> m:int -> beta:int -> t
 (** {!effectiveness} at Theorem 4.4's floor [n − (β + m − 2)]. *)
 
+val recovery_effectiveness : n:int -> m:int -> beta:int -> t
+(** The recovery-aware variant for crash-recovery executions: the
+    floor is [n − (β + m − 2) − r] where [r] is the number of
+    [Restart] events in the trace — each restart conservatively
+    forfeits at most one job (the re-marked pre-crash announcement,
+    see {!Core.Kk} and DESIGN.md §7).  Equivalent to
+    {!kk_effectiveness} on restart-free traces. *)
+
 val quiescence : m:int -> t
-(** Fires per process in [1..m] that neither terminated nor crashed —
-    on an execution run to completion this is a wait-freedom breach
-    (Lemma 4.3).  Only meaningful on completed executions. *)
+(** Fires per process in [1..m] whose {e last} lifecycle event is
+    neither a termination nor a crash (a restart re-opens a crashed
+    process) — on an execution run to completion this is a
+    wait-freedom breach (Lemma 4.3).  Only meaningful on completed
+    executions. *)
 
 val check_all : t list -> Shm.Trace.t -> violation list
 (** All violations, in oracle order. *)

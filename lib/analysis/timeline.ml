@@ -47,7 +47,8 @@ let of_trace ~m trace =
           | Shm.Event.Write _ -> { r with writes = r.writes + 1 }
           | Shm.Event.Internal _ -> { r with internals = r.internals + 1 }
           | Shm.Event.Terminate _ -> { r with fate = Terminated }
-          | Shm.Event.Crash _ -> { r with fate = Crashed })
+          | Shm.Event.Crash _ -> { r with fate = Crashed }
+          | Shm.Event.Restart _ -> { r with fate = Unresolved })
       end)
     (Shm.Trace.entries trace);
   rows

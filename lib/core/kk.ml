@@ -49,6 +49,9 @@ type status =
   | Do_job
   | Done_write
   | Set_flag
+  | Rec_scan
+  | Rec_next
+  | Rec_mark
   | End
   | Stop
 
@@ -62,6 +65,9 @@ let status_to_string = function
   | Do_job -> "do"
   | Done_write -> "done"
   | Set_flag -> "set_flag"
+  | Rec_scan -> "rec_scan"
+  | Rec_next -> "rec_next"
+  | Rec_mark -> "rec_mark"
   | End -> "end"
   | Stop -> "stop"
 
@@ -76,7 +82,9 @@ type t = {
   perform_work : int -> int;
   perform_footprint : int -> Footprint.t;
   mutant_skip_check : bool;
+  mutant_skip_recovery_mark : bool;
   verbose : bool;
+  initial_free : Set.t;
   mutable status : status;
   mutable free : Set.t;
   mutable done_set : Set.t;
@@ -88,6 +96,8 @@ type t = {
   mutable output : Set.t option;
   mutable n_done : int;
   mutable n_collisions : int;
+  mutable rec_suspect : int;
+  mutable n_restarts : int;
   (* blame bookkeeping, active when [collision] is provided *)
   try_owner : (int, int) Hashtbl.t;
   done_owner : (int, int) Hashtbl.t;
@@ -97,8 +107,8 @@ let default_perform ~p item = [ Event.Do { p; job = item } ]
 
 let create ~shared ~pid ~beta ~policy ~free ?collision
     ?(perform = default_perform) ?(perform_work = fun _ -> 1)
-    ?perform_footprint ?(mutant_skip_check = false) ?(verbose = false) ~mode ()
-    =
+    ?perform_footprint ?(mutant_skip_check = false)
+    ?(mutant_skip_recovery_mark = false) ?(verbose = false) ~mode () =
   if pid < 1 || pid > shared.sh_m then invalid_arg "Kk.create: pid out of range";
   if beta < 1 then invalid_arg "Kk.create: beta must be >= 1";
   (match (mode, shared.flag) with
@@ -125,7 +135,9 @@ let create ~shared ~pid ~beta ~policy ~free ?collision
     perform_work;
     perform_footprint;
     mutant_skip_check;
+    mutant_skip_recovery_mark;
     verbose;
+    initial_free = free;
     status = Comp_next;
     free;
     done_set = Set.empty;
@@ -137,6 +149,8 @@ let create ~shared ~pid ~beta ~policy ~free ?collision
     output = None;
     n_done = 0;
     n_collisions = 0;
+    rec_suspect = 0;
+    n_restarts = 0;
     try_owner = Hashtbl.create 16;
     done_owner = Hashtbl.create 64;
   }
@@ -336,6 +350,108 @@ let step_done_write t =
   t.status <- Comp_next;
   ev
 
+(* Crash-recovery (DESIGN.md §7).  A restarted process has lost all
+   volatile state; it rebuilds a sound approximation purely from the
+   shared registers before rejoining the protocol:
+
+   - [rec_scan]: re-read its own [done] row cell by cell, recovering
+     the persistent record of the jobs it completed;
+   - [rec_next]: re-read its own [next] cell.  The announcement there
+     may be a job it performed but crashed before recording (the
+     Do_job -> Done_write window), so it cannot be trusted as free;
+   - [rec_mark]: conservatively append that suspect announcement to
+     its own [done] row {e without} performing it.  This burns at most
+     one job per restart (the recovery-aware effectiveness floor
+     subtracts one per restart) but restores Lemma 4.1's invariant
+     that any possibly-performed job is recorded as done.
+
+   After [rec_mark] the process re-enters [comp_next] with empty TRY
+   and DONE; the normal gather phases re-learn everyone else's state.
+
+   [mutant_skip_recovery_mark] is the seeded recovery-path fault for
+   the test suite: it jumps from [rec_scan] straight to [comp_next],
+   skipping the suspect check — exactly the unsound "restart without
+   re-reading the announcement" shortcut, which chaos testing must
+   catch as an at-most-once violation. *)
+
+let rec_after_scan t =
+  t.status <- (if t.mutant_skip_recovery_mark then Comp_next else Rec_next)
+
+let step_rec_scan t =
+  let c = t.pos.(t.pid) in
+  if c <= cols t then begin
+    let v = Memory.mget t.shared.done_m ~p:t.pid t.pid c in
+    let ev = read_event t (Memory.mname t.shared.done_m ~row:t.pid ~col:c) v in
+    if v > 0 then begin
+      t.done_set <- Set.add v t.done_set;
+      t.free <- Set.remove v t.free;
+      t.pos.(t.pid) <- c + 1;
+      Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit)
+    end
+    else rec_after_scan t;
+    ev
+  end
+  else begin
+    Metrics.on_internal (metrics t) ~p:t.pid;
+    rec_after_scan t;
+    internal_event t "rec_scan(row full)"
+  end
+
+let step_rec_next t =
+  let v = Memory.vget t.shared.next ~p:t.pid t.pid in
+  let ev = read_event t (Memory.vname t.shared.next ~cell:t.pid) v in
+  if v > 0 && not (Set.mem v t.done_set) then begin
+    t.rec_suspect <- v;
+    t.status <- Rec_mark
+  end
+  else t.status <- Comp_next;
+  ev
+
+let step_rec_mark t =
+  let c = t.pos.(t.pid) in
+  if c > cols t then begin
+    (* own row exhausted: every job is already recorded somewhere in
+       it, so the suspect cannot be unrecorded — nothing to mark *)
+    Metrics.on_internal (metrics t) ~p:t.pid;
+    t.rec_suspect <- 0;
+    t.status <- Comp_next;
+    internal_event t "rec_mark(row full)"
+  end
+  else begin
+    Memory.mset t.shared.done_m ~p:t.pid t.pid c t.rec_suspect;
+    let ev =
+      write_event t
+        (Memory.mname t.shared.done_m ~row:t.pid ~col:c)
+        t.rec_suspect
+    in
+    t.done_set <- Set.add t.rec_suspect t.done_set;
+    t.free <- Set.remove t.rec_suspect t.free;
+    t.pos.(t.pid) <- c + 1;
+    Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit);
+    t.rec_suspect <- 0;
+    t.status <- Comp_next;
+    ev
+  end
+
+let restart t =
+  if t.status <> Stop then false
+  else begin
+    t.free <- t.initial_free;
+    t.done_set <- Set.empty;
+    t.tries <- Set.empty;
+    Hashtbl.reset t.try_owner;
+    Hashtbl.reset t.done_owner;
+    Array.fill t.pos 0 (Array.length t.pos) 1;
+    t.next_j <- 0;
+    t.q <- 1;
+    t.finalizing <- false;
+    t.output <- None;
+    t.rec_suspect <- 0;
+    t.n_restarts <- t.n_restarts + 1;
+    t.status <- Rec_scan;
+    true
+  end
+
 let step t =
   match t.status with
   | Comp_next -> step_comp_next t
@@ -347,6 +463,9 @@ let step t =
   | Read_flag -> step_read_flag t
   | Do_job -> step_do t
   | Done_write -> step_done_write t
+  | Rec_scan -> step_rec_scan t
+  | Rec_next -> step_rec_next t
+  | Rec_mark -> step_rec_mark t
   | End | Stop -> invalid_arg "Kk.step: process has no enabled action"
 
 (* The footprint mirrors [step] case by case: which cell would the
@@ -372,6 +491,17 @@ let footprint t =
   | Done_write ->
       Footprint.Write
         (Memory.mname t.shared.done_m ~row:t.pid ~col:t.pos.(t.pid))
+  | Rec_scan ->
+      if t.pos.(t.pid) <= cols t then
+        Footprint.Read
+          (Memory.mname t.shared.done_m ~row:t.pid ~col:t.pos.(t.pid))
+      else Footprint.Internal
+  | Rec_next -> Footprint.Read (Memory.vname t.shared.next ~cell:t.pid)
+  | Rec_mark ->
+      if t.pos.(t.pid) <= cols t then
+        Footprint.Write
+          (Memory.mname t.shared.done_m ~row:t.pid ~col:t.pos.(t.pid))
+      else Footprint.Internal
   | End | Stop -> Footprint.Internal
 
 let handle t =
@@ -387,6 +517,7 @@ let handle t =
 
 let result t = t.output
 let do_count t = t.n_done
+let restart_count t = t.n_restarts
 let collisions_detected t = t.n_collisions
 let status_name t = status_to_string t.status
 let free_set t = t.free

@@ -67,6 +67,22 @@ module type S = Kk_intf.S
       only}: it deletes the [check] guard so the process performs its
       candidate unconditionally — the seeded safety mutant the model
       checker must catch (never set it outside tests).
+      [mutant_skip_recovery_mark] is the recovery-path analogue: a
+      restarted process skips the conservative re-marking of its
+      pre-crash announcement (see [restart] below), the unsound
+      shortcut the chaos harness must catch.
+    - [restart] (crash-recovery mode, DESIGN.md §7): revive a crashed
+      process.  Returns [false] unless the process is currently
+      crashed.  On [true], all volatile state is discarded and the
+      process re-enters via the recovery statuses: [rec_scan] re-reads
+      its own [done] row, [rec_next] re-reads its own announcement,
+      and [rec_mark] conservatively appends that announcement to its
+      [done] row without performing it (a crash in the
+      [do] -> [done] window may have left a performed job unrecorded,
+      so the announcement cannot be trusted).  At-most-once is
+      preserved unconditionally; each restart forfeits at most one
+      job, so effectiveness degrades to n − (β + m − 2) − r after r
+      restarts.  [restart_count] reports r for one process.
     - [handle] packages the process for {!Shm.Executor.run}; its
       [footprint] (also exposed directly as [footprint t]) names the
       register the next action will touch, driving the explorer's

@@ -33,6 +33,7 @@ module type S = sig
     ?perform_work:(int -> int) ->
     ?perform_footprint:(int -> Shm.Footprint.t) ->
     ?mutant_skip_check:bool ->
+    ?mutant_skip_recovery_mark:bool ->
     ?verbose:bool ->
     mode:mode ->
     unit ->
@@ -40,11 +41,15 @@ module type S = sig
 
   val handle : t -> Shm.Automaton.handle
 
+  val restart : t -> bool
+
   val footprint : t -> Shm.Footprint.t
 
   val result : t -> set option
 
   val do_count : t -> int
+
+  val restart_count : t -> int
 
   val collisions_detected : t -> int
 

@@ -1,0 +1,276 @@
+(* The chaos engine: execute fault plans, check trace oracles, shrink
+   failures with ddmin, and soak over seeded random plans. *)
+
+open Util
+
+type run_result = {
+  plan : Plan.t;
+  schedule : int list;
+  violations : Analysis.Oracle.violation list;
+  dos : (int * int) list;
+  do_count : int;
+  steps : int;
+  wait_free : bool;
+  crashes : int list;
+  restarts : int list;
+  metrics_json : string;
+  trace : Shm.Trace.t;
+}
+
+(* At-most-once is unconditional (Lemma 4.1 needs no liveness).  The
+   effectiveness floor and quiescence are theorems about terminating
+   executions, and Lemma 4.3 guarantees termination only for
+   beta >= m — below that, a crash can legitimately wedge a job in
+   every survivor's TRY set forever, so those oracles would report
+   false positives. *)
+let oracles_for (plan : Plan.t) =
+  Analysis.Oracle.at_most_once
+  ::
+  (if plan.beta >= plan.m then
+     [
+       Analysis.Oracle.recovery_effectiveness ~n:plan.n ~m:plan.m
+         ~beta:plan.beta;
+       Analysis.Oracle.quiescence ~m:plan.m;
+     ]
+   else [])
+
+let run_plan (plan : Plan.t) =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Chaos.run_plan: " ^ e));
+  if plan.net <> [] then
+    invalid_arg "Chaos.run_plan: message-passing plan (use run_net_plan)";
+  let n = plan.n and m = plan.m and beta = plan.beta in
+  let rng = Prng.of_int plan.seed in
+  let sched_rng = Prng.split rng in
+  let metrics = Shm.Metrics.create ~m in
+  let collision = Core.Collision.create ~m in
+  let shared = Core.Kk.make_shared ~metrics ~m ~capacity:n ~name:"kk" () in
+  let mutant_skip_check = plan.algo = Plan.Kk_mutant_skip_check in
+  let mutant_skip_recovery_mark =
+    plan.algo = Plan.Kk_mutant_skip_recovery_mark
+  in
+  let kks =
+    Array.init m (fun i ->
+        Core.Kk.create ~shared ~pid:(i + 1) ~beta ~policy:Core.Policy.Rank_split
+          ~free:(Core.Job.universe ~n) ~collision ~mutant_skip_check
+          ~mutant_skip_recovery_mark ~mode:Core.Kk.Standalone ())
+  in
+  let handles = Array.map Core.Kk.handle kks in
+  let scheduler, picks =
+    Shm.Schedule.recording (Inject.scheduler ~plan ~rng:sched_rng)
+  in
+  let adversary = Inject.adversary ~plan ~metrics in
+  let restarter =
+    Inject.restarter ~plan ~restart:(fun pid -> Core.Kk.restart kks.(pid - 1))
+  in
+  let max_steps = 200_000 + (1_000 * n * m) in
+  let outcome =
+    Shm.Executor.run ~max_steps ?restarter ~scheduler ~adversary handles
+  in
+  let trace = outcome.Shm.Executor.trace in
+  let dos = Shm.Trace.do_events trace in
+  {
+    plan;
+    schedule = picks ();
+    violations = Analysis.Oracle.check_all (oracles_for plan) trace;
+    dos;
+    do_count = Core.Spec.do_count dos;
+    steps = outcome.Shm.Executor.steps;
+    wait_free = outcome.Shm.Executor.reason = Shm.Executor.Quiescent;
+    crashes = Shm.Trace.crashes trace;
+    restarts = Shm.Trace.restarts trace;
+    metrics_json = Shm.Metrics.to_json metrics;
+    trace;
+  }
+
+(* ---- shrinking ---- *)
+
+let violation_names r =
+  List.sort_uniq compare
+    (List.map (fun v -> v.Analysis.Oracle.oracle) r.violations)
+
+(* A candidate plan "still fails" when it trips at least one of the
+   oracles the original failure tripped — shrinking must not wander to
+   a different bug. *)
+let reproduces ~names plan =
+  match Plan.validate plan with
+  | Error _ -> false
+  | Ok () ->
+      let r = run_plan plan in
+      List.exists
+        (fun v -> List.mem v.Analysis.Oracle.oracle names)
+        r.violations
+
+let shrink_failure r0 =
+  let names = violation_names r0 in
+  if names = [] then invalid_arg "Chaos.shrink_failure: run has no violations";
+  (* 1. pin the interleaving: the recorded pick sequence replayed as a
+     Fixed schedule makes the failure deterministic and shrinkable *)
+  let pinned = { r0.plan with Plan.sched = Plan.Fixed r0.schedule } in
+  let base = if reproduces ~names pinned then pinned else r0.plan in
+  (* 2. ddmin the fault list *)
+  let shm =
+    Analysis.Explore.ddmin
+      ~violates:(fun shm -> reproduces ~names { base with Plan.shm })
+      base.Plan.shm
+  in
+  let base = { base with Plan.shm } in
+  (* 3. ddmin the pinned schedule itself *)
+  let base =
+    match base.Plan.sched with
+    | Plan.Fixed picks ->
+        let picks =
+          Analysis.Explore.ddmin
+            ~violates:(fun picks ->
+              reproduces ~names { base with Plan.sched = Plan.Fixed picks })
+            picks
+        in
+        { base with Plan.sched = Plan.Fixed picks }
+    | _ -> base
+  in
+  let minimal = { base with Plan.name = r0.plan.Plan.name ^ "-min" } in
+  (minimal, run_plan minimal)
+
+(* ---- soak ---- *)
+
+type soak_stats = {
+  runs : int;
+  recovery_runs : int;
+  failures : int;
+  total_steps : int;
+  total_dos : int;
+  total_restarts : int;
+  first_failure : (Plan.t * run_result) option;
+}
+
+let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
+    ?(stalls = true) ~seed ~count ~n ~m ~beta () =
+  let root = Prng.of_int seed in
+  let runs = ref 0 in
+  let recovery_runs = ref 0 in
+  let failures = ref 0 in
+  let total_steps = ref 0 in
+  let total_dos = ref 0 in
+  let total_restarts = ref 0 in
+  let first_failure = ref None in
+  for i = 0 to count - 1 do
+    let rng = Prng.split root in
+    let recovery = recovery_every > 0 && i mod recovery_every = 0 in
+    let plan =
+      Plan.gen ~algo ~recovery ~stalls
+        ~name:(Printf.sprintf "chaos-%03d" i)
+        ~n ~m ~beta rng
+    in
+    let r = run_plan plan in
+    incr runs;
+    if Plan.has_recovery plan then incr recovery_runs;
+    total_steps := !total_steps + r.steps;
+    total_dos := !total_dos + r.do_count;
+    total_restarts := !total_restarts + List.length r.restarts;
+    if r.violations <> [] then begin
+      incr failures;
+      List.iter
+        (fun (v : Analysis.Oracle.violation) ->
+          Obs.Sink.emit sink
+            (Obs.Sink.record ~ts:i ~kind:Obs.Sink.Instant
+               ~args:
+                 [
+                   ("plan", Obs.Json.String plan.Plan.name);
+                   ("seed", Obs.Json.Int plan.Plan.seed);
+                   ("oracle", Obs.Json.String v.oracle);
+                   ("detail", Obs.Json.String v.detail);
+                 ]
+               "chaos.violation"))
+        r.violations;
+      if Option.is_none !first_failure then
+        first_failure := Some (shrink_failure r)
+    end
+  done;
+  Obs.Sink.emit sink
+    (Obs.Sink.record ~ts:count ~kind:Obs.Sink.Instant
+       ~args:
+         [
+           ("runs", Obs.Json.Int !runs);
+           ("recovery_runs", Obs.Json.Int !recovery_runs);
+           ("failures", Obs.Json.Int !failures);
+         ]
+       "chaos.done");
+  {
+    runs = !runs;
+    recovery_runs = !recovery_runs;
+    failures = !failures;
+    total_steps = !total_steps;
+    total_dos = !total_dos;
+    total_restarts = !total_restarts;
+    first_failure = !first_failure;
+  }
+
+(* ---- message passing ---- *)
+
+type net_result = {
+  plan : Plan.t;
+  dos : (int * int) list;
+  completed : int list;
+  stuck : int list;
+  deliveries : int;
+  violations : Analysis.Oracle.violation list;
+}
+
+let run_net_plan ?(servers = 3) (plan : Plan.t) =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Chaos.run_net_plan: " ^ e));
+  if plan.shm <> [] then
+    invalid_arg "Chaos.run_net_plan: shared-memory plan (use run_plan)";
+  let n = plan.n and m = plan.m and beta = plan.beta in
+  let rng = Prng.of_int plan.seed in
+  let bodies =
+    Array.init m (fun i -> Msg.Kk_mp.kk_body ~n ~m ~beta ~pid:(i + 1))
+  in
+  let outcome =
+    Msg.Abd.run
+      ~deliver:(Inject.net_deliver ~plan ())
+      ~servers
+      ~registers:(Msg.Kk_mp.register_count ~n ~m)
+      ~rng ~client_bodies:bodies ()
+  in
+  let violations = ref [] in
+  let add oracle detail =
+    violations := { Analysis.Oracle.oracle; detail } :: !violations
+  in
+  (* at-most-once holds under every network fault, loss included *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (p, j) ->
+      match Hashtbl.find_opt seen j with
+      | Some p0 ->
+          add "at-most-once"
+            (Printf.sprintf "job %d performed by p%d and again by p%d" j p0 p)
+      | None -> Hashtbl.add seen j p)
+    outcome.Msg.Abd.dos;
+  (* liveness and effectiveness only promised without message loss:
+     every non-Drop window heals, so all clients must complete and
+     (with zero client crashes) the Theorem 4.4 floor must hold *)
+  if not (Plan.lossy plan) then begin
+    List.iter
+      (fun c -> add "quiescence" (Printf.sprintf "client %d stuck" c))
+      outcome.Msg.Abd.stuck;
+    (* the floor needs Lemma 4.3's termination condition, as in
+       [oracles_for] *)
+    if beta >= m then begin
+      let distinct = Hashtbl.length seen in
+      let floor = max 0 (n - (beta + m - 2)) in
+      if distinct < floor then
+        add "recovery-effectiveness"
+          (Printf.sprintf "%d distinct jobs < floor %d" distinct floor)
+    end
+  end;
+  {
+    plan;
+    dos = outcome.Msg.Abd.dos;
+    completed = outcome.Msg.Abd.completed;
+    stuck = outcome.Msg.Abd.stuck;
+    deliveries = outcome.Msg.Abd.deliveries;
+    violations = List.rev !violations;
+  }

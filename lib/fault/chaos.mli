@@ -1,0 +1,88 @@
+(** The chaos engine: run plans, check oracles, shrink failures.
+
+    Everything here is deterministic in the plan: {!run_plan} derives
+    all randomness (scheduler, adversary, network) from [plan.seed],
+    so the same plan value always produces the identical execution —
+    the property the replay tests and the shrinker rely on. *)
+
+type run_result = {
+  plan : Plan.t;
+  schedule : int list;
+      (** the recorded scheduler pick sequence; replaying it as
+          [Plan.Fixed] reproduces the interleaving exactly *)
+  violations : Analysis.Oracle.violation list;  (** empty = run passed *)
+  dos : (int * int) list;  (** chronological (pid, job) performs *)
+  do_count : int;  (** distinct jobs performed *)
+  steps : int;
+  wait_free : bool;  (** executor reached quiescence within budget *)
+  crashes : int list;
+  restarts : int list;
+  metrics_json : string;  (** work-complexity counters, serialized *)
+  trace : Shm.Trace.t;
+}
+
+val oracles_for : Plan.t -> Analysis.Oracle.t list
+(** The chaos oracle suite for a shared-memory plan: at-most-once
+    always; recovery-aware effectiveness (floor
+    [n - (beta + m - 2) - r] for [r] restarts) and quiescence only
+    when [beta >= m], Lemma 4.3's termination condition — below it a
+    crash may legitimately wedge a job in every survivor's TRY set,
+    so the execution need not quiesce. *)
+
+val run_plan : Plan.t -> run_result
+(** Execute a shared-memory plan to quiescence and check the oracles.
+    @raise Invalid_argument on an invalid or message-passing plan. *)
+
+val shrink_failure : run_result -> Plan.t * run_result
+(** ddmin a failing run to a minimal deterministic plan tripping (at
+    least one of) the same oracles: the recorded schedule is pinned as
+    [Plan.Fixed], then the fault list and the pick sequence are each
+    delta-minimized with {!Analysis.Explore.ddmin}.  Returns the
+    minimal plan (renamed [<name>-min]) and its run.
+    @raise Invalid_argument if the run has no violations. *)
+
+type soak_stats = {
+  runs : int;
+  recovery_runs : int;  (** plans that actually contained a restart *)
+  failures : int;  (** runs with at least one violation *)
+  total_steps : int;
+  total_dos : int;
+  total_restarts : int;
+  first_failure : (Plan.t * run_result) option;
+      (** first failing run, already shrunk *)
+}
+
+val soak :
+  ?sink:Obs.Sink.t ->
+  ?algo:Plan.algo ->
+  ?recovery_every:int ->
+  ?stalls:bool ->
+  seed:int ->
+  count:int ->
+  n:int ->
+  m:int ->
+  beta:int ->
+  unit ->
+  soak_stats
+(** Run [count] seeded random plans (every [recovery_every]-th one
+    crash-recovery flavoured, default 4).  Violations are emitted to
+    [sink] as [chaos.violation] instants and the first failure is
+    shrunk.  Fully deterministic in [seed]. *)
+
+type net_result = {
+  plan : Plan.t;
+  dos : (int * int) list;
+  completed : int list;
+  stuck : int list;
+  deliveries : int;
+  violations : Analysis.Oracle.violation list;
+}
+
+val run_net_plan : ?servers:int -> Plan.t -> net_result
+(** Execute a message-passing plan: KKβ clients over ABD-emulated
+    registers with the plan's fault windows driving delivery.
+    At-most-once is checked unconditionally; the no-stuck-client and
+    effectiveness-floor oracles apply only to loss-free plans (a
+    [Drop] window may legitimately strand a client — the emulation has
+    no retransmission).
+    @raise Invalid_argument on an invalid or shared-memory plan. *)

@@ -1,0 +1,171 @@
+(* Compile a Plan onto the runtime seams: the scheduler and adversary
+   of Shm.Executor, its restarter hook, and the Abd delivery driver.
+   All compiled artifacts are stateful closures scoped to one run — a
+   plan must be re-compiled for every execution. *)
+
+let base_scheduler ~plan ~rng =
+  match plan.Plan.sched with
+  | Plan.Round_robin -> Shm.Schedule.round_robin ()
+  | Plan.Random_sched -> Shm.Schedule.random rng
+  | Plan.Bursty k -> Shm.Schedule.bursty rng ~max_burst:k
+  | Plan.Fixed picks -> Shm.Schedule.fixed picks
+
+let stall_windows plan =
+  List.filter_map
+    (function
+      | Plan.Stall { pid; from_step; len } -> Some (pid, from_step, from_step + len)
+      | _ -> None)
+    plan.Plan.shm
+
+let scheduler ~plan ~rng =
+  let base = base_scheduler ~plan ~rng in
+  let stalls = stall_windows plan in
+  match (plan.Plan.sched, stalls) with
+  (* a Fixed schedule IS the interleaving (it came from recording a
+     failing run, stall effects included) — don't re-filter it *)
+  | Plan.Fixed _, _ | _, [] -> base
+  | _ ->
+      (* Schedule.choose has no step argument, so the stall clock is
+         the number of scheduling decisions made so far *)
+      let decisions = ref 0 in
+      Shm.Schedule.custom
+        ~name:(Shm.Schedule.name base ^ "+stalls")
+        (fun ~alive ->
+          let now = !decisions in
+          incr decisions;
+          let stalled p =
+            List.exists (fun (pid, s, e) -> pid = p && now >= s && now < e) stalls
+          in
+          let eligible = Array.of_list (List.filter (fun p -> not (stalled p)) (Array.to_list alive)) in
+          (* every live pid stalled: the window must not deadlock the
+             run, so fall back to the unfiltered choice *)
+          if Array.length eligible = 0 then Shm.Schedule.choose base ~alive
+          else Shm.Schedule.choose base ~alive:eligible)
+
+type crash_entry = {
+  mutable fired : bool;
+  pid : int;
+  due : step:int -> handles:Shm.Automaton.handle array -> bool;
+}
+
+let adversary ~plan ~metrics =
+  let entry = function
+    | Plan.Crash_at { pid; step = s } ->
+        Some { fired = false; pid; due = (fun ~step ~handles:_ -> step >= s) }
+    | Plan.Crash_after_writes { pid; writes } ->
+        Some
+          {
+            fired = false;
+            pid;
+            due =
+              (fun ~step:_ ~handles:_ -> Shm.Metrics.writes metrics ~p:pid >= writes);
+          }
+    | Plan.Crash_in_phase { pid; phase } ->
+        Some
+          {
+            fired = false;
+            pid;
+            due =
+              (fun ~step:_ ~handles ->
+                let h = handles.(pid - 1) in
+                h.Shm.Automaton.alive () && h.Shm.Automaton.phase () = phase);
+          }
+    | Plan.Restart_at _ | Plan.Stall _ -> None
+  in
+  match List.filter_map entry plan.Plan.shm with
+  | [] -> Shm.Adversary.none
+  | entries ->
+      Shm.Adversary.custom ~name:"plan" (fun ~step ~handles ->
+          List.filter_map
+            (fun e ->
+              if e.fired then None
+              else if e.due ~step ~handles then begin
+                (* one-shot even if the pid is already dead, so a crash
+                   fault cannot re-fire after a restart revives it *)
+                e.fired <- true;
+                Some e.pid
+              end
+              else None)
+            entries)
+
+let restarter ~plan ~restart =
+  match Plan.restart_faults plan with
+  | [] -> None
+  | faults ->
+      let pending = ref faults in
+      Some
+        (fun ~step ~(handles : Shm.Automaton.handle array) ->
+          let all_dead =
+            Array.for_all (fun h -> not (h.Shm.Automaton.alive ())) handles
+          in
+          let due, later =
+            List.partition
+              (fun (pid, s) ->
+                (* fire early when the execution would otherwise end
+                   with every process dead — a restart that never runs
+                   is not a recovery test *)
+                (step >= s || all_dead)
+                && not (handles.(pid - 1).Shm.Automaton.alive ()))
+              !pending
+          in
+          pending := later;
+          (* a fired entry is consumed whether or not the revive took
+             (restart on a terminated automaton returns false) *)
+          List.filter (fun pid -> restart pid) (List.map fst due))
+
+(* Hard cap on network driver ticks: a buggy window spec must not spin
+   forever while withholding every message. *)
+let max_net_ticks = 2_000_000
+
+let net_deliver ~plan () =
+  let window_of = function
+    | Plan.Drop { prob; from_tick; len } -> `Drop (prob, from_tick, from_tick + len)
+    | Plan.Duplicate { prob; from_tick; len } ->
+        `Dup (prob, from_tick, from_tick + len)
+    | Plan.Delay_node { node; from_tick; len } ->
+        `Delay (node, from_tick, from_tick + len)
+    | Plan.Partition { group; from_tick; len } ->
+        `Part (group, from_tick, from_tick + len)
+  in
+  let faults = List.map window_of plan.Plan.net in
+  let tick = ref 0 in
+  fun net rng ->
+    incr tick;
+    let now = !tick in
+    if now > max_net_ticks then false
+    else begin
+      (* channel perturbations first: lose / duplicate a random
+         pending message inside an active window *)
+      List.iter
+        (function
+          | `Drop (p, s, e) when now >= s && now < e ->
+              if Util.Prng.bernoulli rng p then ignore (Msg.Net.drop_random net rng)
+          | `Dup (p, s, e) when now >= s && now < e ->
+              if Util.Prng.bernoulli rng p then
+                ignore (Msg.Net.duplicate_random net rng)
+          | _ -> ())
+        faults;
+      let delayed =
+        List.filter_map
+          (function `Delay (n, s, e) when now >= s && now < e -> Some n | _ -> None)
+          faults
+      in
+      let groups =
+        List.filter_map
+          (function `Part (g, s, e) when now >= s && now < e -> Some g | _ -> None)
+          faults
+      in
+      if delayed = [] && groups = [] then Msg.Net.deliver_random net rng
+      else begin
+        let eligible ~src ~dst =
+          (not (List.mem dst delayed))
+          && List.for_all (fun g -> List.mem src g = List.mem dst g) groups
+        in
+        if Msg.Net.deliver_random_where net rng eligible then true
+        else
+          (* nothing deliverable right now, but every window heals:
+             keep ticking while messages are pending so delivery can
+             resume when the window closes *)
+          Msg.Net.pending net > 0
+      end
+    end

@@ -1,0 +1,44 @@
+(** Plan compiler: fault plans onto runtime seams.
+
+    Each function compiles one facet of a {!Plan.t} into the stateful
+    closure the corresponding runtime hook expects.  Compiled values
+    hold per-run mutable state (fired flags, stall clocks, network
+    tick counters) — recompile the plan for every execution. *)
+
+val scheduler : plan:Plan.t -> rng:Util.Prng.t -> Shm.Schedule.t
+(** The plan's base scheduler, wrapped (except for [Fixed] plans) with
+    the plan's [Stall] windows: a stalled pid is hidden from the
+    choice while its window is open, measured in scheduling decisions.
+    If every live pid is stalled the filter yields to the unfiltered
+    choice so a window can never deadlock a run. *)
+
+val adversary : plan:Plan.t -> metrics:Shm.Metrics.t -> Shm.Adversary.t
+(** All crash faults compiled into one adversary.  Each fault fires at
+    most once — the fired flag is set as soon as its condition holds,
+    even for an already-dead pid, so a crash cannot re-fire after a
+    restart.  [Crash_after_writes] reads the live [metrics]. *)
+
+val restarter :
+  plan:Plan.t ->
+  restart:(int -> bool) ->
+  (step:int -> handles:Shm.Automaton.handle array -> int list) option
+(** The executor's crash-recovery hook, or [None] if the plan has no
+    [Restart_at] fault.  An entry fires at its step — or early, when
+    every process is dead, so the execution survives to run the
+    recovery — provided its pid is currently dead.  [restart pid] must
+    revive pid's automaton (rebuild state from shared registers) and
+    return whether the revive took; the hook returns the revived
+    pids. *)
+
+val max_net_ticks : int
+(** Hard cap on driver invocations — a malformed plan must not spin. *)
+
+val net_deliver : plan:Plan.t -> unit -> 'a Msg.Net.t -> Util.Prng.t -> bool
+(** Delivery driver for {!Msg.Abd.run}'s [?deliver].  Per tick: active
+    [Drop]/[Duplicate] windows perturb a random pending message with
+    their probability; active [Delay_node]/[Partition] windows
+    restrict which (src, dst) pairs are eligible, delivering uniformly
+    among the rest.  When a window withholds everything the driver
+    returns [true] without delivering (ticks pass, windows heal);
+    it returns [false] — ending the run — only when nothing is pending
+    or {!max_net_ticks} is exceeded. *)

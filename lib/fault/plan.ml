@@ -1,0 +1,538 @@
+(* Fault plans: pure, serializable descriptions of one adversarial
+   run.  A plan carries everything needed to reproduce the run — the
+   instance (n, m, beta), the algorithm variant, the scheduler, the
+   PRNG seed and the fault list — so a failing plan written to disk is
+   a complete, replayable counterexample.  Compilation onto the
+   executor/network seams lives in Inject; execution in Chaos. *)
+
+open Obs
+
+let version = 1
+
+type algo = Kk | Kk_mutant_skip_check | Kk_mutant_skip_recovery_mark
+
+let algo_to_string = function
+  | Kk -> "kk"
+  | Kk_mutant_skip_check -> "kk-mutant-skip-check"
+  | Kk_mutant_skip_recovery_mark -> "kk-mutant-skip-recovery-mark"
+
+let algo_of_string = function
+  | "kk" -> Some Kk
+  | "kk-mutant-skip-check" -> Some Kk_mutant_skip_check
+  | "kk-mutant-skip-recovery-mark" -> Some Kk_mutant_skip_recovery_mark
+  | _ -> None
+
+type sched = Round_robin | Random_sched | Bursty of int | Fixed of int list
+
+type shm_fault =
+  | Crash_at of { pid : int; step : int }
+  | Crash_after_writes of { pid : int; writes : int }
+  | Crash_in_phase of { pid : int; phase : string }
+  | Restart_at of { pid : int; step : int }
+  | Stall of { pid : int; from_step : int; len : int }
+
+type net_fault =
+  | Drop of { prob : float; from_tick : int; len : int }
+  | Duplicate of { prob : float; from_tick : int; len : int }
+  | Delay_node of { node : int; from_tick : int; len : int }
+  | Partition of { group : int list; from_tick : int; len : int }
+
+type t = {
+  name : string;
+  algo : algo;
+  seed : int;
+  n : int;
+  m : int;
+  beta : int;
+  sched : sched;
+  shm : shm_fault list;
+  net : net_fault list;
+}
+
+let make ?(name = "plan") ?(algo = Kk) ?(seed = 0) ?(sched = Round_robin)
+    ?(shm = []) ?(net = []) ~n ~m ~beta () =
+  { name; algo; seed; n; m; beta; sched; shm; net }
+
+(* ---- static accounting ---- *)
+
+let fault_pid = function
+  | Crash_at { pid; _ }
+  | Crash_after_writes { pid; _ }
+  | Crash_in_phase { pid; _ }
+  | Restart_at { pid; _ }
+  | Stall { pid; _ } ->
+      pid
+
+let is_crash = function
+  | Crash_at _ | Crash_after_writes _ | Crash_in_phase _ -> true
+  | Restart_at _ | Stall _ -> false
+
+let count_for t ~pid pred =
+  List.length (List.filter (fun f -> fault_pid f = pid && pred f) t.shm)
+
+(* A pid is permanently crashed when it has more crash faults than
+   restarts: its last crash is never recovered from. *)
+let permanent_crashes t =
+  let pids = List.sort_uniq compare (List.map fault_pid t.shm) in
+  List.filter
+    (fun pid ->
+      count_for t ~pid is_crash
+      > count_for t ~pid (function Restart_at _ -> true | _ -> false))
+    pids
+
+let restart_faults t =
+  List.filter_map
+    (function Restart_at { pid; step } -> Some (pid, step) | _ -> None)
+    t.shm
+
+let has_recovery t = restart_faults t <> []
+
+let lossy t = List.exists (function Drop _ -> true | _ -> false) t.net
+
+(* ---- validation ---- *)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.n < 1 then err "n must be >= 1"
+  else if t.m < 1 || t.m > t.n then err "m must be in [1, n]"
+  else if t.beta < 1 then err "beta must be >= 1"
+  else if t.shm <> [] && t.net <> [] then
+    err "a plan is either shared-memory or message-passing, not both"
+  else
+    let bad_sched =
+      match t.sched with
+      | Round_robin | Random_sched -> None
+      | Bursty k when k < 1 -> Some "bursty burst must be >= 1"
+      | Bursty _ -> None
+      | Fixed picks ->
+          if List.for_all (fun p -> p >= 1 && p <= t.m) picks then None
+          else Some "fixed schedule pid out of range"
+    in
+    match bad_sched with
+    | Some e -> Error e
+    | None -> (
+        let bad_shm =
+          List.find_map
+            (fun f ->
+              let pid = fault_pid f in
+              if pid < 1 || pid > t.m then Some "fault pid out of range"
+              else
+                match f with
+                | Crash_at { step; _ } when step < 0 ->
+                    Some "crash step must be >= 0"
+                | Crash_after_writes { writes; _ } when writes < 1 ->
+                    Some "crash write count must be >= 1"
+                | Crash_in_phase { phase; _ } when phase = "" ->
+                    Some "crash phase must be non-empty"
+                | Restart_at { pid; step } ->
+                    if step < 0 then Some "restart step must be >= 0"
+                    else if count_for t ~pid is_crash = 0 then
+                      Some "restart without a prior crash fault"
+                    else None
+                | Stall { from_step; len; _ }
+                  when from_step < 0 || len < 0 ->
+                    Some "stall window must be non-negative"
+                | _ -> None)
+            t.shm
+        in
+        match bad_shm with
+        | Some e -> Error e
+        | None -> (
+            let bad_net =
+              List.find_map
+                (fun f ->
+                  match f with
+                  | Drop { prob; from_tick; len }
+                  | Duplicate { prob; from_tick; len } ->
+                      if prob < 0. || prob > 1. then
+                        Some "fault probability must be in [0, 1]"
+                      else if from_tick < 0 || len < 0 then
+                        Some "fault window must be non-negative"
+                      else None
+                  | Delay_node { node; from_tick; len } ->
+                      if node < 1 then Some "delayed node must be >= 1"
+                      else if from_tick < 0 || len < 0 then
+                        Some "fault window must be non-negative"
+                      else None
+                  | Partition { group; from_tick; len } ->
+                      if group = [] then Some "partition group must be non-empty"
+                      else if List.exists (fun x -> x < 1) group then
+                        Some "partition node must be >= 1"
+                      else if from_tick < 0 || len < 0 then
+                        Some "fault window must be non-negative"
+                      else None)
+                t.net
+            in
+            match bad_net with
+            | Some e -> Error e
+            | None ->
+                let f = List.length (permanent_crashes t) in
+                if f > t.m - 1 then
+                  err "%d permanent crashes but at most m-1 = %d allowed" f
+                    (t.m - 1)
+                else Ok ()))
+
+(* ---- JSON ---- *)
+
+let sched_to_json = function
+  | Round_robin -> Json.Obj [ ("kind", Json.String "round-robin") ]
+  | Random_sched -> Json.Obj [ ("kind", Json.String "random") ]
+  | Bursty k ->
+      Json.Obj [ ("kind", Json.String "bursty"); ("max_burst", Json.Int k) ]
+  | Fixed picks ->
+      Json.Obj
+        [
+          ("kind", Json.String "fixed");
+          ("picks", Json.List (List.map (fun p -> Json.Int p) picks));
+        ]
+
+let shm_fault_to_json = function
+  | Crash_at { pid; step } ->
+      Json.Obj
+        [
+          ("fault", Json.String "crash_at");
+          ("pid", Json.Int pid);
+          ("step", Json.Int step);
+        ]
+  | Crash_after_writes { pid; writes } ->
+      Json.Obj
+        [
+          ("fault", Json.String "crash_after_writes");
+          ("pid", Json.Int pid);
+          ("writes", Json.Int writes);
+        ]
+  | Crash_in_phase { pid; phase } ->
+      Json.Obj
+        [
+          ("fault", Json.String "crash_in_phase");
+          ("pid", Json.Int pid);
+          ("phase", Json.String phase);
+        ]
+  | Restart_at { pid; step } ->
+      Json.Obj
+        [
+          ("fault", Json.String "restart_at");
+          ("pid", Json.Int pid);
+          ("step", Json.Int step);
+        ]
+  | Stall { pid; from_step; len } ->
+      Json.Obj
+        [
+          ("fault", Json.String "stall");
+          ("pid", Json.Int pid);
+          ("from", Json.Int from_step);
+          ("len", Json.Int len);
+        ]
+
+let net_fault_to_json = function
+  | Drop { prob; from_tick; len } ->
+      Json.Obj
+        [
+          ("fault", Json.String "drop");
+          ("prob", Json.Float prob);
+          ("from", Json.Int from_tick);
+          ("len", Json.Int len);
+        ]
+  | Duplicate { prob; from_tick; len } ->
+      Json.Obj
+        [
+          ("fault", Json.String "duplicate");
+          ("prob", Json.Float prob);
+          ("from", Json.Int from_tick);
+          ("len", Json.Int len);
+        ]
+  | Delay_node { node; from_tick; len } ->
+      Json.Obj
+        [
+          ("fault", Json.String "delay_node");
+          ("node", Json.Int node);
+          ("from", Json.Int from_tick);
+          ("len", Json.Int len);
+        ]
+  | Partition { group; from_tick; len } ->
+      Json.Obj
+        [
+          ("fault", Json.String "partition");
+          ("group", Json.List (List.map (fun x -> Json.Int x) group));
+          ("from", Json.Int from_tick);
+          ("len", Json.Int len);
+        ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("name", Json.String t.name);
+      ("algo", Json.String (algo_to_string t.algo));
+      ("seed", Json.Int t.seed);
+      ("n", Json.Int t.n);
+      ("m", Json.Int t.m);
+      ("beta", Json.Int t.beta);
+      ("sched", sched_to_json t.sched);
+      ("shm", Json.List (List.map shm_fault_to_json t.shm));
+      ("net", Json.List (List.map net_fault_to_json t.net));
+    ]
+
+let field name get j =
+  match Option.bind (Json.member name j) get with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "plan: missing or ill-typed %S" name)
+
+let ( let* ) = Result.bind
+
+let int_list j =
+  Option.bind (Json.get_list j) (fun l ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | x :: rest -> (
+            match Json.get_int x with
+            | Some i -> go (i :: acc) rest
+            | None -> None)
+      in
+      go [] l)
+
+let sched_of_json j =
+  let* kind = field "kind" Json.get_string j in
+  match kind with
+  | "round-robin" -> Ok Round_robin
+  | "random" -> Ok Random_sched
+  | "bursty" ->
+      let* k = field "max_burst" Json.get_int j in
+      Ok (Bursty k)
+  | "fixed" ->
+      let* picks = field "picks" int_list j in
+      Ok (Fixed picks)
+  | k -> Error (Printf.sprintf "plan: unknown scheduler %S" k)
+
+let shm_fault_of_json j =
+  let* kind = field "fault" Json.get_string j in
+  match kind with
+  | "crash_at" ->
+      let* pid = field "pid" Json.get_int j in
+      let* step = field "step" Json.get_int j in
+      Ok (Crash_at { pid; step })
+  | "crash_after_writes" ->
+      let* pid = field "pid" Json.get_int j in
+      let* writes = field "writes" Json.get_int j in
+      Ok (Crash_after_writes { pid; writes })
+  | "crash_in_phase" ->
+      let* pid = field "pid" Json.get_int j in
+      let* phase = field "phase" Json.get_string j in
+      Ok (Crash_in_phase { pid; phase })
+  | "restart_at" ->
+      let* pid = field "pid" Json.get_int j in
+      let* step = field "step" Json.get_int j in
+      Ok (Restart_at { pid; step })
+  | "stall" ->
+      let* pid = field "pid" Json.get_int j in
+      let* from_step = field "from" Json.get_int j in
+      let* len = field "len" Json.get_int j in
+      Ok (Stall { pid; from_step; len })
+  | k -> Error (Printf.sprintf "plan: unknown shm fault %S" k)
+
+let net_fault_of_json j =
+  let* kind = field "fault" Json.get_string j in
+  match kind with
+  | "drop" | "duplicate" ->
+      let* prob = field "prob" Json.get_float j in
+      let* from_tick = field "from" Json.get_int j in
+      let* len = field "len" Json.get_int j in
+      Ok
+        (if kind = "drop" then Drop { prob; from_tick; len }
+         else Duplicate { prob; from_tick; len })
+  | "delay_node" ->
+      let* node = field "node" Json.get_int j in
+      let* from_tick = field "from" Json.get_int j in
+      let* len = field "len" Json.get_int j in
+      Ok (Delay_node { node; from_tick; len })
+  | "partition" ->
+      let* group = field "group" int_list j in
+      let* from_tick = field "from" Json.get_int j in
+      let* len = field "len" Json.get_int j in
+      Ok (Partition { group; from_tick; len })
+  | k -> Error (Printf.sprintf "plan: unknown net fault %S" k)
+
+let list_of_json item j =
+  match Json.get_list j with
+  | None -> Error "plan: expected a list"
+  | Some l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest ->
+            let* v = item x in
+            go (v :: acc) rest
+      in
+      go [] l
+
+let of_json j =
+  let* v = field "version" Json.get_int j in
+  if v > version then Error (Printf.sprintf "plan: unsupported version %d" v)
+  else
+    let* name = field "name" Json.get_string j in
+    let* algo_s = field "algo" Json.get_string j in
+    let* algo =
+      match algo_of_string algo_s with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "plan: unknown algo %S" algo_s)
+    in
+    let* seed = field "seed" Json.get_int j in
+    let* n = field "n" Json.get_int j in
+    let* m = field "m" Json.get_int j in
+    let* beta = field "beta" Json.get_int j in
+    let* sched =
+      match Json.member "sched" j with
+      | Some sj -> sched_of_json sj
+      | None -> Error "plan: missing sched"
+    in
+    let* shm =
+      match Json.member "shm" j with
+      | Some sj -> list_of_json shm_fault_of_json sj
+      | None -> Ok []
+    in
+    let* net =
+      match Json.member "net" j with
+      | Some nj -> list_of_json net_fault_of_json nj
+      | None -> Ok []
+    in
+    let t = { name; algo; seed; n; m; beta; sched; shm; net } in
+    let* () = validate t in
+    Ok t
+
+let to_string t = Json.to_string ~minify:false (to_json t)
+
+let of_string s = Result.bind (Json.parse s) of_json
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string s
+
+(* ---- seeded random generation ---- *)
+
+(* Rough upper estimate of a failure-free run's length, used to place
+   fault windows where they can actually bite. *)
+let horizon ~n ~m = (4 * n * m) + (20 * m)
+
+let gen_phases =
+  [| "set_next"; "gather_try"; "gather_done"; "check"; "do"; "done" |]
+
+let gen ?(algo = Kk) ?(recovery = false) ?(stalls = true) ~name ~n ~m ~beta rng
+    =
+  let module P = Util.Prng in
+  let h = horizon ~n ~m in
+  let sched =
+    match P.int rng 3 with
+    | 0 -> Round_robin
+    | 1 -> Random_sched
+    | _ -> Bursty (1 + P.int rng 8)
+  in
+  (* a recovery plan needs someone to recover: force >= 1 victim *)
+  let f =
+    if m = 1 then 0
+    else if recovery then 1 + P.int rng (m - 1)
+    else P.int rng m
+  in
+  let victims =
+    Array.to_list (Array.map (( + ) 1) (P.sample_without_replacement rng f m))
+  in
+  let crash_of pid =
+    match P.int rng 3 with
+    | 0 -> Crash_at { pid; step = P.int rng h }
+    | 1 -> Crash_after_writes { pid; writes = 1 + P.int rng (max 1 (n / m)) }
+    | _ ->
+        Crash_in_phase
+          { pid; phase = gen_phases.(P.int rng (Array.length gen_phases)) }
+  in
+  let faults =
+    List.concat_map
+      (fun pid ->
+        let crash = crash_of pid in
+        (* under [recovery], roughly half the victims restart (at least
+           one, so a recovery plan really exercises the path) *)
+        if recovery && (pid = List.hd victims || P.bool rng) then
+          [ crash; Restart_at { pid; step = P.int rng h } ]
+        else [ crash ])
+      victims
+  in
+  let stalls =
+    if stalls && m > 1 && P.bool rng then
+      List.init
+        (1 + P.int rng 2)
+        (fun _ ->
+          Stall
+            {
+              pid = 1 + P.int rng m;
+              from_step = P.int rng h;
+              len = 1 + P.int rng (max 2 (h / 4));
+            })
+    else []
+  in
+  let seed = P.int rng (1 lsl 30) in
+  { name; algo; seed; n; m; beta; sched; shm = faults @ stalls; net = [] }
+
+let gen_net ?(name = "net-plan") ~n ~m ~beta ~servers rng =
+  let module P = Util.Prng in
+  let nodes = servers + m in
+  let th = 40 * n * m in
+  (* message-tick horizon *)
+  let prob () = float_of_int (1 + P.int rng 4) /. 16. in
+  let window () =
+    let from_tick = P.int rng th in
+    (from_tick, 1 + P.int rng (max 2 (th / 4)))
+  in
+  let fault () =
+    match P.int rng 3 with
+    | 0 ->
+        let from_tick, len = window () in
+        Duplicate { prob = prob (); from_tick; len }
+    | 1 ->
+        let from_tick, len = window () in
+        Delay_node { node = 1 + P.int rng nodes; from_tick; len }
+    | _ ->
+        let from_tick, len = window () in
+        let size = 1 + P.int rng (nodes - 1) in
+        let group =
+          Array.to_list
+            (Array.map (( + ) 1) (P.sample_without_replacement rng size nodes))
+        in
+        Partition { group; from_tick; len }
+  in
+  let net = List.init (1 + P.int rng 3) (fun _ -> fault ()) in
+  let net =
+    (* occasional genuine loss: such plans waive the no-stuck check *)
+    if P.bernoulli rng 0.25 then
+      let from_tick, len = window () in
+      Drop { prob = prob () /. 2.; from_tick; len } :: net
+    else net
+  in
+  let seed = P.int rng (1 lsl 30) in
+  {
+    name;
+    algo = Kk;
+    seed;
+    n;
+    m;
+    beta;
+    sched = Round_robin;
+    shm = [];
+    net;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %s n=%d m=%d beta=%d seed=%d (%d shm, %d net faults)"
+    t.name (algo_to_string t.algo) t.n t.m t.beta t.seed (List.length t.shm)
+    (List.length t.net)

@@ -1,0 +1,154 @@
+(** Composable fault plans.
+
+    A plan is a pure, JSON-serializable description of one adversarial
+    execution: the instance parameters (n, m, beta), the algorithm
+    variant under test, a scheduler, a PRNG seed, and a list of faults
+    to inject.  Plans are the unit of chaos testing — generated
+    randomly ({!gen}, {!gen_net}), saved to disk as replayable
+    counterexample artifacts ({!save}/{!load}), and shrunk by ddmin to
+    minimal failing plans (see {!Chaos.shrink_failure}).
+
+    A plan targets exactly one of the two platforms: shared memory
+    ([shm] faults compile onto [Shm.Adversary]/[Shm.Executor]) or
+    message passing ([net] faults compile onto the [Msg.Net] delivery
+    driver).  {!validate} rejects plans mixing both. *)
+
+val version : int
+(** Serialization format version, embedded in every plan file. *)
+
+type algo =
+  | Kk  (** the real KKβ algorithm *)
+  | Kk_mutant_skip_check
+      (** seeded bug: skip the post-gather CHECK re-read *)
+  | Kk_mutant_skip_recovery_mark
+      (** seeded bug: recovery omits re-marking the interrupted
+          announcement, so a crash between DO and its done-write can
+          lead to re-execution after restart *)
+
+val algo_to_string : algo -> string
+val algo_of_string : string -> algo option
+
+type sched =
+  | Round_robin
+  | Random_sched
+  | Bursty of int  (** random bursts of up to [k] steps per process *)
+  | Fixed of int list
+      (** exact pick sequence (1-based pids); dead/finished pids are
+          skipped, exhaustion falls back to round-robin — this is the
+          shape ddmin shrinks *)
+
+type shm_fault =
+  | Crash_at of { pid : int; step : int }
+  | Crash_after_writes of { pid : int; writes : int }
+      (** crash after the pid's [writes]-th shared-memory write *)
+  | Crash_in_phase of { pid : int; phase : string }
+      (** crash the first time the pid's automaton reports [phase] *)
+  | Restart_at of { pid : int; step : int }
+      (** revive a crashed pid at the first decision point [>= step];
+          the process rebuilds its state from shared registers *)
+  | Stall of { pid : int; from_step : int; len : int }
+      (** scheduler refuses to pick [pid] for [len] decision points
+          starting at [from_step] — models a stalled-but-live process,
+          within the asynchronous model *)
+
+type net_fault =
+  | Drop of { prob : float; from_tick : int; len : int }
+      (** lose each delivery with probability [prob] during the window;
+          genuinely lossy — plans containing [Drop] waive the
+          no-stuck-client oracle *)
+  | Duplicate of { prob : float; from_tick : int; len : int }
+  | Delay_node of { node : int; from_tick : int; len : int }
+      (** messages to [node] are frozen during the window *)
+  | Partition of { group : int list; from_tick : int; len : int }
+      (** only same-side messages deliver during the window; heals at
+          window end *)
+
+type t = {
+  name : string;
+  algo : algo;
+  seed : int;  (** single seed; all run randomness derives from it *)
+  n : int;
+  m : int;
+  beta : int;
+  sched : sched;
+  shm : shm_fault list;
+  net : net_fault list;
+}
+
+val make :
+  ?name:string ->
+  ?algo:algo ->
+  ?seed:int ->
+  ?sched:sched ->
+  ?shm:shm_fault list ->
+  ?net:net_fault list ->
+  n:int ->
+  m:int ->
+  beta:int ->
+  unit ->
+  t
+
+val validate : t -> (unit, string) result
+(** Structural sanity: instance bounds, pids in [1..m], probabilities
+    in [0,1], restarts preceded by a crash fault, not both shm and net
+    faults, and at most [m-1] {e permanent} crashes (a pid crashed more
+    times than it restarts) — the model's [f <= m-1] bound. *)
+
+val permanent_crashes : t -> int list
+(** Pids whose last crash is never restarted. *)
+
+val restart_faults : t -> (int * int) list
+(** [(pid, step)] of every [Restart_at], in plan order. *)
+
+val has_recovery : t -> bool
+(** The plan contains at least one [Restart_at]. *)
+
+val lossy : t -> bool
+(** The plan contains a [Drop] fault (no-stuck oracle waived). *)
+
+val fault_pid : shm_fault -> int
+
+(** {2 Serialization} — deterministic JSON; [of_string (to_string p)]
+    round-trips every valid plan. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : path:string -> t -> unit
+val load : string -> (t, string) result
+
+(** {2 Generation} *)
+
+val horizon : n:int -> m:int -> int
+(** Rough step-count upper estimate for a failure-free run; fault
+    windows are placed within it. *)
+
+val gen :
+  ?algo:algo ->
+  ?recovery:bool ->
+  ?stalls:bool ->
+  name:string ->
+  n:int ->
+  m:int ->
+  beta:int ->
+  Util.Prng.t ->
+  t
+(** Random shared-memory plan: up to [m-1] crash victims (mixed
+    crash-at-step / after-k-writes / in-phase), optional restarts
+    ([recovery] guarantees at least one), optional stall windows.
+    Always satisfies {!validate}. *)
+
+val gen_net :
+  ?name:string ->
+  n:int ->
+  m:int ->
+  beta:int ->
+  servers:int ->
+  Util.Prng.t ->
+  t
+(** Random message-passing plan over [servers + m] nodes: duplicate /
+    delay / partition windows (all healing), occasionally a lossy
+    [Drop] window. *)
+
+val pp : Format.formatter -> t -> unit

@@ -80,7 +80,8 @@ type client = {
 }
 
 let run ?(crash_plan = []) ?max_deliveries ?(multi_writer = fun _ -> false)
-    ?(duplicate_prob = 0.) ~servers ~registers ~rng ~client_bodies () =
+    ?(duplicate_prob = 0.) ?(deliver = Net.deliver_random) ~servers ~registers
+    ~rng ~client_bodies () =
   if servers < 1 then invalid_arg "Abd.run: servers must be >= 1";
   if registers < 1 then invalid_arg "Abd.run: registers must be >= 1";
   let m = Array.length client_bodies in
@@ -294,7 +295,7 @@ let run ?(crash_plan = []) ?max_deliveries ?(multi_writer = fun _ -> false)
       (* channel misbehaviour: occasionally clone an in-flight message *)
       if duplicate_prob > 0. && Util.Prng.bernoulli rng duplicate_prob then
         ignore (Net.duplicate_random net rng);
-      if not (Net.deliver_random net rng) then running := false
+      if not (deliver net rng) then running := false
     end
   done;
   let by pred = Array.to_list clients |> List.filter pred |> List.map (fun c -> c.pid) in

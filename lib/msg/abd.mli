@@ -23,6 +23,10 @@
     with OCaml effect handlers, and the network adversary chooses
     every message-delivery order. *)
 
+type message
+(** The protocol's wire messages — abstract; exposed only so custom
+    [deliver] drivers can be typed against [message Net.t]. *)
+
 type outcome = {
   dos : (int * int) list;
       (** chronological (pid, job) performs reported via [do_job] *)
@@ -49,6 +53,7 @@ val run :
   ?max_deliveries:int ->
   ?multi_writer:(int -> bool) ->
   ?duplicate_prob:float ->
+  ?deliver:(message Net.t -> Util.Prng.t -> bool) ->
   servers:int ->
   registers:int ->
   rng:Util.Prng.t ->
@@ -64,6 +69,14 @@ val run :
     channel clones a random in-flight message before the next
     delivery; quorums count distinct responding servers, so duplicates
     are harmless (tested).
+
+    [deliver] (default {!Net.deliver_random}) is the channel driver
+    invoked once per engine step; substituting it is the seam the
+    fault-injection layer uses for drop/delay/partition plans
+    ({!Fault.Inject.net_deliver}).  Returning [false] ends the run
+    (nothing deliverable), so a driver that withholds messages must
+    only do so temporarily — or accept that clients may be reported
+    stuck.
 
     [multi_writer reg] (default: always [false]) marks registers any
     client may write: their writes use the two-phase MW-ABD protocol

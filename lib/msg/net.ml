@@ -98,6 +98,46 @@ let duplicate_random t rng =
     true
   end
 
+let drop_random t rng =
+  if t.len = 0 then false
+  else begin
+    ignore (take t (Util.Prng.int rng t.len));
+    true
+  end
+
+let deliver_random_where t rng pred =
+  if t.len = 0 then false
+  else begin
+    (* uniformly among the eligible pending messages *)
+    let count = ref 0 in
+    for i = 0 to t.len - 1 do
+      match t.buf.(i) with
+      | Some e -> if pred ~src:e.src ~dst:e.dst then incr count
+      | None -> assert false
+    done;
+    if !count = 0 then false
+    else begin
+      let k = ref (Util.Prng.int rng !count) in
+      let chosen = ref (-1) in
+      (try
+         for i = 0 to t.len - 1 do
+           match t.buf.(i) with
+           | Some e ->
+               if pred ~src:e.src ~dst:e.dst then begin
+                 if !k = 0 then begin
+                   chosen := i;
+                   raise Exit
+                 end;
+                 decr k
+               end
+           | None -> assert false
+         done
+       with Exit -> ());
+      dispatch t (take t !chosen);
+      true
+    end
+  end
+
 let deliver_oldest t =
   if t.len = 0 then false
   else begin

@@ -49,6 +49,20 @@ val deliver_random : 'a t -> Util.Prng.t -> bool
 val deliver_oldest : 'a t -> bool
 (** FIFO-ish delivery, for deterministic tests. *)
 
+val drop_random : 'a t -> Util.Prng.t -> bool
+(** Permanently lose one uniformly-chosen pending message (channel
+    omission fault).  [false] when nothing is pending.  Quorum-based
+    protocols above survive bounded loss; unbounded loss may
+    legitimately prevent termination — see {!Fault.Plan}. *)
+
+val deliver_random_where :
+  'a t -> Util.Prng.t -> (src:int -> dst:int -> bool) -> bool
+(** Deliver one message chosen uniformly among the pending messages
+    satisfying the predicate — the primitive for partitions (only
+    same-side pairs eligible) and per-node delay (messages to a slow
+    node withheld).  Ineligible messages stay queued.  [false] when no
+    pending message is eligible (even if some are pending). *)
+
 val duplicate_random : 'a t -> Util.Prng.t -> bool
 (** Re-enqueue a copy of a random pending message (the channel
     misbehaves and will eventually deliver it twice).  [false] when

@@ -4,13 +4,15 @@
 
 let kind_of_event (e : Shm.Event.t) =
   match e with
-  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> Sink.Instant
+  | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ ->
+      Sink.Instant
   | _ -> Sink.Span
 
 let name_of_event (e : Shm.Event.t) =
   match e with
   | Shm.Event.Do { job; _ } -> Printf.sprintf "do(%d)" job
   | Shm.Event.Crash _ -> "crash"
+  | Shm.Event.Restart _ -> "restart"
   | Shm.Event.Terminate _ -> "terminate"
   | Shm.Event.Read { cell; _ } -> "read " ^ cell
   | Shm.Event.Write { cell; _ } -> "write " ^ cell
@@ -19,7 +21,7 @@ let name_of_event (e : Shm.Event.t) =
 let args_of_event (e : Shm.Event.t) =
   match e with
   | Shm.Event.Do { job; _ } -> [ ("job", Json.Int job) ]
-  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> []
+  | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ -> []
   | Shm.Event.Read { cell; value; _ } | Shm.Event.Write { cell; value; _ } ->
       [ ("cell", Json.String cell); ("value", Json.Int value) ]
   | Shm.Event.Internal { action; _ } -> [ ("action", Json.String action) ]
@@ -42,7 +44,9 @@ let profile_probe profile =
           Profile.add profile ~pid ~series:("write@" ^ phase) 1
       | Shm.Event.Internal _ ->
           Profile.add profile ~pid ~series:("internal@" ^ phase) 1
-      | Shm.Event.Do _ | Shm.Event.Crash _ | Shm.Event.Terminate _ -> ())
+      | Shm.Event.Do _ | Shm.Event.Crash _ | Shm.Event.Restart _
+      | Shm.Event.Terminate _ ->
+          ())
 
 let emit_metrics sink ?(ts = 0) metrics =
   if not (Sink.is_null sink) then

@@ -8,6 +8,7 @@ let event_name (e : Shm.Event.t) =
   match e with
   | Shm.Event.Do { job; _ } -> Printf.sprintf "do(%d)" job
   | Shm.Event.Crash _ -> "crash"
+  | Shm.Event.Restart _ -> "restart"
   | Shm.Event.Terminate _ -> "terminate"
   | Shm.Event.Read { cell; _ } -> cell
   | Shm.Event.Write { cell; _ } -> cell
@@ -16,7 +17,8 @@ let event_name (e : Shm.Event.t) =
 let event_cat (e : Shm.Event.t) =
   match e with
   | Shm.Event.Do _ -> "do"
-  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> "lifecycle"
+  | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ ->
+      "lifecycle"
   | Shm.Event.Read _ -> "read"
   | Shm.Event.Write _ -> "write"
   | Shm.Event.Internal _ -> "internal"
@@ -24,7 +26,7 @@ let event_cat (e : Shm.Event.t) =
 let event_args (e : Shm.Event.t) =
   match e with
   | Shm.Event.Do { job; _ } -> [ ("job", Json.Int job) ]
-  | Shm.Event.Crash _ | Shm.Event.Terminate _ -> []
+  | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ -> []
   | Shm.Event.Read { cell; value; _ } ->
       [ ("cell", Json.String cell); ("value", Json.Int value) ]
   | Shm.Event.Write { cell; value; _ } ->
@@ -44,7 +46,7 @@ let entry_to_json { Shm.Trace.step; event } =
   in
   let shape =
     match event with
-    | Shm.Event.Crash _ | Shm.Event.Terminate _ ->
+    | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ ->
         [ ("ph", Json.String "i"); ("s", Json.String "t") ]
     | _ -> [ ("ph", Json.String "X"); ("dur", Json.Int 1) ]
   in

@@ -27,6 +27,7 @@ let ratio m =
   | _ -> None
 
 type t = {
+  version : int;
   experiment : string;
   title : string;
   claim : string;
@@ -37,7 +38,7 @@ type t = {
 
 let make ?(title = "") ?(claim = "") ?(params = []) ?(metrics = []) ~ok
     experiment =
-  { experiment; title; claim; params; metrics; ok }
+  { version = schema_version; experiment; title; claim; params; metrics; ok }
 
 let metric_to_json m =
   let base =
@@ -89,7 +90,7 @@ let of_json j =
   | None -> Error "snapshot: missing schema_version"
   | Some v when v > schema_version ->
       Error (Printf.sprintf "snapshot: unsupported schema_version %d" v)
-  | Some _ -> begin
+  | Some version -> begin
       match
         ( Option.bind (Json.member "experiment" j) Json.get_string,
           Option.bind (Json.member "ok" j) Json.get_bool )
@@ -113,6 +114,7 @@ let of_json j =
           Result.map
             (fun metrics ->
               {
+                version;
                 experiment;
                 title = str "title";
                 claim = str "claim";
@@ -150,6 +152,15 @@ let load path =
       of_string s
 
 (* ---- regression comparison ---- *)
+
+let schema_mismatch ~baseline ~current =
+  if baseline.version = current.version then None
+  else
+    Some
+      (Printf.sprintf
+         "%s: schema_version mismatch (baseline %d, current %d) — \
+          regenerate the baseline"
+         current.experiment baseline.version current.version)
 
 type change = {
   experiment : string;

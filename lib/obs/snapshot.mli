@@ -29,6 +29,10 @@ val ratio : metric -> float option
 (** [measured /. predicted] when a non-zero prediction is recorded. *)
 
 type t = {
+  version : int;
+      (** the schema version the snapshot was written with —
+          {!schema_version} for freshly made ones, the parsed value
+          for loaded ones *)
   experiment : string;  (** e.g. ["e4"] *)
   title : string;
   claim : string;  (** the paper claim this experiment checks *)
@@ -69,6 +73,12 @@ type change = {
   delta_pct : float;
   regressed : bool;
 }
+
+val schema_mismatch : baseline:t -> current:t -> string option
+(** [Some message] when the two snapshots were written under
+    different schema versions — metric semantics may have changed, so
+    a diff would be meaningless.  [bench/compare.exe] treats this as a
+    hard failure (never a warning). *)
 
 val diff : ?tolerance_pct:float -> baseline:t -> current:t -> unit -> change list
 (** Compare metrics present in both snapshots (matched by name).  The

@@ -19,6 +19,8 @@ let decide t ~step ~handles = log_victims t.name ~step (t.decide ~step ~handles)
 
 let none = { name = "none"; decide = (fun ~step:_ ~handles:_ -> []) }
 
+let custom ~name decide = { name; decide }
+
 let at_start pids =
   let fired = ref false in
   {

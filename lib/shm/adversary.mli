@@ -35,6 +35,12 @@ val random : Util.Prng.t -> f:int -> m:int -> horizon:int -> t
     times uniform in [0, horizon).  @raise Invalid_argument if
     [f >= m] or [f < 0]. *)
 
+val custom :
+  name:string -> (step:int -> handles:Automaton.handle array -> int list) -> t
+(** Wrap an arbitrary (possibly stateful) crash rule.  Used by the
+    fault-injection layer to compile fault plans (crash at a step, in
+    a phase, after k writes, ...) into one adversary. *)
+
 val after_announce : victims:int list -> announce_phase:string -> t
 (** The Theorem 4.4 strategy: crash each victim at the first moment
     its phase equals [announce_phase] — i.e. immediately after it has

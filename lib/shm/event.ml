@@ -1,6 +1,7 @@
 type t =
   | Do of { p : int; job : int }
   | Crash of { p : int }
+  | Restart of { p : int }
   | Terminate of { p : int }
   | Read of { p : int; cell : string; value : int }
   | Write of { p : int; cell : string; value : int }
@@ -9,6 +10,7 @@ type t =
 let pid = function
   | Do { p; _ }
   | Crash { p }
+  | Restart { p }
   | Terminate { p }
   | Read { p; _ }
   | Write { p; _ }
@@ -20,6 +22,7 @@ let is_do = function Do _ -> true | _ -> false
 let pp fmt = function
   | Do { p; job } -> Format.fprintf fmt "do(p=%d, job=%d)" p job
   | Crash { p } -> Format.fprintf fmt "crash(p=%d)" p
+  | Restart { p } -> Format.fprintf fmt "restart(p=%d)" p
   | Terminate { p } -> Format.fprintf fmt "terminate(p=%d)" p
   | Read { p; cell; value } -> Format.fprintf fmt "read(p=%d, %s=%d)" p cell value
   | Write { p; cell; value } ->

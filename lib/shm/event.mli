@@ -11,6 +11,10 @@ type t =
   | Do of { p : int; job : int }
       (** process [p] performed job [job] — the paper's [dop,j]. *)
   | Crash of { p : int }  (** the adversary's [stopp]. *)
+  | Restart of { p : int }
+      (** a previously crashed [p] re-entered the computation; its
+          volatile state is lost and must be rebuilt from the shared
+          registers (crash-recovery model, DESIGN.md §7). *)
   | Terminate of { p : int }
       (** [p] reached its [end] status (no enabled actions left). *)
   | Read of { p : int; cell : string; value : int }

@@ -27,8 +27,8 @@ let validate handles =
         invalid_arg "Executor.run: handles.(i) must have pid i+1")
     handles
 
-let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null) ~scheduler
-    ~adversary handles =
+let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null) ?restarter
+    ~scheduler ~adversary handles =
   validate handles;
   let observing = not (Probe.is_null probe) in
   let max_steps =
@@ -59,6 +59,19 @@ let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null) ~scheduler
           end
         end)
       victims;
+    (match restarter with
+    | None -> ()
+    | Some restart ->
+        let revived = restart ~step:!step ~handles in
+        List.iter
+          (fun p ->
+            if p >= 1 && p <= Array.length handles then begin
+              let ev = Event.Restart { p } in
+              Trace.record trace ~step:!step ev;
+              if observing then
+                Probe.on_event probe ~step:!step ~phase:"restart" ev
+            end)
+          revived);
     let alive = live_pids handles in
     if Array.length alive = 0 then finished := true
     else if !step >= max_steps then begin

@@ -27,6 +27,7 @@ val run :
   ?max_steps:int ->
   ?trace_level:Trace.level ->
   ?probe:Probe.t ->
+  ?restarter:(step:int -> handles:Automaton.handle array -> int list) ->
   scheduler:Schedule.t ->
   adversary:Adversary.t ->
   Automaton.handle array ->
@@ -40,6 +41,14 @@ val run :
     every recorded event regardless of trace level; with the null
     probe no observation cost — not even the [phase ()] lookup — is
     paid.
+
+    [restarter] (crash-recovery mode) is consulted once per engine
+    iteration, after the adversary's crashes and before the liveness
+    check — so a restart can resurrect an execution in which every
+    process is crashed.  It must itself revive the processes it
+    chooses (the engine has no generic way to rebuild automaton
+    state; see {!Core.Kk.restart}) and return the pids it revived; a
+    [Restart] event is recorded for each.
 
     @raise Invalid_argument on malformed handle arrays. *)
 

@@ -73,6 +73,8 @@ let biased rng ~favourite ~weight =
         end);
   }
 
+let custom ~name choose = { name; choose }
+
 let recording inner =
   let picks = ref [] in
   let wrapped =

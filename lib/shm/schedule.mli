@@ -41,6 +41,13 @@ val fixed : int list -> t
     alive are skipped.  Used by unit tests to pin down exact
     interleavings from the paper's proofs. *)
 
+val custom : name:string -> (alive:int array -> int) -> t
+(** Wrap an arbitrary (possibly stateful) choice function.  The
+    function receives the non-empty sorted live-pid array and must
+    return one of its elements.  Used by the fault-injection layer to
+    decorate an inner scheduler (e.g. stall windows that hide a pid
+    from the choice without killing it). *)
+
 val recording : t -> t * (unit -> int list)
 (** [recording s] wraps [s] so that every pick is logged; the second
     component returns the picks made so far, chronological.  Feeding

@@ -12,7 +12,7 @@ let keeps lvl (event : Event.t) =
   match (lvl, event) with
   | `Silent, _ -> false
   | `Full, _ -> true
-  | `Outcomes, (Do _ | Crash _ | Terminate _) -> true
+  | `Outcomes, (Do _ | Crash _ | Restart _ | Terminate _) -> true
   | `Outcomes, (Read _ | Write _ | Internal _) -> false
 
 let record t ~step event =
@@ -35,6 +35,12 @@ let crashes t =
   List.filter_map
     (fun { event; _ } ->
       match event with Event.Crash { p } -> Some p | _ -> None)
+    (entries t)
+
+let restarts t =
+  List.filter_map
+    (fun { event; _ } ->
+      match event with Event.Restart { p } -> Some p | _ -> None)
     (entries t)
 
 let terminations t =

@@ -25,8 +25,8 @@ val level : t -> level
 
 val record : t -> step:int -> Event.t -> unit
 (** Appends the event if the trace level retains its kind. [Do],
-    [Crash] and [Terminate] are kept at [`Outcomes] and [`Full];
-    everything is kept at [`Full]; nothing at [`Silent]. *)
+    [Crash], [Restart] and [Terminate] are kept at [`Outcomes] and
+    [`Full]; everything is kept at [`Full]; nothing at [`Silent]. *)
 
 val entries : t -> entry list
 (** Chronological order. *)
@@ -38,6 +38,9 @@ val do_events : t -> (int * int) list
 
 val crashes : t -> int list
 (** Pids of crashed processes, chronological. *)
+
+val restarts : t -> int list
+(** Pids of restarted processes, chronological. *)
 
 val terminations : t -> int list
 (** Pids of processes that terminated, chronological. *)

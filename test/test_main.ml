@@ -24,5 +24,6 @@ let () =
       ("multicore", Test_multicore.suite);
       ("msg", Test_msg.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
       ("conformance", Test_conformance.suite);
     ]

@@ -157,6 +157,28 @@ let test_snapshot_version_guard () =
   | Ok _ -> Alcotest.fail "accepted future schema"
   | Error _ -> ()
 
+let test_snapshot_schema_mismatch () =
+  let current = sample_snapshot () in
+  (* equal versions: comparable *)
+  (match Obs.Snapshot.schema_mismatch ~baseline:(sample_snapshot ()) ~current with
+  | None -> ()
+  | Some m -> Alcotest.failf "same-version snapshots flagged: %s" m);
+  (* an older (still loadable) baseline must be flagged as
+     incomparable — bench/compare.exe turns this into exit 2 even
+     under --warn-only *)
+  let old_baseline =
+    match
+      Obs.Snapshot.of_string
+        {|{"schema_version":0,"experiment":"e_test","ok":true}|}
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "version-0 snapshot should load: %s" e
+  in
+  match Obs.Snapshot.schema_mismatch ~baseline:old_baseline ~current with
+  | Some msg ->
+      Alcotest.(check bool) "message non-empty" true (String.length msg > 0)
+  | None -> Alcotest.fail "version skew not flagged"
+
 let test_snapshot_diff_detects_regression () =
   let baseline = sample_snapshot ~work:100. () in
   (* synthetic 2x work regression: ratio 1.0 -> 2.0 *)
@@ -393,6 +415,8 @@ let suite =
       test_json_nonfinite_floats;
     Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "snapshot save/load" `Quick test_snapshot_save_load;
+    Alcotest.test_case "snapshot schema mismatch" `Quick
+      test_snapshot_schema_mismatch;
     Alcotest.test_case "snapshot version guard" `Quick
       test_snapshot_version_guard;
     Alcotest.test_case "snapshot diff detects 2x regression" `Quick
