@@ -15,7 +15,7 @@
 let usage () =
   prerr_endline
     "usage: compare.exe --baseline DIR --current DIR [--tolerance PCT] \
-     [--warn-only]";
+     [--warn-only] [--format plain|github]";
   exit 2
 
 let () =
@@ -23,6 +23,12 @@ let () =
   let current_dir = ref "" in
   let tolerance = ref 10. in
   let warn_only = ref false in
+  let github = ref false in
+  let set_format = function
+    | "plain" -> github := false
+    | "github" -> github := true
+    | _ -> usage ()
+  in
   let rec parse = function
     | [] -> ()
     | "--baseline" :: d :: rest ->
@@ -40,10 +46,29 @@ let () =
     | "--warn-only" :: rest ->
         warn_only := true;
         parse rest
+    | "--format" :: f :: rest ->
+        set_format f;
+        parse rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--format=" ->
+        set_format (String.sub a 9 (String.length a - 9));
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !baseline_dir = "" || !current_dir = "" then usage ();
+  (* --format github: also emit workflow-command annotations so the
+     regression shows up on the PR checks page, not just in the job
+     log.  Severity follows the gate: --warn-only downgrades
+     regressions to warnings, schema mismatches stay errors. *)
+  let annotate ~error title fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if !github then
+          Printf.printf "::%s title=%s::%s\n"
+            (if error then "error" else "warning")
+            title msg)
+      fmt
+  in
   let is_snapshot f =
     String.length f > 6
     && String.sub f 0 6 = "BENCH_"
@@ -72,7 +97,10 @@ let () =
       | Ok baseline -> (
           if not (Sys.file_exists cpath) then begin
             incr missing;
-            Printf.printf "  %-22s MISSING in %s\n" file !current_dir
+            Printf.printf "  %-22s MISSING in %s\n" file !current_dir;
+            annotate ~error:(not !warn_only) "bench snapshot missing"
+              "%s not produced by the current run (expected in %s)" file
+              !current_dir
           end
           else
             match Obs.Snapshot.load cpath with
@@ -85,6 +113,8 @@ let () =
                 | Some msg ->
                     incr mismatched;
                     Printf.printf "  %-22s SCHEMA MISMATCH\n" file;
+                    annotate ~error:true "bench schema mismatch" "%s: %s" file
+                      msg;
                     Printf.eprintf "error: %s\n" msg
                 | None -> ());
                 let changes =
@@ -98,7 +128,12 @@ let () =
                       Printf.printf
                         "  %-22s REGRESSION %-28s %12.4f -> %12.4f (%+.1f%%)\n"
                         file c.Obs.Snapshot.metric_name c.Obs.Snapshot.baseline
+                        c.Obs.Snapshot.current c.Obs.Snapshot.delta_pct;
+                      annotate ~error:(not !warn_only) "bench regression"
+                        "%s %s: %.4f -> %.4f (%+.1f%%, tolerance %.1f%%)" file
+                        c.Obs.Snapshot.metric_name c.Obs.Snapshot.baseline
                         c.Obs.Snapshot.current c.Obs.Snapshot.delta_pct
+                        !tolerance
                     end
                     else if Float.abs c.Obs.Snapshot.delta_pct > 0.01 then
                       Printf.printf

@@ -42,7 +42,7 @@ let run () =
           List.iter
             (fun seed ->
               let f = seed mod m in
-              let s = kk_random_run ~seed ~n:kk_n ~m ~beta ~f in
+              let s = kk_random_run ~seed ~n:kk_n ~m ~beta ~f () in
               check s.Core.Harness.trace)
             (seeds kk_seeds))
         [ (fun m -> m); (fun m -> 2 * m); (fun m -> 3 * m * m) ])

@@ -29,7 +29,7 @@ let run () =
             let worst_random =
               List.fold_left
                 (fun acc seed ->
-                  let s = kk_random_run ~seed ~n ~m ~beta ~f:(m - 1) in
+                  let s = kk_random_run ~seed ~n ~m ~beta ~f:(m - 1) () in
                   min acc s.Core.Harness.do_count)
                 max_int (seeds n_seeds)
             in

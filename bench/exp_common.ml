@@ -107,8 +107,9 @@ let amo_ok dos =
   match Core.Spec.check_at_most_once dos with Ok () -> true | Error _ -> false
 
 (* Run one KK configuration under a seeded random scheduler with f
-   random crashes. *)
-let kk_random_run ~seed ~n ~m ~beta ~f =
+   random crashes.  [provenance] additionally records pick/forfeit
+   annotations so an Obs.Ledger can be rebuilt from the trace (E14). *)
+let kk_random_run ?(provenance = false) ~seed ~n ~m ~beta ~f () =
   let rng = Util.Prng.of_int seed in
   let adversary =
     if f = 0 then Shm.Adversary.none
@@ -116,4 +117,4 @@ let kk_random_run ~seed ~n ~m ~beta ~f =
   in
   Core.Harness.kk
     ~scheduler:(Shm.Schedule.random (Util.Prng.split rng))
-    ~adversary ~trace_level:`Outcomes ~n ~m ~beta ()
+    ~adversary ~trace_level:`Outcomes ~provenance ~n ~m ~beta ()

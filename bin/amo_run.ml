@@ -86,7 +86,8 @@ let write_trace ~label ~m ~json trace_out (trace : Shm.Trace.t) =
   match trace_out with
   | None -> ()
   | Some path ->
-      Obs.Chrome_trace.write_file ~run_name:label ~m ~path trace;
+      Obs.Chrome_trace.write_file ~run_name:label
+        ~heatmap:(Obs.Heatmap.of_trace trace) ~m ~path trace;
       if not json then Fmt.pr "chrome trace    : %s@." path
 
 let summary_json ~label ~n ~m extra (s : Core.Harness.summary) =
@@ -570,6 +571,15 @@ let chaos_cmd =
             if r.violations <> [] then exit 1
         | Ok plan ->
             let r = Fault.Chaos.run_plan plan in
+            (* the ledger's one-line causal explanation of the violated
+               job — what the raw oracle verdict lacks *)
+            let explanation =
+              if r.violations = [] then None
+              else
+                Obs.Ledger.explain_violation
+                  (Obs.Ledger.of_trace ~n:plan.Fault.Plan.n
+                     ~m:plan.Fault.Plan.m r.trace)
+            in
             if json then
               print_endline
                 (J.to_string ~minify:false
@@ -589,6 +599,10 @@ let chaos_cmd =
                                (fun v ->
                                  J.String v.Analysis.Oracle.oracle)
                                r.violations) );
+                        ( "explanation",
+                          match explanation with
+                          | Some line -> J.String line
+                          | None -> J.Null );
                       ]))
             else begin
               Fmt.pr "plan            : %a@." Fault.Plan.pp plan;
@@ -604,6 +618,10 @@ let chaos_cmd =
                 (if r.violations = [] then "OK"
                  else Printf.sprintf "%d VIOLATED" (List.length r.violations))
             end;
+            Option.iter
+              (fun line ->
+                if not json then Fmt.pr "explanation     : %s@." line)
+              explanation;
             pr_violations r.violations;
             if r.violations <> [] then exit 1)
     | None ->
@@ -715,6 +733,161 @@ let multicore_cmd =
   Cmd.v (Cmd.info "multicore" ~doc)
     Term.(const run $ jobs $ procs $ beta $ log_level $ json_flag)
 
+let report_cmd =
+  let run n m beta_opt seed sched_kind f plan_file whys out ledger_out
+      log_level =
+    apply_log_level log_level;
+    (* obtain a provenance-rich `Full trace plus the run's identity:
+       either a fault-plan replay or a plain KK run from the knobs *)
+    let run_name, nn, mm, bb, trace, plan_json, params, base_oracles =
+      match plan_file with
+      | Some path -> (
+          match Fault.Plan.load path with
+          | Error e ->
+              Fmt.epr "amo_run: %s: %s@." path e;
+              exit 2
+          | Ok plan when plan.Fault.Plan.net <> [] ->
+              Fmt.epr
+                "amo_run report: message-passing plans have no shared-memory \
+                 trace to report on@.";
+              exit 2
+          | Ok plan ->
+              let r = Fault.Chaos.run_plan ~trace_level:`Full plan in
+              ( plan.Fault.Plan.name,
+                plan.Fault.Plan.n,
+                plan.Fault.Plan.m,
+                plan.Fault.Plan.beta,
+                r.Fault.Chaos.trace,
+                Some (Fault.Plan.to_json plan),
+                [
+                  ("plan", path);
+                  ("n", string_of_int plan.Fault.Plan.n);
+                  ("m", string_of_int plan.Fault.Plan.m);
+                  ("beta", string_of_int plan.Fault.Plan.beta);
+                  ("seed", string_of_int plan.Fault.Plan.seed);
+                ],
+                Fault.Chaos.oracles_for plan ))
+      | None ->
+          let beta = Option.value beta_opt ~default:m in
+          let rng = Util.Prng.of_int seed in
+          let s =
+            Core.Harness.kk
+              ~scheduler:(make_sched sched_kind rng)
+              ~adversary:(make_adversary rng ~f ~m ~n)
+              ~trace_level:`Full ~verbose:true ~provenance:true ~vclocks:true
+              ~n ~m ~beta ()
+          in
+          let sched_name =
+            match sched_kind with
+            | `Rr -> "rr"
+            | `Random -> "random"
+            | `Bursty -> "bursty"
+          in
+          ( Printf.sprintf "KK(beta=%d)" beta,
+            n,
+            m,
+            beta,
+            s.Core.Harness.trace,
+            None,
+            [
+              ("n", string_of_int n);
+              ("m", string_of_int m);
+              ("beta", string_of_int beta);
+              ("sched", sched_name);
+              ("crashes", string_of_int f);
+              ("seed", string_of_int seed);
+            ],
+            Analysis.Oracle.at_most_once
+            ::
+            (if beta >= m then
+               [
+                 Analysis.Oracle.recovery_effectiveness ~n ~m ~beta;
+                 Analysis.Oracle.quiescence ~m;
+               ]
+             else []) )
+    in
+    let ledger = Obs.Ledger.of_trace ~n:nn ~m:mm trace in
+    let heatmap = Obs.Heatmap.of_trace trace in
+    (* one verdict row per oracle, ledger agreement included;
+       effectiveness/quiescence are gated on Lemma 4.3's termination
+       condition (beta >= m), as in the chaos suite *)
+    let oracles =
+      base_oracles @ [ Analysis.Oracle.ledger_agreement ~n:nn ~m:mm ~beta:bb ]
+    in
+    let verdicts =
+      List.map
+        (fun (o : Analysis.Oracle.t) ->
+          match o.Analysis.Oracle.check trace with
+          | [] -> (o.Analysis.Oracle.name, true, "OK")
+          | vs ->
+              ( o.Analysis.Oracle.name,
+                false,
+                String.concat "; "
+                  (List.map (fun v -> v.Analysis.Oracle.detail) vs) ))
+        oracles
+    in
+    let why =
+      List.map
+        (fun job ->
+          let chain = Obs.Span.causal_chain ~m:mm trace ~job in
+          (job, Obs.Ledger.explain ledger job :: List.map Obs.Span.render chain))
+        (List.sort_uniq compare whys)
+    in
+    (* --why also answers on stdout: the minimal causal chain *)
+    List.iter
+      (fun (job, lines) ->
+        Fmt.pr "why job %d:@." job;
+        List.iter (fun l -> Fmt.pr "  %s@." l) lines)
+      why;
+    let html =
+      Obs.Report.make ~run_name ~params ~ledger ~heatmap ~verdicts ?plan_json
+        ~why ~trace ()
+    in
+    Obs.Report.write_file ~path:out html;
+    Fmt.pr "report          : %s@." out;
+    (match ledger_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (J.to_string ~minify:false (Obs.Ledger.to_json ledger));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "ledger JSON     : %s@." path
+    | None -> ());
+    if List.exists (fun (_, ok, _) -> not ok) verdicts then exit 1
+  in
+  let plan_file =
+    let doc =
+      "Build the report from a fault-plan replay (shared-memory plans only) \
+       instead of a plain KK run."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let whys =
+    let doc =
+      "Explain job $(docv): print its minimal causal chain and attach it to \
+       the report (repeatable)."
+    in
+    Arg.(value & opt_all int [] & info [ "why" ] ~docv:"JOB" ~doc)
+  in
+  let out =
+    let doc = "Output path for the self-contained HTML report." in
+    Arg.(value & opt string "report.html" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let ledger_out =
+    let doc = "Also write the per-job ledger as JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "ledger-out" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Run KKbeta (or replay a fault plan) and emit a self-contained HTML run \
+     report: oracle verdicts, per-job provenance ledger, SVG timeline, \
+     register-contention heatmap and causal why-chains."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ plan_file
+      $ whys $ out $ ledger_out $ log_level)
+
 let () =
   let doc = "at-most-once and Write-All algorithms (Kentros & Kiayias)" in
   let info = Cmd.info "amo_run" ~version:"1.0.0" ~doc in
@@ -732,4 +905,5 @@ let () =
             msg_cmd;
             chaos_cmd;
             multicore_cmd;
+            report_cmd;
           ]))

@@ -12,7 +12,10 @@ let mark_of_event (e : Shm.Event.t) =
   | Shm.Event.Restart _ -> 'R'
   | Shm.Event.Terminate _ -> 'T'
   | Shm.Event.Do _ -> 'D'
-  | Shm.Event.Read _ | Shm.Event.Write _ | Shm.Event.Internal _ -> '#'
+  | Shm.Event.Read _ | Shm.Event.Write _ | Shm.Event.Internal _
+  | Shm.Event.Pick _ | Shm.Event.Announce _ | Shm.Event.Forfeit _
+  | Shm.Event.Recover _ ->
+      '#'
 
 let render ~m ?(width = 72) trace =
   if m < 1 then invalid_arg "Gantt.render: m must be >= 1";

@@ -102,6 +102,59 @@ let quiescence ~m =
   in
   { name; check }
 
+let ledger_agreement ~n ~m ~beta =
+  let name = "ledger-agreement" in
+  let check trace =
+    (* Rebuild the provenance ledger from the same trace and demand
+       exact reconciliation with the effectiveness oracles: the fates
+       partition the job universe, the performed count equals the
+       spec's Do(α) measure, and the non-performed buckets stay within
+       the recovery-aware bound β + m − 2 + r. *)
+    let ledger = Obs.Ledger.of_trace ~n ~m trace in
+    let c = Obs.Ledger.counts ledger in
+    let do_count = Core.Spec.do_count (Shm.Trace.do_events trace) in
+    let restarts = List.length (Shm.Trace.restarts trace) in
+    let slack = (beta + m - 2) + restarts in
+    let vio fmt = Printf.ksprintf (fun detail -> { oracle = name; detail }) fmt in
+    let checks =
+      [
+        ( lazy (Obs.Ledger.reconciles ledger),
+          lazy
+            (vio
+               "fates do not partition the universe: %d+%d+%d+%d+%d <> n=%d"
+               c.Obs.Ledger.performed c.Obs.Ledger.forfeited c.Obs.Ledger.lost
+               c.Obs.Ledger.recovered c.Obs.Ledger.violations n) );
+        ( lazy (c.Obs.Ledger.violations = 0),
+          lazy
+            (vio "%d job(s) doubly performed: %s" c.Obs.Ledger.violations
+               (String.concat "; "
+                  (List.filter_map
+                     (fun j -> Some (Obs.Ledger.explain ledger j))
+                     (Obs.Ledger.violations ledger)))) );
+        ( lazy (c.Obs.Ledger.performed = do_count),
+          lazy
+            (vio "ledger counts %d performed, spec Do(α) counts %d"
+               c.Obs.Ledger.performed do_count) );
+        ( lazy
+            (c.Obs.Ledger.forfeited + c.Obs.Ledger.lost + c.Obs.Ledger.recovered
+             <= slack
+            || c.Obs.Ledger.performed >= n - slack),
+          lazy
+            (vio
+               "%d jobs not performed (forfeited %d + lost %d + recovered %d) \
+                exceeds the recovery floor slack β+m−2+r = %d"
+               (c.Obs.Ledger.forfeited + c.Obs.Ledger.lost
+              + c.Obs.Ledger.recovered)
+               c.Obs.Ledger.forfeited c.Obs.Ledger.lost c.Obs.Ledger.recovered
+               slack) );
+      ]
+    in
+    List.filter_map
+      (fun (ok, v) -> if Lazy.force ok then None else Some (Lazy.force v))
+      checks
+  in
+  { name; check }
+
 let check_all oracles trace =
   List.concat_map (fun o -> o.check trace) oracles
 

@@ -43,6 +43,18 @@ val recovery_effectiveness : n:int -> m:int -> beta:int -> t
     see {!Core.Kk} and DESIGN.md §7).  Equivalent to
     {!kk_effectiveness} on restart-free traces. *)
 
+val ledger_agreement : n:int -> m:int -> beta:int -> t
+(** Ledger ↔ oracle reconciliation (DESIGN.md §8).  Rebuilds the
+    {!Obs.Ledger} from the trace and fires unless (a) the per-job
+    fates partition the universe
+    ([performed + forfeited + lost + recovered + violations = n]),
+    (b) no job is doubly performed, (c) the ledger's performed count
+    equals {!Core.Spec.do_count}, and (d) the non-performed buckets
+    fit in the recovery-aware slack [β + m − 2 + r].  Meaningful on
+    traces of [~provenance:true] runs (it still checks (a)–(c)
+    without provenance events, but lost/forfeited attribution needs
+    announce marks). *)
+
 val quiescence : m:int -> t
 (** Fires per process in [1..m] whose {e last} lifecycle event is
     neither a termination nor a crash (a restart re-opens a crashed

@@ -48,7 +48,10 @@ let of_trace ~m trace =
           | Shm.Event.Internal _ -> { r with internals = r.internals + 1 }
           | Shm.Event.Terminate _ -> { r with fate = Terminated }
           | Shm.Event.Crash _ -> { r with fate = Crashed }
-          | Shm.Event.Restart _ -> { r with fate = Unresolved })
+          | Shm.Event.Restart _ -> { r with fate = Unresolved }
+          | Shm.Event.Pick _ | Shm.Event.Announce _ | Shm.Event.Forfeit _
+          | Shm.Event.Recover _ ->
+              r)
       end)
     (Shm.Trace.entries trace);
   rows

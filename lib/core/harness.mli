@@ -18,6 +18,9 @@ type summary = {
   metrics : Shm.Metrics.t;
   collision : Collision.t;
   trace : Shm.Trace.t;
+  clocks : Util.Vclock.t array;
+      (** per-process vector clocks at quiescence (empty unless the
+          run asked for [vclocks]); see {!Shm.Executor}. *)
 }
 
 val kk :
@@ -27,6 +30,9 @@ val kk :
   ?trace_level:Shm.Trace.level ->
   ?max_steps:int ->
   ?verbose:bool ->
+  ?provenance:bool ->
+  ?probe:Shm.Probe.t ->
+  ?vclocks:bool ->
   n:int ->
   m:int ->
   beta:int ->
@@ -34,10 +40,20 @@ val kk :
   summary
 (** Run standalone KKβ on [n] jobs and [m] processes.  Defaults:
     the paper's [Rank_split] policy, round-robin scheduler, no
-    crashes, [`Outcomes] trace. *)
+    crashes, [`Outcomes] trace.  [provenance] turns on job-lifecycle
+    events (see {!Kk} and {!Obs.Ledger}); [vclocks] maintains
+    happens-before vector clocks; [probe] observes every event. *)
 
 val kk_worst_case :
-  ?trace_level:Shm.Trace.level -> n:int -> m:int -> beta:int -> unit -> summary
+  ?trace_level:Shm.Trace.level ->
+  ?provenance:bool ->
+  ?verbose:bool ->
+  ?vclocks:bool ->
+  n:int ->
+  m:int ->
+  beta:int ->
+  unit ->
+  summary
 (** Run KKβ against the constructive adversary of Theorem 4.4's
     tightness direction: processes [1..m−1] are crashed immediately
     after their first announcement (their candidate jobs stay stuck

@@ -84,6 +84,8 @@ type t = {
   mutant_skip_check : bool;
   mutant_skip_recovery_mark : bool;
   verbose : bool;
+  provenance : bool;
+  blame : bool; (* populate try_owner/done_owner (collision or provenance) *)
   initial_free : Set.t;
   mutable status : status;
   mutable free : Set.t;
@@ -108,7 +110,8 @@ let default_perform ~p item = [ Event.Do { p; job = item } ]
 let create ~shared ~pid ~beta ~policy ~free ?collision
     ?(perform = default_perform) ?(perform_work = fun _ -> 1)
     ?perform_footprint ?(mutant_skip_check = false)
-    ?(mutant_skip_recovery_mark = false) ?(verbose = false) ~mode () =
+    ?(mutant_skip_recovery_mark = false) ?(verbose = false)
+    ?(provenance = false) ~mode () =
   if pid < 1 || pid > shared.sh_m then invalid_arg "Kk.create: pid out of range";
   if beta < 1 then invalid_arg "Kk.create: beta must be >= 1";
   (match (mode, shared.flag) with
@@ -137,6 +140,8 @@ let create ~shared ~pid ~beta ~policy ~free ?collision
     mutant_skip_check;
     mutant_skip_recovery_mark;
     verbose;
+    provenance;
+    blame = Option.is_some collision || provenance;
     initial_free = free;
     status = Comp_next;
     free;
@@ -162,11 +167,13 @@ let cols t = Memory.matrix_cols t.shared.done_m
 let internal_event t action =
   if t.verbose then [ Event.Internal { p = t.pid; action } ] else []
 
-let read_event t cell value =
-  if t.verbose then [ Event.Read { p = t.pid; cell; value } ] else []
+let read_event t cell value ~wid =
+  if t.verbose then [ Event.Read { p = t.pid; cell; value; wid } ] else []
 
-let write_event t cell value =
-  if t.verbose then [ Event.Write { p = t.pid; cell; value } ] else []
+let write_event t cell value ~wid =
+  if t.verbose then [ Event.Write { p = t.pid; cell; value; wid } ] else []
+
+let prov_event t ev = if t.provenance then [ ev ] else []
 
 (* Start the IterStepKK termination sequence: recompute TRY and DONE
    from shared memory, then produce the output set. *)
@@ -195,11 +202,21 @@ let step_comp_next t =
   if avail >= t.beta then begin
     t.next_j <-
       P.choose t.policy ~p:t.pid ~m:(m t) ~free:t.free ~try_set:t.tries;
+    let pick =
+      prov_event t
+        (Event.Pick
+           {
+             p = t.pid;
+             job = t.next_j;
+             free_card = Set.cardinal t.free;
+             try_card = Set.cardinal t.tries;
+           })
+    in
     t.tries <- Set.empty;
     Hashtbl.reset t.try_owner;
     t.q <- 1;
     t.status <- Set_next;
-    internal_event t "comp_next"
+    internal_event t "comp_next" @ pick
   end
   else begin
     match t.mode with
@@ -214,16 +231,21 @@ let step_comp_next t =
 let step_set_flag t =
   let flag = Option.get t.shared.flag in
   Register.write flag ~p:t.pid 1;
-  let ev = write_event t (Register.name flag) 1 in
+  let ev = write_event t (Register.name flag) 1 ~wid:(Register.wid flag) in
   enter_final_gather t;
   ev
 
 let step_set_next t =
   Memory.vset t.shared.next ~p:t.pid t.pid t.next_j;
-  let ev = write_event t (Memory.vname t.shared.next ~cell:t.pid) t.next_j in
+  let ev =
+    write_event t
+      (Memory.vname t.shared.next ~cell:t.pid)
+      t.next_j
+      ~wid:(Memory.vwid t.shared.next t.pid)
+  in
   t.q <- 1;
   t.status <- Gather_try;
-  ev
+  ev @ prov_event t (Event.Announce { p = t.pid; job = t.next_j })
 
 let step_gather_try t =
   let ev =
@@ -231,10 +253,11 @@ let step_gather_try t =
       let v = Memory.vget t.shared.next ~p:t.pid t.q in
       if v > 0 then begin
         t.tries <- Set.add v t.tries;
-        if Option.is_some t.collision then Hashtbl.replace t.try_owner v t.q;
+        if t.blame then Hashtbl.replace t.try_owner v t.q;
         Metrics.add_work (metrics t) ~p:t.pid t.shared.log_unit
       end;
       read_event t (Memory.vname t.shared.next ~cell:t.q) v
+        ~wid:(Memory.vwid t.shared.next t.q)
     end
     else begin
       Metrics.on_internal (metrics t) ~p:t.pid;
@@ -253,11 +276,16 @@ let step_gather_done t =
     if t.q <> t.pid && t.pos.(t.q) <= cols t then begin
       let c = t.pos.(t.q) in
       let v = Memory.mget t.shared.done_m ~p:t.pid t.q c in
-      let ev = read_event t (Memory.mname t.shared.done_m ~row:t.q ~col:c) v in
+      let ev =
+        read_event t
+          (Memory.mname t.shared.done_m ~row:t.q ~col:c)
+          v
+          ~wid:(Memory.mwid t.shared.done_m t.q c)
+      in
       if v > 0 then begin
         t.done_set <- Set.add v t.done_set;
         t.free <- Set.remove v t.free;
-        if Option.is_some t.collision && not (Hashtbl.mem t.done_owner v) then
+        if t.blame && not (Hashtbl.mem t.done_owner v) then
           Hashtbl.add t.done_owner v t.q;
         t.pos.(t.q) <- c + 1;
         Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit)
@@ -318,14 +346,24 @@ let step_check t =
   end
   else begin
     record_collision t;
+    let forfeit =
+      prov_event t
+        (let hit, owner =
+           if Set.mem t.next_j t.tries then
+             ("try", Option.value ~default:0 (Hashtbl.find_opt t.try_owner t.next_j))
+           else
+             ("done", Option.value ~default:0 (Hashtbl.find_opt t.done_owner t.next_j))
+         in
+         Event.Forfeit { p = t.pid; job = t.next_j; hit; owner })
+    in
     t.status <- Comp_next;
-    internal_event t "check(collision)"
+    internal_event t "check(collision)" @ forfeit
   end
 
 let step_read_flag t =
   let flag = Option.get t.shared.flag in
   let v = Register.read flag ~p:t.pid in
-  let ev = read_event t (Register.name flag) v in
+  let ev = read_event t (Register.name flag) v ~wid:(Register.wid flag) in
   if v = 1 then enter_final_gather t else t.status <- Do_job;
   ev
 
@@ -341,7 +379,10 @@ let step_done_write t =
   assert (c <= cols t);
   Memory.mset t.shared.done_m ~p:t.pid t.pid c t.next_j;
   let ev =
-    write_event t (Memory.mname t.shared.done_m ~row:t.pid ~col:c) t.next_j
+    write_event t
+      (Memory.mname t.shared.done_m ~row:t.pid ~col:c)
+      t.next_j
+      ~wid:(Memory.mwid t.shared.done_m t.pid c)
   in
   t.done_set <- Set.add t.next_j t.done_set;
   t.free <- Set.remove t.next_j t.free;
@@ -381,7 +422,12 @@ let step_rec_scan t =
   let c = t.pos.(t.pid) in
   if c <= cols t then begin
     let v = Memory.mget t.shared.done_m ~p:t.pid t.pid c in
-    let ev = read_event t (Memory.mname t.shared.done_m ~row:t.pid ~col:c) v in
+    let ev =
+      read_event t
+        (Memory.mname t.shared.done_m ~row:t.pid ~col:c)
+        v
+        ~wid:(Memory.mwid t.shared.done_m t.pid c)
+    in
     if v > 0 then begin
       t.done_set <- Set.add v t.done_set;
       t.free <- Set.remove v t.free;
@@ -399,7 +445,12 @@ let step_rec_scan t =
 
 let step_rec_next t =
   let v = Memory.vget t.shared.next ~p:t.pid t.pid in
-  let ev = read_event t (Memory.vname t.shared.next ~cell:t.pid) v in
+  let ev =
+    read_event t
+      (Memory.vname t.shared.next ~cell:t.pid)
+      v
+      ~wid:(Memory.vwid t.shared.next t.pid)
+  in
   if v > 0 && not (Set.mem v t.done_set) then begin
     t.rec_suspect <- v;
     t.status <- Rec_mark
@@ -423,14 +474,16 @@ let step_rec_mark t =
       write_event t
         (Memory.mname t.shared.done_m ~row:t.pid ~col:c)
         t.rec_suspect
+        ~wid:(Memory.mwid t.shared.done_m t.pid c)
     in
+    let recov = prov_event t (Event.Recover { p = t.pid; job = t.rec_suspect }) in
     t.done_set <- Set.add t.rec_suspect t.done_set;
     t.free <- Set.remove t.rec_suspect t.free;
     t.pos.(t.pid) <- c + 1;
     Metrics.add_work (metrics t) ~p:t.pid (2 * t.shared.log_unit);
     t.rec_suspect <- 0;
     t.status <- Comp_next;
-    ev
+    ev @ recov
   end
 
 let restart t =

@@ -58,8 +58,17 @@ module type S = Kk_intf.S
       [Job.universe ~n]).  [perform] (default: emit one [Do] event)
       expands the [do] action; [perform_work] (default [fun _ -> 1])
       is the work charged for it; [verbose] makes every step emit
-      [Read]/[Write]/[Internal] events for [`Full] traces;
+      [Read]/[Write]/[Internal] events for [`Full] traces, each
+      read/write tagged with the write-id it saw/created (the
+      read-from edge, DESIGN.md §8);
       [collision] records failed checks with blame.
+      [provenance] (default [false]) additionally emits the
+      job-lifecycle events [Pick] (with the |FREE|/|TRY| rank-split
+      inputs), [Announce], [Forfeit] (with the blamed owner per
+      Definition 5.2) and [Recover] — the raw material of
+      {!Obs.Ledger}.  Provenance events are annotations only: they
+      never touch footprints, scheduling decisions, or the paper's
+      work accounting, so replays are unaffected.
       [perform_footprint] declares the shared footprint of the
       [perform] callback (defaults: [Internal] for the built-in
       event-only perform, [Unknown] for a caller-supplied one).

@@ -35,6 +35,7 @@ module type S = sig
     ?mutant_skip_check:bool ->
     ?mutant_skip_recovery_mark:bool ->
     ?verbose:bool ->
+    ?provenance:bool ->
     mode:mode ->
     unit ->
     t

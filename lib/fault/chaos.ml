@@ -34,7 +34,7 @@ let oracles_for (plan : Plan.t) =
      ]
    else [])
 
-let run_plan (plan : Plan.t) =
+let run_plan ?(provenance = true) ?trace_level ?probe (plan : Plan.t) =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg ("Chaos.run_plan: " ^ e));
@@ -54,7 +54,7 @@ let run_plan (plan : Plan.t) =
     Array.init m (fun i ->
         Core.Kk.create ~shared ~pid:(i + 1) ~beta ~policy:Core.Policy.Rank_split
           ~free:(Core.Job.universe ~n) ~collision ~mutant_skip_check
-          ~mutant_skip_recovery_mark ~mode:Core.Kk.Standalone ())
+          ~mutant_skip_recovery_mark ~provenance ~mode:Core.Kk.Standalone ())
   in
   let handles = Array.map Core.Kk.handle kks in
   let scheduler, picks =
@@ -66,7 +66,8 @@ let run_plan (plan : Plan.t) =
   in
   let max_steps = 200_000 + (1_000 * n * m) in
   let outcome =
-    Shm.Executor.run ~max_steps ?restarter ~scheduler ~adversary handles
+    Shm.Executor.run ~max_steps ?trace_level ?probe ?restarter ~scheduler
+      ~adversary handles
   in
   let trace = outcome.Shm.Executor.trace in
   let dos = Shm.Trace.do_events trace in

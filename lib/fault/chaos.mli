@@ -29,8 +29,20 @@ val oracles_for : Plan.t -> Analysis.Oracle.t list
     crash may legitimately wedge a job in every survivor's TRY set,
     so the execution need not quiesce. *)
 
-val run_plan : Plan.t -> run_result
+val run_plan :
+  ?provenance:bool ->
+  ?trace_level:Shm.Trace.level ->
+  ?probe:Shm.Probe.t ->
+  Plan.t ->
+  run_result
 (** Execute a shared-memory plan to quiescence and check the oracles.
+
+    [provenance] (default [true]) makes the automata emit job-lifecycle
+    annotations (pick/announce/forfeit/recover), so [result.trace]
+    feeds {!Obs.Ledger} directly and [amo_run chaos --replay] can
+    explain violations causally.  Annotations ride along existing
+    steps — schedules, step counts and metrics are unchanged.
+    [trace_level] and [probe] pass through to {!Shm.Executor.run}.
     @raise Invalid_argument on an invalid or message-passing plan. *)
 
 val shrink_failure : run_result -> Plan.t * run_result

@@ -1,4 +1,15 @@
-type 'a envelope = { src : int; dst : int; body : 'a }
+type 'a envelope = { id : int; src : int; dst : int; body : 'a }
+
+(* Observer notifications: the provenance layer (Obs.Ledger / Span)
+   wants to see channel-level causality — which send each delivery
+   realized — without the protocol modules threading anything through.
+   [id] is the per-network send sequence number; a duplicate keeps the
+   original's id, so a delivery is attributable to its send. *)
+type obs =
+  | Sent of { id : int; src : int; dst : int }
+  | Delivered of { id : int; src : int; dst : int; to_dead : bool }
+  | Dropped of { id : int; src : int; dst : int }
+  | Duplicated of { id : int; src : int; dst : int }
 
 type 'a t = {
   node_count : int;
@@ -9,9 +20,14 @@ type 'a t = {
   mutable buf : 'a envelope option array;
   mutable len : int;
   mutable delivered : int;
+  mutable seq : int; (* send sequence — envelope ids *)
+  vclocks : bool;
+  clocks : Util.Vclock.t array; (* 1-based; slot 0 unused *)
+  msg_clocks : (int, Util.Vclock.t) Hashtbl.t; (* envelope id -> sender clock *)
+  mutable observer : (obs -> unit) option;
 }
 
-let create ~nodes () =
+let create ?(vclocks = false) ~nodes () =
   if nodes < 1 then invalid_arg "Net.create: nodes must be >= 1";
   {
     node_count = nodes;
@@ -20,6 +36,14 @@ let create ~nodes () =
     buf = Array.make 64 None;
     len = 0;
     delivered = 0;
+    seq = 0;
+    vclocks;
+    clocks =
+      (if vclocks then
+         Array.init (nodes + 1) (fun _ -> Util.Vclock.create ~m:nodes)
+       else [||]);
+    msg_clocks = Hashtbl.create (if vclocks then 64 else 1);
+    observer = None;
   }
 
 let nodes t = t.node_count
@@ -31,17 +55,40 @@ let set_handler t ~node f =
   check t node;
   t.handlers.(node) <- Some f
 
+let set_observer t f = t.observer <- Some f
+
+let notify t ev = match t.observer with None -> () | Some f -> f ev
+
+let clock t node =
+  check t node;
+  if not t.vclocks then invalid_arg "Net.clock: created without ~vclocks:true";
+  Util.Vclock.copy t.clocks.(node)
+
+let sent_count t = t.seq
+
+let enqueue t env =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) None in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- Some env;
+  t.len <- t.len + 1
+
 let send t ~src ~dst body =
   check t src;
   check t dst;
   if t.live.(src) then begin
-    if t.len = Array.length t.buf then begin
-      let bigger = Array.make (2 * t.len) None in
-      Array.blit t.buf 0 bigger 0 t.len;
-      t.buf <- bigger
+    t.seq <- t.seq + 1;
+    let id = t.seq in
+    if t.vclocks then begin
+      (* a send is an action of [src]: tick, then stamp the message
+         with a snapshot so the receiver can join it at delivery *)
+      Util.Vclock.tick t.clocks.(src) ~p:src;
+      Hashtbl.replace t.msg_clocks id (Util.Vclock.copy t.clocks.(src))
     end;
-    t.buf.(t.len) <- Some { src; dst; body };
-    t.len <- t.len + 1
+    enqueue t { id; src; dst; body };
+    notify t (Sent { id; src; dst })
   end
 
 let crash t node =
@@ -65,7 +112,17 @@ let take t i =
 
 let dispatch t env =
   t.delivered <- t.delivered + 1;
-  if t.live.(env.dst) then begin
+  let to_dead = not t.live.(env.dst) in
+  notify t (Delivered { id = env.id; src = env.src; dst = env.dst; to_dead });
+  if not to_dead then begin
+    if t.vclocks then begin
+      (* a delivery is an action of [dst] causally after the send:
+         tick, then join the sender's stamped snapshot *)
+      Util.Vclock.tick t.clocks.(env.dst) ~p:env.dst;
+      match Hashtbl.find_opt t.msg_clocks env.id with
+      | Some c -> Util.Vclock.join t.clocks.(env.dst) c
+      | None -> ()
+    end;
     match t.handlers.(env.dst) with
     | Some f -> f ~src:env.src env.body
     | None -> invalid_arg "Net: delivery to node without handler"
@@ -88,20 +145,16 @@ let duplicate_random t rng =
     in
     (* re-send bypassing the liveness check on [src]: the copy is
        already in the channel even if the sender died meanwhile *)
-    if t.len = Array.length t.buf then begin
-      let bigger = Array.make (2 * t.len) None in
-      Array.blit t.buf 0 bigger 0 t.len;
-      t.buf <- bigger
-    end;
-    t.buf.(t.len) <- Some env;
-    t.len <- t.len + 1;
+    enqueue t env;
+    notify t (Duplicated { id = env.id; src = env.src; dst = env.dst });
     true
   end
 
 let drop_random t rng =
   if t.len = 0 then false
   else begin
-    ignore (take t (Util.Prng.int rng t.len));
+    let env = take t (Util.Prng.int rng t.len) in
+    notify t (Dropped { id = env.id; src = env.src; dst = env.dst });
     true
   end
 

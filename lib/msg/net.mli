@@ -20,9 +20,26 @@
 
 type 'a t
 
-val create : nodes:int -> unit -> 'a t
+type obs =
+  | Sent of { id : int; src : int; dst : int }
+  | Delivered of { id : int; src : int; dst : int; to_dead : bool }
+  | Dropped of { id : int; src : int; dst : int }
+  | Duplicated of { id : int; src : int; dst : int }
+      (** Channel-level provenance notifications.  [id] is the send
+          sequence number ([1, 2, ...] in send order); a duplicated
+          copy keeps the original's id, so every delivery is
+          attributable to the send that caused it.  [to_dead] marks
+          deliveries swallowed by a crashed destination. *)
+
+val create : ?vclocks:bool -> nodes:int -> unit -> 'a t
 (** Nodes are [1..nodes]; all start alive with no handler (messages
-    to a handler-less node raise at delivery — a wiring bug). *)
+    to a handler-less node raise at delivery — a wiring bug).
+
+    [vclocks] (default [false]) maintains a {!Util.Vclock.t} per node:
+    ticked on each send and delivery, with the sender's clock snapshot
+    stamped on the message and joined into the receiver at delivery —
+    the message-passing analogue of the executor's read-from edges
+    (DESIGN.md §8). *)
 
 val nodes : 'a t -> int
 
@@ -72,3 +89,15 @@ val duplicate_random : 'a t -> Util.Prng.t -> bool
 val delivered_count : 'a t -> int
 (** Total deliveries so far (the message-complexity measure; drops to
     dead nodes count as deliveries). *)
+
+val sent_count : 'a t -> int
+(** Total successful sends so far (= the id of the last send). *)
+
+val set_observer : 'a t -> (obs -> unit) -> unit
+(** Install a channel observer, called synchronously on every send,
+    delivery (before the handler runs), drop and duplication.  At most
+    one observer; a second call replaces the first. *)
+
+val clock : 'a t -> int -> Util.Vclock.t
+(** A copy of the node's current vector clock.
+    @raise Invalid_argument unless created with [~vclocks:true]. *)

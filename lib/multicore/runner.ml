@@ -15,7 +15,7 @@ type outcome = {
 (* One process's run: a direct transcription of Fig. 2 against atomic
    registers.  Shared state: [next] (m cells) and [done_m] (m x n). *)
 let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid ~ledger
-    ~log_unit =
+    ~log_unit ~emit =
   let free = ref (Ostree.of_range 1 n) in
   let done_set = ref Ostree.empty in
   let tries = ref Ostree.empty in
@@ -76,6 +76,7 @@ let process_loop ~n ~m ~beta ~policy ~budget ~next ~done_m ~pid ~ledger
         (* do the job, then publish it *)
         performed := next_j :: !performed;
         incr count;
+        emit next_j;
         Shm.Metrics.on_internal ledger ~p:pid;
         Shm.Metrics.add_work ledger ~p:pid 1;
         Atomic_mem.mset done_m pid pos.(pid) next_j;
@@ -250,13 +251,27 @@ let run_iterative ~n ~m ~epsilon_inv () =
   { dos = List.rev !dos; per_process; wall_seconds; metrics }
 
 let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
-    ?(job_budget = fun ~pid:_ -> max_int) () =
+    ?(job_budget = fun ~pid:_ -> max_int) ?(sink = Obs.Sink.null) () =
   if m < 1 || n < m then invalid_arg "Runner.run_kk: need 1 <= m <= n";
   if beta < 1 then invalid_arg "Runner.run_kk: beta must be >= 1";
   let next = Atomic_mem.vector ~len:m ~init:0 in
   let done_m = Atomic_mem.matrix ~rows:m ~cols:n ~init:0 in
   let log_unit = Core.Params.log2_ceil (max 2 n) in
   let ledgers = Array.init m (fun _ -> Shm.Metrics.create ~m) in
+  (* all domains share [sink]; the caller must pass a {!Obs.Sink.locked}
+     wrapper (or null) — a fetch-and-add counter provides a global
+     emission order to use as the logical timestamp *)
+  let seq = Atomic.make 0 in
+  let emit_for pid =
+    if Obs.Sink.is_null sink then fun _ -> ()
+    else fun job ->
+      Obs.Sink.emit sink
+        (Obs.Sink.record
+           ~ts:(Atomic.fetch_and_add seq 1)
+           ~pid ~kind:Obs.Sink.Instant
+           ~args:[ ("job", Obs.Json.Int job) ]
+           "mc.do")
+  in
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init m (fun i ->
@@ -264,9 +279,10 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
         let pol = policy ~pid in
         let budget = job_budget ~pid in
         let ledger = ledgers.(i) in
+        let emit = emit_for pid in
         Domain.spawn (fun () ->
             process_loop ~n ~m ~beta ~policy:pol ~budget ~next ~done_m ~pid
-              ~ledger ~log_unit))
+              ~ledger ~log_unit ~emit))
   in
   let logs = Array.map Domain.join domains in
   let wall_seconds = Unix.gettimeofday () -. t0 in

@@ -36,14 +36,21 @@ val run_kk :
   beta:int ->
   ?policy:(pid:int -> Core.Policy.t) ->
   ?job_budget:(pid:int -> int) ->
+  ?sink:Obs.Sink.t ->
   unit ->
   outcome
 (** [run_kk ~n ~m ~beta ()] spawns [m] domains and runs KKβ to
     termination.  [policy] picks each process's candidate rule
     (default: the paper's [Rank_split]); [job_budget] caps the jobs a
     process performs before it silently stops (default: unlimited),
-    emulating crashes.  @raise Invalid_argument unless
-    [1 <= m <= n] and [beta >= 1]. *)
+    emulating crashes.
+
+    [sink] (default {!Obs.Sink.null}) receives one [mc.do] instant per
+    performed job, emitted {e concurrently} from every domain — pass a
+    {!Obs.Sink.locked}-wrapped sink or records may interleave; [ts] is
+    a fetch-and-add global emission index, [pid] the performing
+    domain.  @raise Invalid_argument unless [1 <= m <= n] and
+    [beta >= 1]. *)
 
 val run_iterative : n:int -> m:int -> epsilon_inv:int -> unit -> outcome
 (** The full IterativeKK(ε) (at-most-once variant, §6) on real

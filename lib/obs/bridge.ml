@@ -4,7 +4,9 @@
 
 let kind_of_event (e : Shm.Event.t) =
   match e with
-  | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ ->
+  | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _
+  | Shm.Event.Pick _ | Shm.Event.Announce _ | Shm.Event.Forfeit _
+  | Shm.Event.Recover _ ->
       Sink.Instant
   | _ -> Sink.Span
 
@@ -17,14 +19,34 @@ let name_of_event (e : Shm.Event.t) =
   | Shm.Event.Read { cell; _ } -> "read " ^ cell
   | Shm.Event.Write { cell; _ } -> "write " ^ cell
   | Shm.Event.Internal { action; _ } -> action
+  | Shm.Event.Pick { job; _ } -> Printf.sprintf "pick(%d)" job
+  | Shm.Event.Announce { job; _ } -> Printf.sprintf "announce(%d)" job
+  | Shm.Event.Forfeit { job; _ } -> Printf.sprintf "forfeit(%d)" job
+  | Shm.Event.Recover { job; _ } -> Printf.sprintf "recover(%d)" job
 
 let args_of_event (e : Shm.Event.t) =
   match e with
   | Shm.Event.Do { job; _ } -> [ ("job", Json.Int job) ]
   | Shm.Event.Crash _ | Shm.Event.Restart _ | Shm.Event.Terminate _ -> []
-  | Shm.Event.Read { cell; value; _ } | Shm.Event.Write { cell; value; _ } ->
-      [ ("cell", Json.String cell); ("value", Json.Int value) ]
+  | Shm.Event.Read { cell; value; wid; _ } | Shm.Event.Write { cell; value; wid; _ }
+    ->
+      ("cell", Json.String cell) :: ("value", Json.Int value)
+      :: (if wid > 0 then [ ("wid", Json.Int wid) ] else [])
   | Shm.Event.Internal { action; _ } -> [ ("action", Json.String action) ]
+  | Shm.Event.Pick { job; free_card; try_card; _ } ->
+      [
+        ("job", Json.Int job);
+        ("free", Json.Int free_card);
+        ("try", Json.Int try_card);
+      ]
+  | Shm.Event.Announce { job; _ } -> [ ("job", Json.Int job) ]
+  | Shm.Event.Forfeit { job; hit; owner; _ } ->
+      [
+        ("job", Json.Int job);
+        ("hit", Json.String hit);
+        ("owner", Json.Int owner);
+      ]
+  | Shm.Event.Recover { job; _ } -> [ ("job", Json.Int job) ]
 
 let sink_probe sink =
   if Sink.is_null sink then Shm.Probe.null
@@ -45,7 +67,8 @@ let profile_probe profile =
       | Shm.Event.Internal _ ->
           Profile.add profile ~pid ~series:("internal@" ^ phase) 1
       | Shm.Event.Do _ | Shm.Event.Crash _ | Shm.Event.Restart _
-      | Shm.Event.Terminate _ ->
+      | Shm.Event.Terminate _ | Shm.Event.Pick _ | Shm.Event.Announce _
+      | Shm.Event.Forfeit _ | Shm.Event.Recover _ ->
           ())
 
 let emit_metrics sink ?(ts = 0) metrics =

@@ -1,25 +1,45 @@
 (** Export {!Shm.Trace} executions as Chrome [trace_event] JSON.
 
-    The produced file loads in [chrome://tracing] and Perfetto: the
-    run is one process with one thread ("track") per simulated
-    process, reads/writes/[compNext]-style internal actions and [Do]s
-    render as 1-step spans, crashes and terminations as instant
-    markers.  Logical executor steps map to microseconds.
+    The produced file loads in [chrome://tracing] and Perfetto.  Each
+    simulated process is its own Chrome {e process} (pid = simulator
+    pid) with explicit [process_name]/[process_sort_index]/
+    [thread_name] metadata so the UI labels tracks "p1", "p2", ...;
+    pid 0 carries the run name and (optionally) register-contention
+    counter tracks from a {!Heatmap}.  Reads/writes/[compNext]-style
+    internal actions and [Do]s render as 1-step spans; crashes,
+    terminations and provenance marks ([pick]/[announce]/[forfeit]/
+    [recover]) as instant markers.
+
+    {b Time units}: [ts] and [dur] are the executor's {e logical step
+    indices}, emitted as integer microseconds (1 step = 1 µs) because
+    the format mandates µs — there is no wall-clock anywhere in a
+    simulated run.  The emitted [displayTimeUnit: "ms"] hint only
+    sets the viewer's initial zoom granularity.
 
     Only events the trace retained are exported — record the run at
     [`Full] (and, for KK automata, [~verbose:true] so memory accesses
     emit events) to get per-access spans; an [`Outcomes] trace still
-    shows [Do]/crash/terminate marks.
+    shows [Do]/crash/terminate/provenance marks.
 
     Output is deterministic (stable ordering, one event per line), so
     traces of deterministic schedules are byte-stable — suitable as
     golden files. *)
 
-val events : ?run_name:string -> m:int -> Shm.Trace.t -> Json.t list
+val events :
+  ?run_name:string -> ?heatmap:Heatmap.t -> m:int -> Shm.Trace.t -> Json.t list
 (** Metadata records (process/thread names for [m] processes) followed
-    by one record per trace entry, in trace order. *)
+    by one record per trace entry in trace order, then one [ph "C"]
+    counter sample per occupied heatmap time-bucket per register (if
+    [heatmap] is given). *)
 
-val to_string : ?run_name:string -> m:int -> Shm.Trace.t -> string
+val to_string :
+  ?run_name:string -> ?heatmap:Heatmap.t -> m:int -> Shm.Trace.t -> string
 (** A complete [{"traceEvents": [...]}] document. *)
 
-val write_file : ?run_name:string -> m:int -> path:string -> Shm.Trace.t -> unit
+val write_file :
+  ?run_name:string ->
+  ?heatmap:Heatmap.t ->
+  m:int ->
+  path:string ->
+  Shm.Trace.t ->
+  unit

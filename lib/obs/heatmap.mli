@@ -1,0 +1,53 @@
+(** Register contention heatmaps.
+
+    Aggregates a run's shared-memory traffic per named register: read
+    and write counts, number of distinct accessing processes, and a
+    {e contention} count — accesses that hit a register last touched
+    by a {e different} process (ownership bounces, the shared-memory
+    model's analogue of cache-line ping-pong).  Time series are kept
+    in the {!Histogram} power-of-two step buckets, so a cell's history
+    costs O(log steps) space regardless of run length.
+
+    Feed it either post-hoc from a [`Full] trace ({!of_trace}) or
+    live through the probe seam ({!probe}).  The aggregate renders as
+    Chrome counter tracks (see {!Chrome_trace.events}) and as the
+    heatmap section of the HTML run report ({!Report}). *)
+
+type t
+
+type cell = {
+  name : string;
+  reads : int;
+  writes : int;
+  accessors : int;  (** distinct pids that touched this register *)
+  contention : int;  (** accesses whose previous accessor differed *)
+  buckets : (int * int * int) list;
+      (** [(bucket, reads, writes)], ascending; bucket bounds per
+          {!Histogram.bucket_lo}. *)
+}
+
+val create : unit -> t
+
+val observe : t -> step:int -> Shm.Event.t -> unit
+(** Count a [Read]/[Write] event; all other events are ignored. *)
+
+val of_trace : Shm.Trace.t -> t
+(** Aggregate every retained read/write of a trace (i.e. record the
+    run at [`Full] with [~verbose:true] automata). *)
+
+val probe : t -> Shm.Probe.t
+(** A live probe that feeds {!observe}; compose with other probes via
+    {!Shm.Probe.compose}. *)
+
+val cells : t -> cell list
+(** All registers, sorted by name (deterministic for goldens). *)
+
+val hottest : ?limit:int -> t -> cell list
+(** Up to [limit] (default 10) cells by total accesses, descending
+    (ties broken by name, deterministically). *)
+
+val total_accesses : t -> int
+
+val max_step : t -> int
+
+val to_json : t -> Json.t

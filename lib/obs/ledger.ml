@@ -1,0 +1,285 @@
+type fate =
+  | Performed of { p : int; step : int }
+  | Doubly_performed of { performers : (int * int) list }
+  | Recovered of { p : int; step : int }
+  | Lost_crash of { p : int; step : int }
+  | Forfeited
+
+type entry = { job : int; fate : fate; history : (int * string) list }
+
+type counts = {
+  performed : int;
+  forfeited : int;
+  lost : int;
+  recovered : int;
+  violations : int;
+}
+
+type t = {
+  n : int;
+  m : int;
+  entries : entry array;
+  counts : counts;
+  restarts : (int * int) list; (* (p, step), chronological *)
+}
+
+let fate_name = function
+  | Performed _ -> "performed"
+  | Doubly_performed _ -> "doubly_performed"
+  | Recovered _ -> "recovered"
+  | Lost_crash _ -> "lost_crash"
+  | Forfeited -> "forfeited"
+
+(* Working state folded over the trace, one slot per job / process. *)
+type job_acc = {
+  mutable dos : (int * int) list; (* (p, step), chronological (rev) *)
+  mutable recovers : (int * int) list;
+  mutable hist : (int * string) list; (* reversed *)
+}
+
+let of_trace ~n ~m trace =
+  if n < 1 then invalid_arg "Ledger.of_trace: n must be >= 1";
+  if m < 1 then invalid_arg "Ledger.of_trace: m must be >= 1";
+  let jobs = Array.init (n + 1) (fun _ -> { dos = []; recovers = []; hist = [] }) in
+  let in_range j = j >= 1 && j <= n in
+  let note j step msg =
+    if in_range j then jobs.(j).hist <- (step, msg) :: jobs.(j).hist
+  in
+  (* announced.(p): p's current candidate (last announce, not yet
+     performed or forfeited); crashed.(p): p's final state so far *)
+  let announced = Array.make (m + 1) 0 in
+  let announced_at = Array.make (m + 1) 0 in
+  let crashed = Array.make (m + 1) false in
+  let restarts = ref [] in
+  List.iter
+    (fun { Shm.Trace.step; event } ->
+      match event with
+      | Shm.Event.Pick { p; job; free_card; try_card } ->
+          note job step
+            (Printf.sprintf "picked by p%d (|FREE|=%d, |TRY|=%d)" p free_card
+               try_card)
+      | Shm.Event.Announce { p; job } ->
+          if p >= 1 && p <= m then begin
+            announced.(p) <- job;
+            announced_at.(p) <- step
+          end;
+          note job step (Printf.sprintf "announced by p%d" p)
+      | Shm.Event.Do { p; job } ->
+          if in_range job then jobs.(job).dos <- (p, step) :: jobs.(job).dos;
+          if p >= 1 && p <= m && announced.(p) = job then announced.(p) <- 0;
+          note job step (Printf.sprintf "performed by p%d" p)
+      | Shm.Event.Forfeit { p; job; hit; owner } ->
+          if p >= 1 && p <= m && announced.(p) = job then announced.(p) <- 0;
+          note job step
+            (if owner > 0 then
+               Printf.sprintf "forfeited by p%d (seen in p%d's %s)" p owner hit
+             else Printf.sprintf "forfeited by p%d (seen in %s)" p hit)
+      | Shm.Event.Recover { p; job } ->
+          if in_range job then
+            jobs.(job).recovers <- (p, step) :: jobs.(job).recovers;
+          if p >= 1 && p <= m && announced.(p) = job then announced.(p) <- 0;
+          note job step
+            (Printf.sprintf "re-marked done by p%d on recovery (not performed again)"
+               p)
+      | Shm.Event.Crash { p } ->
+          if p >= 1 && p <= m then begin
+            crashed.(p) <- true;
+            if announced.(p) > 0 then
+              note announced.(p) step
+                (Printf.sprintf "announcer p%d crashed" p)
+          end
+      | Shm.Event.Restart { p } ->
+          if p >= 1 && p <= m then begin
+            crashed.(p) <- false;
+            restarts := (p, step) :: !restarts;
+            if announced.(p) > 0 then
+              note announced.(p) step
+                (Printf.sprintf "announcer p%d restarted" p)
+          end
+      | Shm.Event.Terminate _ | Shm.Event.Read _ | Shm.Event.Write _
+      | Shm.Event.Internal _ ->
+          ())
+    (Shm.Trace.entries trace);
+  (* The job a permanently-crashed process still has announced is
+     stuck in every survivor's TRY set — lost to the crash. *)
+  let lost_to = Array.make (n + 1) 0 in
+  let lost_at = Array.make (n + 1) 0 in
+  for p = 1 to m do
+    if crashed.(p) && in_range announced.(p) then begin
+      lost_to.(announced.(p)) <- p;
+      lost_at.(announced.(p)) <- announced_at.(p)
+    end
+  done;
+  let performed = ref 0
+  and forfeited = ref 0
+  and lost = ref 0
+  and recovered = ref 0
+  and violations = ref 0 in
+  let entries =
+    Array.init (n + 1) (fun job ->
+        if job = 0 then { job = 0; fate = Forfeited; history = [] }
+        else begin
+          let acc = jobs.(job) in
+          let dos = List.rev acc.dos in
+          let recovers = List.rev acc.recovers in
+          let fate =
+            match (dos, recovers) with
+            | [ (p, step) ], _ ->
+                incr performed;
+                Performed { p; step }
+            | _ :: _ :: _, _ ->
+                incr violations;
+                Doubly_performed { performers = dos }
+            | [], (p, step) :: _ ->
+                incr recovered;
+                Recovered { p; step }
+            | [], [] ->
+                if lost_to.(job) > 0 then begin
+                  incr lost;
+                  Lost_crash { p = lost_to.(job); step = lost_at.(job) }
+                end
+                else begin
+                  incr forfeited;
+                  Forfeited
+                end
+          in
+          { job; fate; history = List.rev acc.hist }
+        end)
+  in
+  {
+    n;
+    m;
+    entries;
+    counts =
+      {
+        performed = !performed;
+        forfeited = !forfeited;
+        lost = !lost;
+        recovered = !recovered;
+        violations = !violations;
+      };
+    restarts = List.rev !restarts;
+  }
+
+let n t = t.n
+let m t = t.m
+
+let entry t job =
+  if job < 1 || job > t.n then invalid_arg "Ledger.entry: job out of range";
+  t.entries.(job)
+
+let entries t = Array.to_list (Array.sub t.entries 1 t.n)
+
+let counts t = t.counts
+
+let reconciles t =
+  t.counts.performed + t.counts.forfeited + t.counts.lost + t.counts.recovered
+  + t.counts.violations
+  = t.n
+
+let violations t =
+  List.filter_map
+    (fun e -> match e.fate with Doubly_performed _ -> Some e.job | _ -> None)
+    (entries t)
+
+let explain t job =
+  let e = entry t job in
+  match e.fate with
+  | Performed { p; step } -> Printf.sprintf "job %d: performed by p%d at step %d" job p step
+  | Recovered { p; step } ->
+      Printf.sprintf
+        "job %d: never performed; conservatively re-marked done by p%d on recovery at step %d (one job burned per restart)"
+        job p step
+  | Lost_crash { p; _ } ->
+      Printf.sprintf
+        "job %d: never performed; announced by p%d which crashed for good, so it is stuck in every survivor's TRY set"
+        job p
+  | Forfeited ->
+      Printf.sprintf
+        "job %d: never performed; left unclaimed by termination (the |FREE \\ TRY| < beta residue) or forfeited after collisions"
+        job
+  | Doubly_performed { performers } ->
+      let who =
+        String.concat " and "
+          (List.map (fun (p, s) -> Printf.sprintf "p%d@step%d" p s) performers)
+      in
+      let detail =
+        match performers with
+        | (p1, s1) :: (p2, s2) :: _ when p1 = p2 ->
+            (* same process twice: if it restarted in between, the
+               recovery re-mark (rec_mark) failed to protect the job *)
+            let restarted =
+              List.exists (fun (p, s) -> p = p1 && s1 < s && s < s2) t.restarts
+            in
+            if restarted then
+              Printf.sprintf
+                " — p%d restarted in between and re-performed it: the recovery re-mark was skipped"
+                p1
+            else
+              Printf.sprintf " — p%d re-performed without an intervening restart"
+                p1
+        | (p1, _) :: (p2, _) :: _ ->
+            Printf.sprintf
+              " — p%d performed without its check seeing p%d's claim (check skipped or misordered)"
+              p2 p1
+        | _ -> ""
+      in
+      Printf.sprintf "job %d: AT-MOST-ONCE VIOLATION, performed twice (%s)%s" job
+        who detail
+
+let explain_violation t =
+  match violations t with [] -> None | j :: _ -> Some (explain t j)
+
+let why t job =
+  let e = entry t job in
+  let hist =
+    List.map (fun (step, msg) -> Printf.sprintf "  step %6d  %s" step msg) e.history
+  in
+  explain t job :: hist
+
+let entry_to_json (e : entry) =
+  let fate_fields =
+    match e.fate with
+    | Performed { p; step } -> [ ("by", Json.Int p); ("step", Json.Int step) ]
+    | Recovered { p; step } -> [ ("by", Json.Int p); ("step", Json.Int step) ]
+    | Lost_crash { p; step } -> [ ("by", Json.Int p); ("step", Json.Int step) ]
+    | Forfeited -> []
+    | Doubly_performed { performers } ->
+        [
+          ( "performers",
+            Json.List
+              (List.map
+                 (fun (p, s) ->
+                   Json.Obj [ ("p", Json.Int p); ("step", Json.Int s) ])
+                 performers) );
+        ]
+  in
+  Json.Obj
+    ([ ("job", Json.Int e.job); ("fate", Json.String (fate_name e.fate)) ]
+    @ fate_fields
+    @ [
+        ( "history",
+          Json.List
+            (List.map
+               (fun (step, msg) ->
+                 Json.Obj [ ("step", Json.Int step); ("what", Json.String msg) ])
+               e.history) );
+      ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ("m", Json.Int t.m);
+      ( "counts",
+        Json.Obj
+          [
+            ("performed", Json.Int t.counts.performed);
+            ("forfeited", Json.Int t.counts.forfeited);
+            ("lost", Json.Int t.counts.lost);
+            ("recovered", Json.Int t.counts.recovered);
+            ("violations", Json.Int t.counts.violations);
+          ] );
+      ("reconciles", Json.Bool (reconciles t));
+      ("jobs", Json.List (List.map entry_to_json (entries t)));
+    ]

@@ -1,0 +1,98 @@
+(** Per-job provenance ledgers.
+
+    Folds a trace's job-lifecycle events (emitted by automata created
+    with [~provenance:true]; kept at [`Outcomes] and above) into one
+    machine-readable verdict per job:
+
+    - {e performed}: exactly one [Do] — the good case;
+    - {e doubly performed}: more than one [Do] — an at-most-once
+      violation (only reachable through the seeded mutants);
+    - {e recovered}: never performed, but conservatively re-marked
+      done by a restarted process ([Recover]) — the one job a restart
+      may burn (recovery floor, DESIGN.md §7);
+    - {e lost to crash}: never performed and stuck as the announced
+      candidate of a permanently-crashed process — every survivor
+      keeps it in TRY forever (the β + m − 2 tightness mechanism,
+      Thm 4.4);
+    - {e forfeited}: the residual — never performed, left unclaimed at
+      termination (the |FREE \ TRY| < β residue) or given up after
+      collisions.
+
+    The fates partition the job universe, so
+    [performed + forfeited + lost + recovered + violations = n] always
+    ({!reconciles}); {!Analysis.Oracle.ledger_agreement} additionally
+    checks the counts against the effectiveness oracles.  All output
+    is deterministically ordered — suitable for goldens. *)
+
+type fate =
+  | Performed of { p : int; step : int }
+  | Doubly_performed of { performers : (int * int) list }
+      (** every [(p, step)] that performed it, chronological *)
+  | Recovered of { p : int; step : int }
+  | Lost_crash of { p : int; step : int }
+      (** [p] = the permanently-crashed announcer, [step] = when it
+          announced the job *)
+  | Forfeited
+
+type entry = {
+  job : int;
+  fate : fate;
+  history : (int * string) list;
+      (** chronological [(step, what)] lifecycle log for this job *)
+}
+
+type counts = {
+  performed : int;
+  forfeited : int;
+  lost : int;
+  recovered : int;
+  violations : int;  (** doubly-performed jobs (counted separately) *)
+}
+
+type t
+
+val of_trace : n:int -> m:int -> Shm.Trace.t -> t
+(** Fold an [`Outcomes]-or-better trace of a [~provenance:true] run.
+    Works on any trace — without provenance events the ledger still
+    classifies performed vs. unperformed from [Do]/[Crash] events, but
+    picks, forfeits and recovery marks will be missing from
+    histories.  @raise Invalid_argument if [n] or [m] < 1. *)
+
+val n : t -> int
+
+val m : t -> int
+
+val entry : t -> int -> entry
+(** @raise Invalid_argument unless [1 <= job <= n]. *)
+
+val entries : t -> entry list
+(** All jobs, ascending. *)
+
+val counts : t -> counts
+
+val reconciles : t -> bool
+(** The partition invariant:
+    [performed + forfeited + lost + recovered + violations = n]. *)
+
+val violations : t -> int list
+(** Doubly-performed job ids, ascending — non-empty means the run
+    violated at-most-once. *)
+
+val explain : t -> int -> string
+(** One line: the job's fate and, for violations, who double-performed
+    and the likely mechanism (skipped check vs. skipped recovery
+    re-mark, inferred from restart marks in the history). *)
+
+val explain_violation : t -> string option
+(** {!explain} for the first violated job, if any — the chaos-replay
+    one-liner. *)
+
+val why : t -> int -> string list
+(** The {!explain} line followed by the job's full lifecycle history,
+    one line per event. *)
+
+val to_json : t -> Json.t
+(** Machine-readable: counts, the reconciliation bit, and one verdict
+    object per job (fate, actors, history). *)
+
+val fate_name : fate -> string

@@ -34,6 +34,8 @@ type t =
   | Null
   | Memory of { cap : int; q : record Queue.t; mutable total : int }
   | Jsonl of { oc : out_channel; mutable total : int }
+  | Locked of { mu : Mutex.t; inner : t }
+  | Tee of t list
 
 let null = Null
 
@@ -45,9 +47,22 @@ let memory ?(capacity = default_capacity) () =
 
 let jsonl oc = Jsonl { oc; total = 0 }
 
-let is_null = function Null -> true | _ -> false
+let rec is_null = function
+  | Null -> true
+  | Memory _ | Jsonl _ -> false
+  | Locked { inner; _ } -> is_null inner
+  | Tee sinks -> List.for_all is_null sinks
 
-let emit t r =
+let locked inner =
+  if is_null inner then Null else Locked { mu = Mutex.create (); inner }
+
+let tee sinks =
+  match List.filter (fun s -> not (is_null s)) sinks with
+  | [] -> Null
+  | [ s ] -> s
+  | live -> Tee live
+
+let rec emit t r =
   match t with
   | Null -> ()
   | Memory m ->
@@ -57,14 +72,30 @@ let emit t r =
   | Jsonl j ->
       Json.to_channel j.oc (record_to_json r);
       j.total <- j.total + 1
+  | Locked { mu; inner } ->
+      Mutex.lock mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> emit inner r)
+  | Tee sinks -> List.iter (fun s -> emit s r) sinks
 
-let records = function
+let rec records = function
   | Memory m -> List.of_seq (Queue.to_seq m.q)
   | Null | Jsonl _ -> []
+  | Locked { mu; inner } ->
+      Mutex.lock mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> records inner)
+  | Tee sinks -> List.concat_map records sinks
 
-let total_emitted = function
+let rec total_emitted = function
   | Null -> 0
   | Memory m -> m.total
   | Jsonl j -> j.total
+  | Locked { inner; _ } -> total_emitted inner
+  | Tee sinks -> List.fold_left (fun acc s -> acc + total_emitted s) 0 sinks
 
-let flush = function Jsonl j -> flush j.oc | Null | Memory _ -> ()
+let rec flush = function
+  | Jsonl j -> Stdlib.flush j.oc
+  | Null | Memory _ -> ()
+  | Locked { mu; inner } ->
+      Mutex.lock mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> flush inner)
+  | Tee sinks -> List.iter flush sinks

@@ -52,6 +52,18 @@ val jsonl : out_channel -> t
 (** Writes each record as one minified JSON line.  The channel is
     owned by the caller (not closed by the sink); call {!flush}. *)
 
+val locked : t -> t
+(** Mutex-wraps a sink so whole records are emitted atomically —
+    required when multiple domains share one sink (multicore runs,
+    {!Multicore.Runner}): without it two domains' JSONL lines can
+    interleave mid-record.  Wrapping {!null} returns {!null} (the
+    no-listener fast path stays free). *)
+
+val tee : t list -> t
+(** Fan-out: [emit] delivers to every sink, in list order (a record is
+    fully delivered to sink [i] before sink [i+1] sees it).  Null
+    sinks are dropped; an all-null list collapses to {!null}. *)
+
 val emit : t -> record -> unit
 
 val is_null : t -> bool

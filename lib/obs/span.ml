@@ -1,0 +1,99 @@
+type span = { step : int; event : Shm.Event.t; clock : Util.Vclock.t }
+
+(* Replay a trace, reconstructing per-process vector clocks with the
+   same rules as Shm.Executor: one tick per action (entries sharing a
+   (pid, step) pair belong to one action), a write snapshots the
+   writer's clock under its wid, a read joins the snapshot of the
+   write it returned.  Absolute component values differ from the
+   executor's (unrecorded actions don't tick here) but the induced
+   happens-before partial order on recorded events is the same. *)
+let of_trace ~m trace =
+  let clocks = Array.init (m + 1) (fun _ -> Util.Vclock.create ~m) in
+  let last_step = Array.make (m + 1) (-1) in
+  let wid_clocks : (int, Util.Vclock.t) Hashtbl.t = Hashtbl.create 64 in
+  List.filter_map
+    (fun { Shm.Trace.step; event } ->
+      let p = Shm.Event.pid event in
+      if p < 1 || p > m then None
+      else begin
+        if last_step.(p) <> step then begin
+          Util.Vclock.tick clocks.(p) ~p;
+          last_step.(p) <- step
+        end;
+        (match event with
+        | Shm.Event.Read { wid; _ } when wid > 0 -> (
+            match Hashtbl.find_opt wid_clocks wid with
+            | Some c -> Util.Vclock.join clocks.(p) c
+            | None -> ())
+        | Shm.Event.Write { wid; _ } when wid > 0 ->
+            Hashtbl.replace wid_clocks wid (Util.Vclock.copy clocks.(p))
+        | _ -> ());
+        Some { step; event; clock = Util.Vclock.copy clocks.(p) }
+      end)
+    (Shm.Trace.entries trace)
+
+let happens_before a b = Util.Vclock.happens_before a.clock b.clock
+
+let concurrent a b = Util.Vclock.concurrent a.clock b.clock
+
+let read_from spans (r : span) =
+  match r.event with
+  | Shm.Event.Read { wid; _ } when wid > 0 ->
+      List.find_opt
+        (fun s ->
+          match s.event with
+          | Shm.Event.Write { wid = w; _ } -> w = wid
+          | _ -> false)
+        spans
+  | _ -> None
+
+let render s =
+  Printf.sprintf "step %d  vc=%s  %s" s.step
+    (Util.Vclock.to_string s.clock)
+    (Shm.Event.to_string s.event)
+
+(* The minimal causal chain explaining job [job]'s fate: its own
+   lifecycle events, plus — for each forfeit — the gather read that
+   saw the job and the write that read returned (the cross-process
+   read-from edge), plus crash/restart marks of processes while they
+   had [job] announced. *)
+let causal_chain ~m trace ~job =
+  let spans = of_trace ~m trace in
+  let announced = Array.make (m + 1) 0 in
+  let keep = Hashtbl.create 32 in
+  let mark (s : span) = Hashtbl.replace keep s.step s in
+  (* last read by [p] before [limit] whose value is [job] *)
+  let informing_read p limit =
+    List.fold_left
+      (fun acc (s : span) ->
+        match s.event with
+        | Shm.Event.Read { p = rp; value; _ }
+          when rp = p && value = job && s.step < limit ->
+            Some s
+        | _ -> acc)
+      None spans
+  in
+  List.iter
+    (fun (s : span) ->
+      match s.event with
+      | Shm.Event.Pick { job = j; _ }
+      | Shm.Event.Do { job = j; _ }
+      | Shm.Event.Recover { job = j; _ }
+        when j = job ->
+          mark s
+      | Shm.Event.Announce { p; job = j } ->
+          announced.(p) <- j;
+          if j = job then mark s
+      | Shm.Event.Forfeit { p; job = j; _ } when j = job ->
+          mark s;
+          (match informing_read p s.step with
+          | Some r ->
+              mark r;
+              Option.iter mark (read_from spans r)
+          | None -> ())
+      | Shm.Event.Crash { p } | Shm.Event.Restart { p } ->
+          if announced.(p) = job then mark s
+      | _ -> ())
+    spans;
+  Hashtbl.fold (fun _ s acc -> s :: acc) keep []
+  |> List.sort (fun a b -> compare (a.step, Shm.Event.pid a.event) (b.step, Shm.Event.pid b.event))

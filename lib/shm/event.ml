@@ -3,9 +3,13 @@ type t =
   | Crash of { p : int }
   | Restart of { p : int }
   | Terminate of { p : int }
-  | Read of { p : int; cell : string; value : int }
-  | Write of { p : int; cell : string; value : int }
+  | Read of { p : int; cell : string; value : int; wid : int }
+  | Write of { p : int; cell : string; value : int; wid : int }
   | Internal of { p : int; action : string }
+  | Pick of { p : int; job : int; free_card : int; try_card : int }
+  | Announce of { p : int; job : int }
+  | Forfeit of { p : int; job : int; hit : string; owner : int }
+  | Recover of { p : int; job : int }
 
 let pid = function
   | Do { p; _ }
@@ -14,7 +18,11 @@ let pid = function
   | Terminate { p }
   | Read { p; _ }
   | Write { p; _ }
-  | Internal { p; _ } ->
+  | Internal { p; _ }
+  | Pick { p; _ }
+  | Announce { p; _ }
+  | Forfeit { p; _ }
+  | Recover { p; _ } ->
       p
 
 let is_do = function Do _ -> true | _ -> false
@@ -24,9 +32,20 @@ let pp fmt = function
   | Crash { p } -> Format.fprintf fmt "crash(p=%d)" p
   | Restart { p } -> Format.fprintf fmt "restart(p=%d)" p
   | Terminate { p } -> Format.fprintf fmt "terminate(p=%d)" p
-  | Read { p; cell; value } -> Format.fprintf fmt "read(p=%d, %s=%d)" p cell value
-  | Write { p; cell; value } ->
-      Format.fprintf fmt "write(p=%d, %s<-%d)" p cell value
+  | Read { p; cell; value; wid } ->
+      if wid = 0 then Format.fprintf fmt "read(p=%d, %s=%d)" p cell value
+      else Format.fprintf fmt "read(p=%d, %s=%d @w%d)" p cell value wid
+  | Write { p; cell; value; wid } ->
+      if wid = 0 then Format.fprintf fmt "write(p=%d, %s<-%d)" p cell value
+      else Format.fprintf fmt "write(p=%d, %s<-%d @w%d)" p cell value wid
   | Internal { p; action } -> Format.fprintf fmt "internal(p=%d, %s)" p action
+  | Pick { p; job; free_card; try_card } ->
+      Format.fprintf fmt "pick(p=%d, job=%d, |FREE|=%d, |TRY|=%d)" p job
+        free_card try_card
+  | Announce { p; job } -> Format.fprintf fmt "announce(p=%d, job=%d)" p job
+  | Forfeit { p; job; hit; owner } ->
+      Format.fprintf fmt "forfeit(p=%d, job=%d, hit=%s, owner=%d)" p job hit
+        owner
+  | Recover { p; job } -> Format.fprintf fmt "recover(p=%d, job=%d)" p job
 
 let to_string e = Format.asprintf "%a" pp e

@@ -5,7 +5,13 @@
     states; instead each action a process performs may emit one event,
     and an execution is observed through its event sequence.  The
     safety property (Definition 2.2) and the effectiveness measure
-    (Definition 2.4) are both functions of the [Do] events alone. *)
+    (Definition 2.4) are both functions of the [Do] events alone.
+
+    The provenance constructors ([Pick], [Announce], [Forfeit],
+    [Recover]) mark job-lifecycle transitions for the {!Obs.Ledger}
+    layer (DESIGN.md §8).  Algorithms only emit them when created with
+    [~provenance:true]; they are pure annotations — they never touch
+    footprints, scheduling, or the paper's work accounting. *)
 
 type t =
   | Do of { p : int; job : int }
@@ -17,13 +23,33 @@ type t =
           registers (crash-recovery model, DESIGN.md §7). *)
   | Terminate of { p : int }
       (** [p] reached its [end] status (no enabled actions left). *)
-  | Read of { p : int; cell : string; value : int }
+  | Read of { p : int; cell : string; value : int; wid : int }
       (** one atomic shared-memory read (recorded at trace level
-          [`Full] only). *)
-  | Write of { p : int; cell : string; value : int }
-      (** one atomic shared-memory write (trace level [`Full] only). *)
+          [`Full] only).  [wid] is the write-id of the write this read
+          returns — the read-from edge of the happens-before relation
+          — or [0] for the cell's initial value (or when write-id
+          tagging is off). *)
+  | Write of { p : int; cell : string; value : int; wid : int }
+      (** one atomic shared-memory write (trace level [`Full] only).
+          [wid] uniquely identifies this write within the run ([0]
+          when tagging is off). *)
   | Internal of { p : int; action : string }
       (** an internal action (trace level [`Full] only). *)
+  | Pick of { p : int; job : int; free_card : int; try_card : int }
+      (** [p]'s [compNext] selected [job]; [free_card] and [try_card]
+          record |FREE| and |TRY| — the rank-split inputs (§4) that
+          justified the pick. *)
+  | Announce of { p : int; job : int }
+      (** [p] wrote [next_p <- job], announcing intent (the paper's
+          [setNext]). *)
+  | Forfeit of { p : int; job : int; hit : string; owner : int }
+      (** [p]'s [check] found [job] claimed by [owner] and gave it up
+          — a collision charged per Definition 5.2.  [hit] is ["try"]
+          (seen in [owner]'s announced [next]) or ["done"] (seen in
+          the done matrix).  [owner = 0] if unattributed. *)
+  | Recover of { p : int; job : int }
+      (** recovery path: [p]'s [rec_mark] re-marked [job] as done in
+          its own row after finding it performed-but-unrecorded. *)
 
 val pid : t -> int
 (** The process that the event belongs to. *)

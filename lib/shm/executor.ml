@@ -1,6 +1,11 @@
 type stop_reason = Quiescent | Max_steps
 
-type outcome = { steps : int; reason : stop_reason; trace : Trace.t }
+type outcome = {
+  steps : int;
+  reason : stop_reason;
+  trace : Trace.t;
+  clocks : Util.Vclock.t array;
+}
 
 let live_pids handles =
   let acc = ref [] in
@@ -27,10 +32,36 @@ let validate handles =
         invalid_arg "Executor.run: handles.(i) must have pid i+1")
     handles
 
-let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null) ?restarter
-    ~scheduler ~adversary handles =
+let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null)
+    ?(vclocks = false) ?restarter ~scheduler ~adversary handles =
   validate handles;
   let observing = not (Probe.is_null probe) in
+  let nprocs = Array.length handles in
+  (* Happens-before tagging (DESIGN.md §8): each process carries a
+     vector clock, ticked once per action; a write snapshots the
+     writer's clock under its wid, and a read whose event carries that
+     wid joins the snapshot into the reader — the read-from edge. *)
+  let vcs =
+    if vclocks then Array.init (nprocs + 1) (fun _ -> Util.Vclock.create ~m:nprocs)
+    else [||]
+  in
+  let wid_clocks : (int, Util.Vclock.t) Hashtbl.t = Hashtbl.create 64 in
+  let advance_clock p events =
+    if vclocks then begin
+      Util.Vclock.tick vcs.(p) ~p;
+      List.iter
+        (fun (ev : Event.t) ->
+          match ev with
+          | Read { wid; _ } when wid > 0 -> (
+              match Hashtbl.find_opt wid_clocks wid with
+              | Some c -> Util.Vclock.join vcs.(p) c
+              | None -> ())
+          | Write { wid; _ } when wid > 0 ->
+              Hashtbl.replace wid_clocks wid (Util.Vclock.copy vcs.(p))
+          | _ -> ())
+        events
+    end
+  in
   let max_steps =
     match max_steps with
     | Some s -> s
@@ -85,10 +116,11 @@ let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null) ?restarter
          with a null probe we skip it — [phase ()] may allocate. *)
       let phase = if observing then h.Automaton.phase () else "" in
       let events = h.Automaton.step () in
+      advance_clock p events;
       List.iter (Trace.record trace ~step:!step) events;
       if observing then
         List.iter (Probe.on_event probe ~step:!step ~phase) events;
       incr step
     end
   done;
-  { steps = !step; reason = !reason; trace }
+  { steps = !step; reason = !reason; trace; clocks = vcs }

@@ -2,11 +2,17 @@ type vector = {
   vmetrics : Metrics.t;
   vname : string;
   cells : int array; (* index 0 unused; cells.(i) is the paper's name[i] *)
+  vwids : int array; (* write-id of the last write to each cell; 0 = initial *)
 }
 
 let vector ~metrics ~name ~len ~init =
   if len < 1 then invalid_arg "Memory.vector: len must be >= 1";
-  { vmetrics = metrics; vname = name; cells = Array.make (len + 1) init }
+  {
+    vmetrics = metrics;
+    vname = name;
+    cells = Array.make (len + 1) init;
+    vwids = Array.make (len + 1) 0;
+  }
 
 let vector_len v = Array.length v.cells - 1
 
@@ -22,11 +28,16 @@ let vget v ~p i =
 let vset v ~p i x =
   vcheck v i;
   Metrics.on_write v.vmetrics ~p;
+  v.vwids.(i) <- Metrics.fresh_wid v.vmetrics;
   v.cells.(i) <- x
 
 let vpeek v i =
   vcheck v i;
   v.cells.(i)
+
+let vwid v i =
+  vcheck v i;
+  v.vwids.(i)
 
 let vname v ~cell = Printf.sprintf "%s[%d]" v.vname cell
 
@@ -38,11 +49,19 @@ type matrix = {
   rows : int;
   cols : int;
   data : int array; (* row-major, index (r-1)*cols + (c-1) *)
+  mwids : int array; (* last write-id per cell, same layout; 0 = initial *)
 }
 
 let matrix ~metrics ~name ~rows ~cols ~init =
   if rows < 1 || cols < 1 then invalid_arg "Memory.matrix: empty dimensions";
-  { mmetrics = metrics; mname = name; rows; cols; data = Array.make (rows * cols) init }
+  {
+    mmetrics = metrics;
+    mname = name;
+    rows;
+    cols;
+    data = Array.make (rows * cols) init;
+    mwids = Array.make (rows * cols) 0;
+  }
 
 let matrix_rows m = m.rows
 let matrix_cols m = m.cols
@@ -61,9 +80,12 @@ let mget m ~p r c =
 let mset m ~p r c x =
   let i = index m r c in
   Metrics.on_write m.mmetrics ~p;
+  m.mwids.(i) <- Metrics.fresh_wid m.mmetrics;
   m.data.(i) <- x
 
 let mpeek m r c = m.data.(index m r c)
+
+let mwid m r c = m.mwids.(index m r c)
 
 let mname m ~row ~col = Printf.sprintf "%s[%d][%d]" m.mname row col
 

@@ -29,6 +29,11 @@ val vpeek : vector -> int -> int
 (** Read without metering — for checkers and tests only, never for
     algorithm code. *)
 
+val vwid : vector -> int -> int
+(** Write-id of the last metered write to cell [i] ([0] = still the
+    initial value).  Unmetered peek — for provenance tagging (the
+    read-from edge, DESIGN.md §8), checkers and tests. *)
+
 val vname : vector -> cell:int -> string
 (** Human-readable cell name, e.g. ["next[3]"]. *)
 
@@ -54,6 +59,10 @@ val mset : matrix -> p:int -> int -> int -> int -> unit
 
 val mpeek : matrix -> int -> int -> int
 (** Unmetered read, checkers/tests only. *)
+
+val mwid : matrix -> int -> int -> int
+(** Write-id of the last metered write to [(r,c)] ([0] = initial).
+    Unmetered peek, like {!vwid}. *)
 
 val mname : matrix -> row:int -> col:int -> string
 (** e.g. ["done[2][7]"]. *)

@@ -4,6 +4,7 @@ type t = {
   writes : int array;
   internals : int array;
   work : int array;
+  mutable wseq : int;
 }
 
 let create ~m =
@@ -14,6 +15,7 @@ let create ~m =
     writes = Array.make (m + 1) 0;
     internals = Array.make (m + 1) 0;
     work = Array.make (m + 1) 0;
+    wseq = 0;
   }
 
 let m t = t.m
@@ -41,6 +43,10 @@ let reads t ~p = check t p; t.reads.(p)
 let writes t ~p = check t p; t.writes.(p)
 let internals t ~p = check t p; t.internals.(p)
 let work t ~p = check t p; t.work.(p)
+
+let fresh_wid t =
+  t.wseq <- t.wseq + 1;
+  t.wseq
 
 let sum a = Array.fold_left ( + ) 0 a
 
@@ -85,6 +91,7 @@ let to_json t =
   Buffer.contents buf
 
 let reset t =
+  t.wseq <- 0;
   Array.fill t.reads 0 (t.m + 1) 0;
   Array.fill t.writes 0 (t.m + 1) 0;
   Array.fill t.internals 0 (t.m + 1) 0;

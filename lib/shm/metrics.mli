@@ -37,6 +37,13 @@ val add_work : t -> p:int -> int -> unit
     (e.g. the O(log n) of a tree update, or the O(m log n) of a rank
     call). *)
 
+val fresh_wid : t -> int
+(** Next write-id in this ledger's run-unique sequence (1, 2, ...).
+    {!Memory} stamps every metered write with one so a later read can
+    name the exact write it returned — the read-from edge of the
+    provenance layer (DESIGN.md §8).  Not part of the paper's work
+    measure. *)
+
 val reads : t -> p:int -> int
 val writes : t -> p:int -> int
 val internals : t -> p:int -> int

@@ -9,4 +9,6 @@ let write t ~p x = Memory.vset t.cell ~p 1 x
 
 let peek t = Memory.vpeek t.cell 1
 
+let wid t = Memory.vwid t.cell 1
+
 let name t = t.cell_name

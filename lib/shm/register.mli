@@ -23,5 +23,9 @@ val write : t -> p:int -> int -> unit
 val peek : t -> int
 (** Unmetered read — checkers and tests only. *)
 
+val wid : t -> int
+(** Write-id of the last metered write ([0] = initial value); see
+    {!Memory.vwid}. *)
+
 val name : t -> string
 (** The cell name used in full traces. *)

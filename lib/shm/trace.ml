@@ -13,6 +13,7 @@ let keeps lvl (event : Event.t) =
   | `Silent, _ -> false
   | `Full, _ -> true
   | `Outcomes, (Do _ | Crash _ | Restart _ | Terminate _) -> true
+  | `Outcomes, (Pick _ | Announce _ | Forfeit _ | Recover _) -> true
   | `Outcomes, (Read _ | Write _ | Internal _) -> false
 
 let record t ~step event =

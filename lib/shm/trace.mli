@@ -4,8 +4,10 @@
     configurable detail level:
 
     - [`Silent] records nothing (large benchmark sweeps);
-    - [`Outcomes] records [Do], [Crash] and [Terminate] events — enough
-      for the at-most-once checker and effectiveness measurements;
+    - [`Outcomes] records [Do], [Crash], [Restart] and [Terminate]
+      events plus the job-lifecycle provenance events ([Pick],
+      [Announce], [Forfeit], [Recover]) — enough for the at-most-once
+      checker, effectiveness measurements and the {!Obs.Ledger};
     - [`Full] additionally records every shared read/write and internal
       action — for debugging and the example walk-throughs.
 
@@ -25,7 +27,8 @@ val level : t -> level
 
 val record : t -> step:int -> Event.t -> unit
 (** Appends the event if the trace level retains its kind. [Do],
-    [Crash], [Restart] and [Terminate] are kept at [`Outcomes] and
+    [Crash], [Restart], [Terminate] and the provenance events ([Pick],
+    [Announce], [Forfeit], [Recover]) are kept at [`Outcomes] and
     [`Full]; everything is kept at [`Full]; nothing at [`Silent]. *)
 
 val entries : t -> entry list

@@ -1,0 +1,53 @@
+type t = int array (* index 0 unused; slot p is process p's component *)
+
+let create ~m =
+  if m < 1 then invalid_arg "Vclock.create: m must be >= 1";
+  Array.make (m + 1) 0
+
+let m t = Array.length t - 1
+
+let check t p =
+  if p < 1 || p >= Array.length t then
+    invalid_arg "Vclock: process id out of range"
+
+let get t ~p =
+  check t p;
+  t.(p)
+
+let tick t ~p =
+  check t p;
+  t.(p) <- t.(p) + 1
+
+let join dst src =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Vclock.join: clocks for different m";
+  for p = 1 to Array.length dst - 1 do
+    if src.(p) > dst.(p) then dst.(p) <- src.(p)
+  done
+
+let copy t = Array.copy t
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vclock.leq: clocks for different m";
+  let ok = ref true in
+  for p = 1 to Array.length a - 1 do
+    if a.(p) > b.(p) then ok := false
+  done;
+  !ok
+
+let happens_before a b = leq a b && not (leq b a)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let to_list t = Array.to_list (Array.sub t 1 (Array.length t - 1))
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  for p = 1 to Array.length t - 1 do
+    if p > 1 then Format.fprintf fmt ",";
+    Format.fprintf fmt "%d" t.(p)
+  done;
+  Format.fprintf fmt "]"
+
+let to_string t = Format.asprintf "%a" pp t

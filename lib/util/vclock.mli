@@ -1,0 +1,47 @@
+(** Vector clocks over processes [1..m].
+
+    The provenance layer (DESIGN.md §8) tags every action of the
+    simulator with a vector timestamp so causal (happens-before)
+    relations between steps of different processes can be recovered
+    after the fact.  The partial order is the standard one: a write
+    happens-before every read that returns its value, and each
+    process's own steps are totally ordered.
+
+    Clocks are mutable and cheap: an [int array] of length [m+1]
+    (slot 0 unused, matching the simulator's 1-based pids). *)
+
+type t
+
+val create : m:int -> t
+(** All-zero clock for processes [1..m]. *)
+
+val m : t -> int
+
+val get : t -> p:int -> int
+
+val tick : t -> p:int -> unit
+(** Advance [p]'s own component by one. *)
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst] to the pointwise maximum — the receive /
+    read-from rule.  @raise Invalid_argument on mismatched [m]. *)
+
+val copy : t -> t
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: [leq a b] iff the step stamped [a] causally
+    precedes-or-equals the step stamped [b]. *)
+
+val happens_before : t -> t -> bool
+(** Strict causal precedence: [leq a b && not (leq b a)]. *)
+
+val concurrent : t -> t -> bool
+(** Neither clock precedes the other. *)
+
+val to_list : t -> int list
+(** Components for processes [1..m], in pid order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** E.g. ["[2,0,1]"]. *)

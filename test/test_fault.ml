@@ -294,6 +294,31 @@ let test_golden_counterexamples () =
       ("chaos_skip_recovery_mark.plan.json", true);
     ]
 
+(* The one-line ledger explanation `amo_run chaos --plan FILE` prints
+   for each committed counterexample is part of the user-facing
+   contract: golden-tested, byte for byte.  Regenerate a .explain.txt
+   with the chaos subcommand after an intentional wording change. *)
+let test_golden_explanations () =
+  List.iter
+    (fun (plan_file, explain_file) ->
+      match P.of_string (read_file (golden plan_file)) with
+      | Error e -> Alcotest.failf "%s: %s" plan_file e
+      | Ok plan -> (
+          let r = C.run_plan plan in
+          let ledger =
+            Obs.Ledger.of_trace ~n:plan.P.n ~m:plan.P.m r.C.trace
+          in
+          match Obs.Ledger.explain_violation ledger with
+          | None -> Alcotest.failf "%s: no ledger explanation" plan_file
+          | Some got ->
+              let want = String.trim (read_file (golden explain_file)) in
+              Alcotest.(check string) (plan_file ^ " explanation") want got))
+    [
+      ("chaos_skip_check.plan.json", "chaos_skip_check.explain.txt");
+      ( "chaos_skip_recovery_mark.plan.json",
+        "chaos_skip_recovery_mark.explain.txt" );
+    ]
+
 (* ---- message passing ---- *)
 
 let test_net_faults_heal () =
@@ -351,6 +376,8 @@ let suite =
       test_shrink_recovery_mutant;
     Alcotest.test_case "golden counterexamples replay" `Quick
       test_golden_counterexamples;
+    Alcotest.test_case "golden ledger explanations" `Quick
+      test_golden_explanations;
     Alcotest.test_case "net fault windows heal" `Quick test_net_faults_heal;
     Alcotest.test_case "lossy net keeps AMO" `Quick test_net_drop_keeps_amo;
   ]

@@ -333,6 +333,378 @@ let test_metrics_merge_and_json () =
       | _ -> Alcotest.fail "total_work in json")
   | Error e -> Alcotest.fail e
 
+(* ---- provenance: ledger, spans, heatmap (DESIGN.md §8) ---- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_ledger_partition () =
+  (* a crash-recovery plan exercises performed/forfeited/lost/recovered;
+     the fates must partition the job universe and agree with Do(α) *)
+  let plan =
+    Fault.Plan.make ~name:"ledger" ~seed:11 ~n:6 ~m:2 ~beta:2
+      ~shm:
+        [
+          Fault.Plan.Crash_in_phase { pid = 1; phase = "done" };
+          Fault.Plan.Restart_at { pid = 1; step = 0 };
+        ]
+      ()
+  in
+  let r = Fault.Chaos.run_plan plan in
+  let t = Obs.Ledger.of_trace ~n:6 ~m:2 r.Fault.Chaos.trace in
+  let c = Obs.Ledger.counts t in
+  Alcotest.(check bool) "reconciles" true (Obs.Ledger.reconciles t);
+  Alcotest.(check int)
+    "fates partition n" 6
+    (c.Obs.Ledger.performed + c.Obs.Ledger.forfeited + c.Obs.Ledger.lost
+    + c.Obs.Ledger.recovered + c.Obs.Ledger.violations);
+  Alcotest.(check int) "performed = Do(alpha)" r.Fault.Chaos.do_count
+    c.Obs.Ledger.performed;
+  Alcotest.(check int) "no violations" 0 c.Obs.Ledger.violations;
+  Alcotest.(check (list int)) "violations list empty" [] (Obs.Ledger.violations t);
+  Alcotest.(check int) "entries cover 1..n" 6 (List.length (Obs.Ledger.entries t));
+  (* every job explains itself and its history is chronological *)
+  for job = 1 to 6 do
+    let e = Obs.Ledger.entry t job in
+    Alcotest.(check int) "entry job" job e.Obs.Ledger.job;
+    let expl = Obs.Ledger.explain t job in
+    Alcotest.(check bool) "explanation names the job" true
+      (contains expl (Printf.sprintf "job %d:" job));
+    let steps = List.map fst e.Obs.Ledger.history in
+    Alcotest.(check (list int)) "history chronological" (List.sort compare steps)
+      steps
+  done;
+  Alcotest.check_raises "entry range"
+    (Invalid_argument "Ledger.entry: job out of range") (fun () ->
+      ignore (Obs.Ledger.entry t 7));
+  (* the ledger JSON parses and repeats the counts *)
+  match J.parse (J.to_string (Obs.Ledger.to_json t)) with
+  | Ok j -> (
+      match J.member "counts" j with
+      | Some (J.Obj fields) ->
+          Alcotest.(check bool) "counts.performed" true
+            (List.assoc "performed" fields = J.Int c.Obs.Ledger.performed)
+      | _ -> Alcotest.fail "counts object")
+  | Error e -> Alcotest.fail e
+
+let test_ledger_flags_mutant () =
+  (* the seeded recovery mutant re-performs a job; the ledger must
+     classify it doubly_performed and explain the missed re-mark *)
+  let plan =
+    Fault.Plan.make ~name:"mutant" ~algo:Fault.Plan.Kk_mutant_skip_recovery_mark
+      ~seed:7 ~n:2 ~m:2 ~beta:2
+      ~shm:
+        [
+          Fault.Plan.Crash_in_phase { pid = 1; phase = "done" };
+          Fault.Plan.Restart_at { pid = 1; step = 0 };
+        ]
+      ()
+  in
+  let r = Fault.Chaos.run_plan plan in
+  let t = Obs.Ledger.of_trace ~n:2 ~m:2 r.Fault.Chaos.trace in
+  (match Obs.Ledger.violations t with
+  | [ job ] ->
+      Alcotest.(check string) "fate name" "doubly_performed"
+        (Obs.Ledger.fate_name (Obs.Ledger.entry t job).Obs.Ledger.fate);
+      let expl = Obs.Ledger.explain t job in
+      Alcotest.(check bool) "names the violation" true
+        (contains expl "AT-MOST-ONCE VIOLATION");
+      Alcotest.(check bool) "blames the skipped re-mark" true
+        (contains expl "recovery re-mark was skipped");
+      (* why = explanation + per-step history *)
+      (match Obs.Ledger.why t job with
+      | first :: _ :: _ -> Alcotest.(check string) "why leads with explain" expl first
+      | _ -> Alcotest.fail "why too short")
+  | l -> Alcotest.failf "expected 1 violation, got %d" (List.length l));
+  Alcotest.(check bool) "reconciles with violations counted" true
+    (Obs.Ledger.reconciles t);
+  match Obs.Ledger.explain_violation t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "explain_violation empty"
+
+(* a deterministic provenance-rich run shared by the span/heatmap tests *)
+let full_run () =
+  Core.Harness.kk ~trace_level:`Full ~verbose:true ~provenance:true
+    ~vclocks:true ~n:12 ~m:3 ~beta:3 ()
+
+let test_span_vector_clocks () =
+  let s = full_run () in
+  let spans = Obs.Span.of_trace ~m:3 s.Core.Harness.trace in
+  Alcotest.(check bool) "spans non-empty" true (spans <> []);
+  (* chronological *)
+  let steps = List.map (fun sp -> sp.Obs.Span.step) spans in
+  Alcotest.(check (list int)) "chronological" (List.sort compare steps) steps;
+  (* each process's actions are totally ordered by happens-before
+     (entries sharing (pid, step) belong to one action and share a
+     clock, so compare across distinct steps only) *)
+  let pid sp = Shm.Event.pid sp.Obs.Span.event in
+  let checked = ref 0 in
+  for p = 1 to 3 do
+    let mine = List.filter (fun sp -> pid sp = p) spans in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+          if a.Obs.Span.step < b.Obs.Span.step then begin
+            incr checked;
+            Alcotest.(check bool) "program order is causal" true
+              (Obs.Span.happens_before a b);
+            Alcotest.(check bool) "asymmetric" false
+              (Obs.Span.happens_before b a);
+            Alcotest.(check bool) "not concurrent" false
+              (Obs.Span.concurrent a b)
+          end;
+          walk rest
+      | _ -> ()
+    in
+    walk mine
+  done;
+  Alcotest.(check bool) "exercised program-order pairs" true (!checked > 0);
+  (* every wid-tagged read inherits its write's causal past *)
+  let read_edges = ref 0 in
+  List.iter
+    (fun sp ->
+      match Obs.Span.read_from spans sp with
+      | Some w ->
+          incr read_edges;
+          Alcotest.(check bool) "write hb read" true
+            (Obs.Span.happens_before w sp)
+      | None -> ())
+    spans;
+  Alcotest.(check bool) "cross-process read-from edges found" true
+    (!read_edges > 0)
+
+let test_span_causal_chain () =
+  let s = full_run () in
+  let job = 5 in
+  let chain = Obs.Span.causal_chain ~m:3 s.Core.Harness.trace ~job in
+  Alcotest.(check bool) "chain non-empty" true (chain <> []);
+  let steps = List.map (fun sp -> sp.Obs.Span.step) chain in
+  Alcotest.(check (list int)) "chain chronological" (List.sort compare steps)
+    steps;
+  (* the chain settles the job's fate with one of its lifecycle events *)
+  let settles sp =
+    match sp.Obs.Span.event with
+    | Shm.Event.Do { job = j; _ }
+    | Shm.Event.Forfeit { job = j; _ }
+    | Shm.Event.Recover { job = j; _ } ->
+        j = job
+    | _ -> false
+  in
+  Alcotest.(check bool) "chain settles the job" true (List.exists settles chain);
+  (* the chain is a subsequence of the full span list, so it stays
+     causally consistent; render is deterministic *)
+  List.iter
+    (fun sp ->
+      let line = Obs.Span.render sp in
+      Alcotest.(check bool) "render has step and clock" true
+        (contains line "step" && contains line "vc=["))
+    chain
+
+let test_heatmap_aggregation () =
+  let s = full_run () in
+  let h = Obs.Heatmap.of_trace s.Core.Harness.trace in
+  (* probe-fed and trace-fed aggregation agree on the same run *)
+  let h2 = Obs.Heatmap.create () in
+  List.iter
+    (fun { Shm.Trace.step; event } -> Obs.Heatmap.observe h2 ~step event)
+    (Shm.Trace.entries s.Core.Harness.trace);
+  Alcotest.(check int) "observe = of_trace" (Obs.Heatmap.total_accesses h)
+    (Obs.Heatmap.total_accesses h2);
+  (* totals match the retained read/write events *)
+  let rw =
+    List.length
+      (List.filter
+         (fun { Shm.Trace.event; _ } ->
+           match event with
+           | Shm.Event.Read _ | Shm.Event.Write _ -> true
+           | _ -> false)
+         (Shm.Trace.entries s.Core.Harness.trace))
+  in
+  Alcotest.(check int) "accesses = trace reads+writes" rw
+    (Obs.Heatmap.total_accesses h);
+  let cells = Obs.Heatmap.cells h in
+  Alcotest.(check bool) "cells non-empty" true (cells <> []);
+  let names = List.map (fun c -> c.Obs.Heatmap.name) cells in
+  Alcotest.(check (list string)) "cells sorted by name"
+    (List.sort compare names) names;
+  List.iter
+    (fun c ->
+      let total = c.Obs.Heatmap.reads + c.Obs.Heatmap.writes in
+      Alcotest.(check bool) "accessors >= 1" true (c.Obs.Heatmap.accessors >= 1);
+      Alcotest.(check bool) "contention bounded" true
+        (c.Obs.Heatmap.contention <= total);
+      (* time buckets tile the cell's accesses exactly *)
+      let br, bw =
+        List.fold_left
+          (fun (r, w) (_, br, bw) -> (r + br, w + bw))
+          (0, 0) c.Obs.Heatmap.buckets
+      in
+      Alcotest.(check int) "bucket reads" c.Obs.Heatmap.reads br;
+      Alcotest.(check int) "bucket writes" c.Obs.Heatmap.writes bw)
+    cells;
+  (* hottest is a size-limited, descending-by-traffic view *)
+  let hot = Obs.Heatmap.hottest ~limit:3 h in
+  Alcotest.(check bool) "hottest limited" true (List.length hot <= 3);
+  (match hot with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "descending" true
+        (a.Obs.Heatmap.reads + a.Obs.Heatmap.writes
+        >= b.Obs.Heatmap.reads + b.Obs.Heatmap.writes)
+  | _ -> ());
+  Alcotest.(check bool) "max_step positive" true (Obs.Heatmap.max_step h > 0)
+
+let test_ledger_agreement_oracle () =
+  (* the bridge between ledger and oracles: clean run passes, the
+     mutant's trace makes the oracle fire *)
+  let s = full_run () in
+  Alcotest.(check int) "clean run: oracle silent" 0
+    (List.length
+       (Analysis.Oracle.check_all
+          [ Analysis.Oracle.ledger_agreement ~n:12 ~m:3 ~beta:3 ]
+          s.Core.Harness.trace));
+  let plan =
+    Fault.Plan.make ~name:"mutant" ~algo:Fault.Plan.Kk_mutant_skip_recovery_mark
+      ~seed:7 ~n:2 ~m:2 ~beta:2
+      ~shm:
+        [
+          Fault.Plan.Crash_in_phase { pid = 1; phase = "done" };
+          Fault.Plan.Restart_at { pid = 1; step = 0 };
+        ]
+      ()
+  in
+  let r = Fault.Chaos.run_plan plan in
+  Alcotest.(check bool) "mutant trace: oracle fires" true
+    (Analysis.Oracle.check_all
+       [ Analysis.Oracle.ledger_agreement ~n:2 ~m:2 ~beta:2 ]
+       r.Fault.Chaos.trace
+    <> [])
+
+(* ---- sinks under real domains (satellite c) ---- *)
+
+let test_tee_ordering () =
+  let a = Obs.Sink.memory () and b = Obs.Sink.memory () in
+  let t = Obs.Sink.tee [ a; Obs.Sink.null; b ] in
+  for i = 1 to 5 do
+    Obs.Sink.emit t (Obs.Sink.record ~ts:i ~kind:Obs.Sink.Instant "x")
+  done;
+  let ts s = List.map (fun r -> r.Obs.Sink.ts) (Obs.Sink.records s) in
+  Alcotest.(check (list int)) "first sink in order" [ 1; 2; 3; 4; 5 ] (ts a);
+  Alcotest.(check (list int)) "fan-out preserves order" (ts a) (ts b);
+  Alcotest.(check int) "tee total counts both" 10 (Obs.Sink.total_emitted t);
+  (* degenerate teelists collapse *)
+  Alcotest.(check bool) "all-null tee is null" true
+    (Obs.Sink.is_null (Obs.Sink.tee [ Obs.Sink.null; Obs.Sink.null ]));
+  Alcotest.(check bool) "locked null is null" true
+    (Obs.Sink.is_null (Obs.Sink.locked Obs.Sink.null))
+
+let test_locked_sink_multicore () =
+  (* every domain emits one mc.do instant per perform through one
+     shared locked sink: nothing may be lost or torn *)
+  let mem = Obs.Sink.memory () in
+  let sink = Obs.Sink.locked mem in
+  let outcome = Multicore.Runner.run_kk ~n:40 ~m:3 ~beta:3 ~sink () in
+  let recs = Obs.Sink.records sink in
+  Alcotest.(check int) "one record per perform" (List.length outcome.Multicore.Runner.dos)
+    (List.length recs);
+  (* fetch-and-add timestamps: all distinct, exactly 0..k-1 *)
+  let ts = List.sort compare (List.map (fun r -> r.Obs.Sink.ts) recs) in
+  Alcotest.(check (list int)) "dense unique timestamps"
+    (List.init (List.length recs) Fun.id)
+    ts;
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "name intact" "mc.do" r.Obs.Sink.name;
+      Alcotest.(check bool) "kind instant" true (r.Obs.Sink.kind = Obs.Sink.Instant);
+      Alcotest.(check bool) "pid is a domain" true
+        (r.Obs.Sink.pid >= 1 && r.Obs.Sink.pid <= 3);
+      match List.assoc_opt "job" r.Obs.Sink.args with
+      | Some (J.Int j) -> Alcotest.(check bool) "job in range" true (j >= 1 && j <= 40)
+      | _ -> Alcotest.fail "record missing job arg")
+    recs;
+  (* the jobs recorded are exactly the jobs performed *)
+  let jobs_of l = List.sort compare l in
+  Alcotest.(check (list int)) "recorded jobs = performed jobs"
+    (jobs_of (List.map snd outcome.Multicore.Runner.dos))
+    (jobs_of
+       (List.filter_map
+          (fun r ->
+            match List.assoc_opt "job" r.Obs.Sink.args with
+            | Some (J.Int j) -> Some j
+            | _ -> None)
+          recs))
+
+(* ---- golden HTML report ---- *)
+
+(* Replicates `amo_run report --plan test/golden/chaos_skip_recovery_mark.plan.json
+   --why 1 -o ...` byte for byte: same plan replay, ledger, heatmap,
+   verdicts and causal chain.  Regenerate the golden with that exact
+   command after an intentional report change. *)
+let test_golden_report () =
+  let plan_rel = "test/golden/chaos_skip_recovery_mark.plan.json" in
+  let plan_path =
+    List.find Sys.file_exists
+      [ "golden/chaos_skip_recovery_mark.plan.json"; plan_rel ]
+  in
+  let plan =
+    match Fault.Plan.load plan_path with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let r = Fault.Chaos.run_plan ~trace_level:`Full plan in
+  let trace = r.Fault.Chaos.trace in
+  let nn = plan.Fault.Plan.n and mm = plan.Fault.Plan.m in
+  let bb = plan.Fault.Plan.beta in
+  let ledger = Obs.Ledger.of_trace ~n:nn ~m:mm trace in
+  let oracles =
+    Fault.Chaos.oracles_for plan
+    @ [ Analysis.Oracle.ledger_agreement ~n:nn ~m:mm ~beta:bb ]
+  in
+  let verdicts =
+    List.map
+      (fun (o : Analysis.Oracle.t) ->
+        match o.Analysis.Oracle.check trace with
+        | [] -> (o.Analysis.Oracle.name, true, "OK")
+        | vs ->
+            ( o.Analysis.Oracle.name,
+              false,
+              String.concat "; "
+                (List.map (fun v -> v.Analysis.Oracle.detail) vs) ))
+      oracles
+  in
+  let why =
+    [
+      ( 1,
+        Obs.Ledger.explain ledger 1
+        :: List.map Obs.Span.render (Obs.Span.causal_chain ~m:mm trace ~job:1)
+      );
+    ]
+  in
+  let html =
+    Obs.Report.make ~run_name:plan.Fault.Plan.name
+      ~params:
+        [
+          ("plan", plan_rel);
+          ("n", string_of_int nn);
+          ("m", string_of_int mm);
+          ("beta", string_of_int bb);
+          ("seed", string_of_int plan.Fault.Plan.seed);
+        ]
+      ~ledger
+      ~heatmap:(Obs.Heatmap.of_trace trace)
+      ~verdicts
+      ~plan_json:(Fault.Plan.to_json plan)
+      ~why ~trace ()
+  in
+  let golden_path =
+    try
+      List.find Sys.file_exists
+        [ "golden/report_rec_mutant.html"; "test/golden/report_rec_mutant.html" ]
+    with Not_found ->
+      Alcotest.fail "golden/report_rec_mutant.html missing"
+  in
+  Alcotest.(check string) "byte-stable report" (read_file golden_path) html
+
 (* ---- golden Chrome trace ---- *)
 
 let test_golden_chrome_trace () =
@@ -340,7 +712,11 @@ let test_golden_chrome_trace () =
      (via `amo_run kk --jobs 6 --procs 2 --beta 2 --trace-out ...`);
      the export must stay byte-stable *)
   let s = Core.Harness.kk ~trace_level:`Full ~verbose:true ~n:6 ~m:2 ~beta:2 () in
-  let got = Obs.Chrome_trace.to_string ~run_name:"KK(beta=2)" ~m:2 s.Core.Harness.trace in
+  let got =
+    Obs.Chrome_trace.to_string ~run_name:"KK(beta=2)"
+      ~heatmap:(Obs.Heatmap.of_trace s.Core.Harness.trace)
+      ~m:2 s.Core.Harness.trace
+  in
   let golden =
     (* cwd is test/ under `dune runtest`, the repo root under `dune exec` *)
     List.find Sys.file_exists
@@ -429,6 +805,19 @@ let suite =
     Alcotest.test_case "metrics merge + json" `Quick
       test_metrics_merge_and_json;
     Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome_trace;
+    Alcotest.test_case "ledger partitions job fates" `Quick
+      test_ledger_partition;
+    Alcotest.test_case "ledger flags the recovery mutant" `Quick
+      test_ledger_flags_mutant;
+    Alcotest.test_case "span vector clocks" `Quick test_span_vector_clocks;
+    Alcotest.test_case "span causal chain" `Quick test_span_causal_chain;
+    Alcotest.test_case "heatmap aggregation" `Quick test_heatmap_aggregation;
+    Alcotest.test_case "ledger-agreement oracle" `Quick
+      test_ledger_agreement_oracle;
+    Alcotest.test_case "tee ordering" `Quick test_tee_ordering;
+    Alcotest.test_case "locked sink under domains" `Quick
+      test_locked_sink_multicore;
+    Alcotest.test_case "golden html report" `Quick test_golden_report;
     Alcotest.test_case "libraries silent by default" `Quick
       test_libraries_silent_by_default;
     Alcotest.test_case "logging opt-in" `Quick test_logging_opt_in;

@@ -66,7 +66,7 @@ let test_event () =
   Alcotest.(check string) "to_string do" "do(p=1, job=9)"
     (to_string (Do { p = 1; job = 9 }));
   Alcotest.(check string) "to_string write" "write(p=2, next[1]<-5)"
-    (to_string (Write { p = 2; cell = "next[1]"; value = 5 }))
+    (to_string (Write { p = 2; cell = "next[1]"; value = 5; wid = 0 }))
 
 let suite =
   [

@@ -92,7 +92,7 @@ let test_trace_levels () =
   let record lvl =
     let tr = Trace.create lvl in
     Trace.record tr ~step:0 (Event.Do { p = 1; job = 5 });
-    Trace.record tr ~step:1 (Event.Read { p = 1; cell = "x"; value = 0 });
+    Trace.record tr ~step:1 (Event.Read { p = 1; cell = "x"; value = 0; wid = 0 });
     Trace.record tr ~step:2 (Event.Crash { p = 2 });
     Trace.record tr ~step:3 (Event.Internal { p = 1; action = "a" });
     Trace.record tr ~step:4 (Event.Terminate { p = 1 });
