@@ -24,13 +24,14 @@ let experiments =
     ("e12", E12_message_passing.run);
     ("e13", E13_chaos.run);
     ("e14", E14_provenance.run);
+    ("e15", E15_parallel.run);
     ("bechamel", Timing.run);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--csv DIR] [--json] [--json-dir DIR] [--smoke] \
-     [e1|...|e14|bechamel]...";
+     [e1|...|e15|bechamel]...";
   exit 2
 
 let check_dir ~flag dir =

@@ -13,6 +13,8 @@
      amo_run multicore --jobs 20000 --procs 4
      amo_run chaos --soak 500 --jobs 20 --procs 4 --seed 3
      amo_run chaos --plan CHAOS_counterexample.json            # replay, exit 1
+     amo_run explore --jobs 3 --procs 2 --domains 4 --fingerprint
+     amo_run explore --jobs 4 --procs 2 --domains 2 --differential --json
 
    Exit status: 0 on success, 1 when a run violates its oracle
    (at-most-once, Write-All completeness, or a tight-bound prediction),
@@ -519,8 +521,186 @@ let msg_cmd =
       const run $ jobs $ procs $ servers $ seed $ crashes $ log_level
       $ json_flag)
 
+let explore_cmd =
+  let run n m beta_opt branch_depth max_steps domains fingerprint differential
+      log_level json =
+    apply_log_level log_level;
+    let beta = Option.value beta_opt ~default:m in
+    let factory () =
+      let metrics = Shm.Metrics.create ~m in
+      let shared = Core.Kk.make_shared ~metrics ~m ~capacity:n ~name:"kk" () in
+      Array.init m (fun i ->
+          Core.Kk.handle
+            (Core.Kk.create ~shared ~pid:(i + 1) ~beta
+               ~policy:Core.Policy.Rank_split ~free:(Core.Job.universe ~n)
+               ~mode:Core.Kk.Standalone ()))
+    in
+    let oracles =
+      [
+        Analysis.Oracle.at_most_once;
+        Analysis.Oracle.kk_effectiveness ~n ~m ~beta;
+        Analysis.Oracle.quiescence ~m;
+      ]
+    in
+    let t0 = Unix.gettimeofday () in
+    let report, pstats =
+      Analysis.Pexplore.check ~domains ~fingerprint ~factory ~branch_depth
+        ~max_steps ~oracles ()
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let canonical_set explore_fn =
+      let tbl = Hashtbl.create 1024 in
+      ignore
+        (explore_fn (fun (e : Analysis.Explore.execution) ->
+             Hashtbl.replace tbl
+               (Analysis.Explore.canonical_do_log e.Analysis.Explore.dos)
+               ()));
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+    in
+    let diff_ok =
+      if not differential then None
+      else
+        (* cross-validate against the sequential oracle: the canonical
+           do-log sets must coincide exactly *)
+        let seq =
+          canonical_set (fun f ->
+              Analysis.Explore.explore ~factory ~branch_depth ~max_steps
+                ~on_execution:f ())
+        in
+        let par =
+          canonical_set (fun f ->
+              Analysis.Pexplore.explore ~domains ~fingerprint ~factory
+                ~branch_depth ~max_steps ~on_execution:f ())
+        in
+        Some (seq = par)
+    in
+    let stats = report.Analysis.Explore.stats in
+    if json then
+      let cache_json =
+        match pstats.Analysis.Pexplore.cache with
+        | None -> J.Null
+        | Some c ->
+            J.Obj
+              [
+                ("hits", J.Int c.Analysis.Fingerprint.hits);
+                ("misses", J.Int c.Analysis.Fingerprint.misses);
+                ("evictions", J.Int c.Analysis.Fingerprint.evictions);
+                ("capacity", J.Int c.Analysis.Fingerprint.capacity);
+              ]
+      in
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("n", J.Int n);
+                ("m", J.Int m);
+                ("beta", J.Int beta);
+                ("domains", J.Int domains);
+                ("fingerprint", J.Bool fingerprint);
+                ("executions", J.Int stats.Analysis.Explore.executions);
+                ( "fully_exhaustive",
+                  J.Bool stats.Analysis.Explore.fully_exhaustive );
+                ("work_items", J.Int pstats.Analysis.Pexplore.work_items);
+                ("steals", J.Int pstats.Analysis.Pexplore.steals);
+                ("cache", cache_json);
+                ("violations", J.Int report.Analysis.Explore.violating);
+                ( "differential_ok",
+                  match diff_ok with Some b -> J.Bool b | None -> J.Null );
+                ("seconds", J.Float elapsed);
+              ]))
+    else begin
+      Fmt.pr "instance        : KK n=%d m=%d beta=%d@." n m beta;
+      Fmt.pr "domains         : %d (%d work items, %d steals)@." domains
+        pstats.Analysis.Pexplore.work_items pstats.Analysis.Pexplore.steals;
+      Fmt.pr "executions      : %d%s@." stats.Analysis.Explore.executions
+        (if stats.Analysis.Explore.fully_exhaustive then " (complete)"
+         else " (budget-truncated)");
+      (match pstats.Analysis.Pexplore.cache with
+      | None -> Fmt.pr "fingerprints    : off@."
+      | Some c ->
+          let total = c.Analysis.Fingerprint.hits + c.Analysis.Fingerprint.misses in
+          Fmt.pr "fingerprints    : %d hits / %d lookups (%.1f%%), %d evictions@."
+            c.Analysis.Fingerprint.hits total
+            (if total = 0 then 0.
+             else
+               100.
+               *. float_of_int c.Analysis.Fingerprint.hits
+               /. float_of_int total)
+            c.Analysis.Fingerprint.evictions);
+      (match diff_ok with
+      | Some true -> Fmt.pr "differential    : OK (canonical sets identical)@."
+      | Some false -> Fmt.pr "differential    : MISMATCH@."
+      | None -> ());
+      Fmt.pr "oracles         : %s@."
+        (if report.Analysis.Explore.violating = 0 then "OK"
+         else Printf.sprintf "%d VIOLATED" report.Analysis.Explore.violating);
+      Fmt.pr "wall clock      : %.2fs@." elapsed
+    end;
+    (match report.Analysis.Explore.shrunk with
+    | Some (sched, vs) when not json ->
+        Fmt.pr "counterexample  : %d-step schedule [%s]@." (List.length sched)
+          (String.concat "; " (List.map string_of_int sched));
+        List.iter
+          (fun v ->
+            Fmt.pr "violation       : %s@."
+              (Format.asprintf "%a" Analysis.Oracle.pp_violation v))
+          vs
+    | _ -> ());
+    if diff_ok = Some false then exit 4;
+    if report.Analysis.Explore.violating > 0 then exit 1
+  in
+  let explore_jobs =
+    let doc = "Number of jobs n." in
+    Arg.(value & opt int 3 & info [ "jobs"; "n" ] ~docv:"N" ~doc)
+  in
+  let explore_procs =
+    let doc = "Number of processes m." in
+    Arg.(value & opt int 2 & info [ "procs"; "m" ] ~docv:"M" ~doc)
+  in
+  let branch_depth_arg =
+    let doc =
+      "Branching-decision budget per path; beyond it executions complete \
+       round-robin and coverage is reported as truncated."
+    in
+    Arg.(value & opt int 1_000_000 & info [ "branch-depth" ] ~docv:"D" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Per-execution step budget (wait-freedom guard)." in
+    Arg.(value & opt int 50_000 & info [ "max-steps" ] ~docv:"STEPS" ~doc)
+  in
+  let domains_arg =
+    let doc = "Explorer domains (OCaml 5 parallelism); 1 = sequential." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let fingerprint_flag =
+    let doc =
+      "Enable the state-fingerprint cache: prune subtrees whose (state, \
+       step, do-prefix, sleep-set) hash was already explored.  Preserves \
+       canonical do-log sets and oracle verdicts, not execution counts."
+    in
+    Arg.(value & flag & info [ "fingerprint" ] ~doc)
+  in
+  let differential_flag =
+    let doc =
+      "Also run the sequential explorer and verify both engines produce \
+       identical canonical do-log sets (exit 4 on mismatch)."
+    in
+    Arg.(value & flag & info [ "differential" ] ~doc)
+  in
+  let doc =
+    "Exhaustively model-check KKbeta with the domain-parallel POR explorer: \
+     every interleaving (up to commutation) is enumerated and judged \
+     against the at-most-once, effectiveness and quiescence oracles."
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ explore_jobs $ explore_procs $ beta $ branch_depth_arg
+      $ max_steps_arg $ domains_arg $ fingerprint_flag $ differential_flag
+      $ log_level $ json_flag)
+
 let chaos_cmd =
-  let run plan_file soak_count n m beta_opt seed out_dir log_level json =
+  let run plan_file soak_count n m beta_opt seed out_dir max_steps log_level
+      json =
     apply_log_level log_level;
     let pr_violations vs =
       List.iter
@@ -570,7 +750,33 @@ let chaos_cmd =
             pr_violations r.violations;
             if r.violations <> [] then exit 1
         | Ok plan ->
-            let r = Fault.Chaos.run_plan plan in
+            let r =
+              (* budget exhaustion must not masquerade as a passing
+                 replay: surface the wedged prefix and exit non-zero *)
+              try Fault.Chaos.replay_plan ?max_steps plan
+              with Analysis.Explore.Max_steps_exceeded { schedule; steps } ->
+                if json then
+                  print_endline
+                    (J.to_string ~minify:false
+                       (J.Obj
+                          [
+                            ("error", J.String "max-steps-exceeded");
+                            ("plan", Fault.Plan.to_json plan);
+                            ("steps", J.Int steps);
+                            ( "schedule_prefix",
+                              J.List (List.map (fun p -> J.Int p) schedule) );
+                          ]))
+                else begin
+                  Fmt.epr
+                    "amo_run: %s: step budget exhausted after %d steps \
+                     (schedule prefix of %d picks recorded)@."
+                    path steps (List.length schedule);
+                  Fmt.epr
+                    "amo_run: the plan does not quiesce under this budget — \
+                     a would-be wait-freedom counterexample@."
+                end;
+                exit 3
+            in
             (* the ledger's one-line causal explanation of the violated
                job — what the raw oracle verdict lacks *)
             let explanation =
@@ -679,6 +885,13 @@ let chaos_cmd =
     let doc = "Directory for shrunk counterexample plans found while soaking." in
     Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc)
   in
+  let max_steps_opt =
+    let doc =
+      "Step budget for a --plan replay (default 200000 + 1000*n*m); \
+       exhausting it exits 3 with the recorded schedule prefix."
+    in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"STEPS" ~doc)
+  in
   let doc =
     "Chaos-test KKbeta under composable fault plans (crashes, restarts, \
      stalls, partitions); replay or soak."
@@ -686,7 +899,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ plan_file $ soak_count $ jobs $ procs $ beta $ seed $ out_dir
-      $ log_level $ json_flag)
+      $ max_steps_opt $ log_level $ json_flag)
 
 let multicore_cmd =
   let run n m beta_opt log_level json =
@@ -903,6 +1116,7 @@ let () =
             trivial_cmd;
             pairing_cmd;
             msg_cmd;
+            explore_cmd;
             chaos_cmd;
             multicore_cmd;
             report_cmd;

@@ -62,6 +62,7 @@ let naive_processes ~metrics =
             match !pending with
             | Some dose -> Shm.Footprint.Write (Shm.Memory.vname board ~cell:dose)
             | None -> Shm.Footprint.Read (Shm.Memory.vname board ~cell:!cursor));
+        fingerprint = Shm.Automaton.opaque;
       })
 
 let run_naive ~seed =

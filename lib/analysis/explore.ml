@@ -35,7 +35,12 @@ let step_inst ~max_steps inst p =
   let events = inst.handles.(p - 1).Shm.Automaton.step () in
   List.iter (Shm.Trace.record inst.trace ~step:inst.stepno) events;
   inst.stepno <- inst.stepno + 1;
-  inst.rev_sched <- p :: inst.rev_sched
+  inst.rev_sched <- p :: inst.rev_sched;
+  events
+
+let inst_handles inst = inst.handles
+let inst_stepno inst = inst.stepno
+let inst_rev_sched inst = inst.rev_sched
 
 let execution_of inst =
   {
@@ -51,11 +56,80 @@ let complete_round_robin ~max_steps inst =
   let rec go () =
     let live = Shm.Executor.live_pids inst.handles in
     if Array.length live > 0 then begin
-      step_inst ~max_steps inst (Shm.Schedule.choose sched ~alive:live);
+      ignore (step_inst ~max_steps inst (Shm.Schedule.choose sched ~alive:live));
       go ()
     end
   in
   go ()
+
+(* ---- child planning, shared with the parallel engine ---- *)
+
+type children =
+  | Terminal
+  | Covered
+  | Children of (int * (int * Shm.Footprint.t) list) list
+
+(* [sleep] is the sleep set: processes whose pending action was
+   already explored from an equivalent state in an earlier sibling
+   branch, each with the footprint that action had when it went to
+   sleep (the process has not moved since, so the action — and its
+   footprint — are unchanged).  This is the single source of truth for
+   which children a state has: {!Pexplore} must expand exactly the
+   same tree as the recursion below or its differential guarantee is
+   void. *)
+let plan_children strategy ~sleep fps =
+  if Array.length fps = 0 then Terminal
+  else begin
+    (* Persistent set: a pending Internal action touches no shared
+       cell, so it commutes with every current and future action of
+       every other process and stays enabled under them — exploring
+       only it loses no trace class.  Otherwise all live processes. *)
+    let persistent =
+      match strategy with
+      | Brute_force -> Array.to_list (Array.map fst fps)
+      | Por -> (
+          match
+            Array.find_opt (fun (_, f) -> Shm.Footprint.is_local f) fps
+          with
+          | Some (p, _) -> [ p ]
+          | None -> Array.to_list (Array.map fst fps))
+    in
+    let asleep p = List.exists (fun (q, _) -> q = p) sleep in
+    let cands = List.filter (fun p -> not (asleep p)) persistent in
+    match cands with
+    | [] -> Covered (* all candidates asleep: subtree covered elsewhere *)
+    | cands ->
+        let fp_of p =
+          let rec find i =
+            if fst fps.(i) = p then snd fps.(i) else find (i + 1)
+          in
+          find 0
+        in
+        (* Plan every child before any in-place step mutates the node:
+           child i sleeps on each earlier-explored sibling (and
+           inherited sleeper) whose action is independent of child i's
+           own action. *)
+        let plans =
+          let acc =
+            ref (match strategy with Brute_force -> [] | Por -> sleep)
+          in
+          List.map
+            (fun p ->
+              let fp = fp_of p in
+              let child_sleep =
+                match strategy with
+                | Brute_force -> []
+                | Por ->
+                    List.filter
+                      (fun (_, f) -> Shm.Footprint.independent f fp)
+                      !acc
+              in
+              acc := (p, fp) :: !acc;
+              (p, child_sleep))
+            cands
+        in
+        Children plans
+  end
 
 (* ---- the explorer ---- *)
 
@@ -82,84 +156,39 @@ let explore ?(strategy = Por) ?(sink = Obs.Sink.null) ~factory ~branch_depth
   in
   let replay_rev rev_prefix =
     let inst = make_inst factory in
-    List.iter (step_inst ~max_steps inst) (List.rev rev_prefix);
+    List.iter
+      (fun p -> ignore (step_inst ~max_steps inst p))
+      (List.rev rev_prefix);
     inst
   in
-  (* [sleep] is the sleep set: processes whose pending action was
-     already explored from an equivalent state in an earlier sibling
-     branch, each with the footprint that action had when it went to
-     sleep (the process has not moved since, so the action — and its
-     footprint — are unchanged).  [branches] counts branching
-     decisions on the path so far. *)
+  (* [branches] counts branching decisions on the path so far. *)
   let rec node inst sleep branches =
     let fps = Shm.Executor.live_footprints inst.handles in
-    if Array.length fps = 0 then emit inst
-    else begin
-      (* Persistent set: a pending Internal action touches no shared
-         cell, so it commutes with every current and future action of
-         every other process and stays enabled under them — exploring
-         only it loses no trace class.  Otherwise all live processes. *)
-      let persistent =
-        match strategy with
-        | Brute_force -> Array.to_list (Array.map fst fps)
-        | Por -> (
-            match
-              Array.find_opt (fun (_, f) -> Shm.Footprint.is_local f) fps
-            with
-            | Some (p, _) -> [ p ]
-            | None -> Array.to_list (Array.map fst fps))
-      in
-      let asleep p = List.exists (fun (q, _) -> q = p) sleep in
-      let cands = List.filter (fun p -> not (asleep p)) persistent in
-      match cands with
-      | [] -> () (* all candidates asleep: subtree covered elsewhere *)
-      | _ :: _ :: _ when branches >= branch_depth ->
-          truncated := true;
-          complete_round_robin ~max_steps inst;
-          emit inst
-      | cands ->
-          let branches =
-            match cands with _ :: _ :: _ -> branches + 1 | _ -> branches
-          in
-          let fp_of p =
-            let rec find i =
-              if fst fps.(i) = p then snd fps.(i) else find (i + 1)
+    match plan_children strategy ~sleep fps with
+    | Terminal -> emit inst
+    | Covered -> ()
+    | Children plans -> (
+        match plans with
+        | _ :: _ :: _ when branches >= branch_depth ->
+            truncated := true;
+            complete_round_robin ~max_steps inst;
+            emit inst
+        | plans -> (
+            let branches =
+              match plans with _ :: _ :: _ -> branches + 1 | _ -> branches
             in
-            find 0
-          in
-          (* Plan every child before the in-place step below mutates
-             the node: child i sleeps on each earlier-explored sibling
-             (and inherited sleeper) whose action is independent of
-             child i's own action. *)
-          let plans =
-            let acc = ref (match strategy with Brute_force -> [] | Por -> sleep) in
-            List.map
-              (fun p ->
-                let fp = fp_of p in
-                let child_sleep =
-                  match strategy with
-                  | Brute_force -> []
-                  | Por ->
-                      List.filter
-                        (fun (_, f) -> Shm.Footprint.independent f fp)
-                        !acc
-                in
-                acc := (p, fp) :: !acc;
-                (p, child_sleep))
-              cands
-          in
-          (match plans with
-          | [] -> assert false
-          | (p0, sl0) :: deferred ->
-              let base_rev = inst.rev_sched in
-              (* first child: step in place, no replay *)
-              step_inst ~max_steps inst p0;
-              node inst sl0 branches;
-              (* siblings: re-execute the prefix on fresh instances *)
-              List.iter
-                (fun (p, sl) -> node (replay_rev (p :: base_rev)) sl branches)
-                deferred)
-    end
+            match plans with
+            | [] -> assert false
+            | (p0, sl0) :: deferred ->
+                let base_rev = inst.rev_sched in
+                (* first child: step in place, no replay *)
+                ignore (step_inst ~max_steps inst p0);
+                node inst sl0 branches;
+                (* siblings: re-execute the prefix on fresh instances *)
+                List.iter
+                  (fun (p, sl) ->
+                    node (replay_rev (p :: base_rev)) sl branches)
+                  deferred))
   in
   node (make_inst factory) [] 0;
   let stats = { executions = !executions; fully_exhaustive = not !truncated } in
@@ -191,7 +220,7 @@ let replay ~factory ?(max_steps = 100_000) ?(complete = true) schedule =
         p >= 1
         && p <= Array.length inst.handles
         && inst.handles.(p - 1).Shm.Automaton.alive ()
-      then step_inst ~max_steps inst p)
+      then ignore (step_inst ~max_steps inst p))
     schedule;
   if complete then complete_round_robin ~max_steps inst;
   execution_of inst
@@ -277,15 +306,20 @@ type report = {
 
 let max_findings = 64
 
-let check ?(strategy = Por) ?(minimize = true) ?(sink = Obs.Sink.null)
-    ~factory ~branch_depth ~max_steps ~oracles () =
+(* The oracle-judging half of [check], parameterized over the actual
+   enumeration so the parallel engine ({!Pexplore.check}) reuses the
+   exact same finding/dedup/shrink logic instead of drifting its own
+   copy.  [run] must call [on_execution] once per complete
+   execution. *)
+let check_executions ?(minimize = true) ?(sink = Obs.Sink.null) ~factory
+    ~max_steps ~oracles ~run () =
   let findings = ref [] in
   let n_findings = ref 0 in
   let violating = ref 0 in
   let seen = Hashtbl.create 64 in
   let stats =
-    explore ~strategy ~sink ~factory ~branch_depth ~max_steps
-      ~on_execution:(fun e ->
+    run
+      ~on_execution:(fun (e : execution) ->
         match Oracle.check_all oracles e.trace with
         | [] -> ()
         | violations ->
@@ -314,7 +348,6 @@ let check ?(strategy = Por) ?(minimize = true) ?(sink = Obs.Sink.null)
                 findings := { execution = e; violations } :: !findings
               end
             end)
-      ()
   in
   let findings = List.rev !findings in
   let shrunk =
@@ -336,3 +369,11 @@ let check ?(strategy = Por) ?(minimize = true) ?(sink = Obs.Sink.null)
     | _ -> None
   in
   { stats; findings; violating = !violating; shrunk }
+
+let check ?(strategy = Por) ?minimize ?(sink = Obs.Sink.null) ~factory
+    ~branch_depth ~max_steps ~oracles () =
+  check_executions ?minimize ~sink ~factory ~max_steps ~oracles
+    ~run:(fun ~on_execution ->
+      explore ~strategy ~sink ~factory ~branch_depth ~max_steps ~on_execution
+        ())
+    ()

@@ -61,6 +61,54 @@ type strategy =
   | Brute_force  (** enumerate every interleaving *)
   | Por  (** sleep-set + persistent-set partial-order reduction *)
 
+(** {2 Engine internals}
+
+    The pieces the exploration recursion is built from, exposed so the
+    domain-parallel engine ({!Pexplore}) drives {e exactly} the same
+    state machine — same child order, same sleep sets, same traces —
+    instead of reimplementing it.  Regular callers want {!explore} /
+    {!check}. *)
+
+type inst
+(** One live instance being driven forward: the handle array, the
+    accumulating [`Outcomes] trace, and the schedule so far. *)
+
+val make_inst : (unit -> Shm.Automaton.handle array) -> inst
+
+val step_inst : max_steps:int -> inst -> int -> Shm.Event.t list
+(** Step pid [p] once, recording its events in the instance trace;
+    returns the events the action emitted.  @raise Max_steps_exceeded
+    when the instance has already performed [max_steps] steps. *)
+
+val complete_round_robin : max_steps:int -> inst -> unit
+(** Finish the instance deterministically (round-robin to
+    quiescence).  @raise Max_steps_exceeded. *)
+
+val execution_of : inst -> execution
+
+val inst_handles : inst -> Shm.Automaton.handle array
+val inst_stepno : inst -> int
+
+val inst_rev_sched : inst -> int list
+(** The pids stepped so far, most recent first. *)
+
+type children =
+  | Terminal  (** no live process: a complete execution *)
+  | Covered  (** all candidates asleep: subtree explored elsewhere *)
+  | Children of (int * (int * Shm.Footprint.t) list) list
+      (** children in exploration order, each with its sleep set *)
+
+val plan_children :
+  strategy ->
+  sleep:(int * Shm.Footprint.t) list ->
+  (int * Shm.Footprint.t) array ->
+  children
+(** [plan_children strategy ~sleep fps] decides, from the live
+    footprints [fps] (as returned by {!Shm.Executor.live_footprints})
+    and the current sleep set, which children the state has: the
+    persistent-set restriction, sleep-set filtering, and the per-child
+    sleep sets.  Single source of truth for both engines. *)
+
 val explore :
   ?strategy:strategy ->
   ?sink:Obs.Sink.t ->
@@ -172,3 +220,18 @@ val check :
     [sink] is threaded to {!explore}; each violating execution
     additionally emits an [explore.violation] instant naming the
     fired oracles.  @raise Max_steps_exceeded. *)
+
+val check_executions :
+  ?minimize:bool ->
+  ?sink:Obs.Sink.t ->
+  factory:(unit -> Shm.Automaton.handle array) ->
+  max_steps:int ->
+  oracles:Oracle.t list ->
+  run:(on_execution:(execution -> unit) -> stats) ->
+  unit ->
+  report
+(** The oracle-judging half of {!check}, parameterized over the
+    enumeration: [run ~on_execution] must invoke [on_execution] once
+    per complete execution and return the exploration stats.  This is
+    how {!Pexplore.check} shares the finding-dedup/shrink logic with
+    the sequential engine. *)

@@ -1,0 +1,145 @@
+(* State fingerprints and the shared seen-state table.
+
+   Soundness argument (DESIGN.md §9, condensed): a fingerprint is a
+   hash of (step count, canonical do-prefix, full machine state, sleep
+   set).  Per-process state hashes come from the automaton's own
+   [fingerprint] closure, which covers its locals plus the content
+   hashes of the shared structures it can read — so two nodes with
+   equal fingerprints have (up to hash collision) identical residual
+   behavior under every schedule, identical sleep-set filtering, and
+   canonically-equal do-logs so far.  Pruning the second node
+   therefore removes only executions whose canonical do-log — and
+   hence every oracle verdict, oracles being functions of the
+   per-process Do subsequences — is already produced by the first
+   node's subtree.  Including the step count makes a node's
+   fingerprint differ from every ancestor's (step counts strictly
+   increase along a path), so pruning can never cut a cycle short;
+   commutation-equivalent prefixes still collide because they have
+   equal length by construction. *)
+
+let dead_mark = Util.Mix.int 0xDEAD
+
+let do_hash_add acc ~pid ~index ~job =
+  (* commutative across processes (plain addition), order-sensitive
+     within a process (the per-pid [index]) — exactly the equivalence
+     of canonical do-logs *)
+  acc + Util.Mix.triple pid index job
+
+type acc = { mutable dh : int; counts : int array (* per pid, 1-based *) }
+
+let acc_create ~m = { dh = 0; counts = Array.make (m + 1) 0 }
+
+let acc_feed acc events =
+  List.iter
+    (function
+      | Shm.Event.Do { p; job } ->
+          acc.counts.(p) <- acc.counts.(p) + 1;
+          acc.dh <- do_hash_add acc.dh ~pid:p ~index:acc.counts.(p) ~job
+      | _ -> ())
+    events
+
+let acc_hash acc = acc.dh
+
+let state ~handles ~stepno ~do_hash ~sleep =
+  let exception Opaque in
+  let fold_handles () =
+    Array.fold_left
+      (fun h (a : Shm.Automaton.handle) ->
+        if a.Shm.Automaton.alive () then
+          match a.Shm.Automaton.fingerprint () with
+          | Some fp -> Util.Mix.combine h fp
+          | None -> raise Opaque
+        else Util.Mix.combine h dead_mark)
+      (Util.Mix.int 0x51) handles
+  in
+  match fold_handles () with
+  | exception Opaque -> None
+  | h ->
+      let h = Util.Mix.combine h stepno in
+      let h = Util.Mix.combine h do_hash in
+      let sleep_h =
+        (* commutative: the sleep set is a set; its construction order
+           is deterministic anyway, but don't depend on it *)
+        List.fold_left
+          (fun a (p, f) ->
+            a + Util.Mix.pair p (Util.Mix.string (Shm.Footprint.to_string f)))
+          0 sleep
+      in
+      Some (Util.Mix.combine h sleep_h)
+
+(* ---- the shared seen-state table ---- *)
+
+(* Bounded open addressing over an array of boxed [Atomic.t] slots;
+   0 = empty (a real fingerprint of 0 is remapped).  Lossiness is
+   safe in both directions: losing an entry (probe limit overwrite,
+   lost CAS race) only costs re-exploration, never soundness.  The
+   table is shared by all exploring domains. *)
+
+type table = {
+  slots : int Atomic.t array;
+  mask : int;
+  probe_limit : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; capacity : int }
+
+let default_bits = 20
+
+let create ?(bits = default_bits) () =
+  let bits = max 4 (min 28 bits) in
+  let size = 1 lsl bits in
+  {
+    slots = Array.init size (fun _ -> Atomic.make 0);
+    mask = size - 1;
+    probe_limit = 8;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let stats (t : table) =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    capacity = t.mask + 1;
+  }
+
+(* [seen t fp] — true if [fp] was already recorded; otherwise records
+   it and returns false. *)
+let seen t fp =
+  let fp = if fp = 0 then 1 else fp in
+  let base = Util.Mix.int fp land t.mask in
+  let rec probe i =
+    if i >= t.probe_limit then begin
+      (* bucket run full: overwrite the base slot.  The displaced
+         fingerprint may be re-explored later — lossy but sound. *)
+      Atomic.set t.slots.(base) fp;
+      Atomic.incr t.evictions;
+      Atomic.incr t.misses;
+      false
+    end
+    else
+      let slot = t.slots.((base + i) land t.mask) in
+      let v = Atomic.get slot in
+      if v = fp then begin
+        Atomic.incr t.hits;
+        true
+      end
+      else if v = 0 then
+        if Atomic.compare_and_set slot 0 fp then begin
+          Atomic.incr t.misses;
+          false
+        end
+        else if Atomic.get slot = fp then begin
+          (* another domain inserted the same state first *)
+          Atomic.incr t.hits;
+          true
+        end
+        else probe (i + 1)
+      else probe (i + 1)
+  in
+  probe 0

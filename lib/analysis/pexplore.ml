@@ -1,0 +1,348 @@
+module E = Explore
+
+type stats = {
+  executions : int;
+  fully_exhaustive : bool;
+  domains : int;
+  work_items : int;
+  steals : int;
+  cache : Fingerprint.stats option;
+}
+
+(* A frontier work item: the schedule prefix reaching an unexplored
+   node, plus everything the sequential recursion would carry there. *)
+type open_item = {
+  rev_prefix : int list;
+  osleep : (int * Shm.Footprint.t) list;
+  obranches : int;
+  depth : int; (* List.length rev_prefix, cached *)
+}
+
+(* Items keep frontier-expansion byproducts in place so the merge can
+   walk one array in DFS preorder. *)
+type item =
+  | Done of E.execution (* completed during expansion *)
+  | Sub of open_item (* a subtree for the workers *)
+  | Poison of exn (* Max_steps_exceeded hit during expansion *)
+
+(* One instance being driven by a worker, with the incremental
+   canonical-do-prefix hash the fingerprint needs. *)
+type st = { inst : E.inst; acc : Fingerprint.acc }
+
+let progress_every = 4096
+
+let explore ?(strategy = E.Por) ?(sink = Obs.Sink.null) ?(domains = 1)
+    ?(fingerprint = false) ?fingerprint_bits ?frontier ~factory ~branch_depth
+    ~max_steps ~on_execution () =
+  if domains < 1 then invalid_arg "Pexplore.explore: domains must be >= 1";
+  let frontier_target =
+    match frontier with
+    | Some f -> max domains f
+    | None -> max 64 (32 * domains)
+  in
+  let table =
+    if fingerprint then Some (Fingerprint.create ?bits:fingerprint_bits ())
+    else None
+  in
+  let truncated = Atomic.make false in
+  let nprocs = Array.length (factory ()) in
+  let feed st events =
+    match table with
+    | Some _ -> Fingerprint.acc_feed st.acc events
+    | None -> ()
+  in
+  let replay_st rev_prefix =
+    let st =
+      { inst = E.make_inst factory; acc = Fingerprint.acc_create ~m:nprocs }
+    in
+    List.iter
+      (fun p -> feed st (E.step_inst ~max_steps st.inst p))
+      (List.rev rev_prefix);
+    st
+  in
+  (* consult the shared seen-state table at node entry; false = keep
+     exploring.  Used identically by frontier expansion and the
+     workers, so every node is consulted exactly once: expansion
+     enters the nodes it walks through, workers enter the subtree
+     roots expansion handed over (children it planned but did not
+     enter). *)
+  let pruned_at st sleep =
+    match table with
+    | None -> false
+    | Some tbl -> (
+        match
+          Fingerprint.state
+            ~handles:(E.inst_handles st.inst)
+            ~stepno:(E.inst_stepno st.inst)
+            ~do_hash:(Fingerprint.acc_hash st.acc)
+            ~sleep
+        with
+        | Some fp -> Fingerprint.seen tbl fp
+        | None -> false)
+  in
+
+  (* ---- phase 1: grow a frontier of independent subtrees ----
+
+     Starting from the root, repeatedly expand the shallowest open
+     node: walk forward through single-child states in place (free,
+     like the sequential engine's in-place first step) and split at
+     the first branching state into one open item per child, in child
+     order.  Expanding shallowest-first and replacing items in place
+     keeps the item list in DFS preorder, which is what makes the
+     merge deterministic. *)
+  let items =
+    let expansion_cap = 64 * frontier_target in
+    let rec expand_walk st sleep branches =
+      if pruned_at st sleep then []
+      else
+        let fps = Shm.Executor.live_footprints (E.inst_handles st.inst) in
+        match E.plan_children strategy ~sleep fps with
+        | E.Terminal -> [ Done (E.execution_of st.inst) ]
+        | E.Covered -> []
+        | E.Children plans -> (
+            match plans with
+            | _ :: _ :: _ when branches >= branch_depth ->
+                Atomic.set truncated true;
+                E.complete_round_robin ~max_steps st.inst;
+                [ Done (E.execution_of st.inst) ]
+            | [ (p, sl) ] ->
+                feed st (E.step_inst ~max_steps st.inst p);
+                expand_walk st sl branches
+            | plans ->
+                let branches = branches + 1 in
+                let base_rev = E.inst_rev_sched st.inst in
+                let depth = E.inst_stepno st.inst + 1 in
+                List.map
+                  (fun (p, sl) ->
+                    Sub
+                      {
+                        rev_prefix = p :: base_rev;
+                        osleep = sl;
+                        obranches = branches;
+                        depth;
+                      })
+                  plans)
+    in
+    let expand o =
+      match
+        let st = replay_st o.rev_prefix in
+        expand_walk st o.osleep o.obranches
+      with
+      | expanded -> expanded
+      | exception (E.Max_steps_exceeded _ as e) -> [ Poison e ]
+    in
+    let count_subs its =
+      List.length (List.filter (function Sub _ -> true | _ -> false) its)
+    in
+    let shallowest its =
+      List.fold_left
+        (fun b it ->
+          match (it, b) with
+          | Sub o, None -> Some o.depth
+          | Sub o, Some d -> Some (min d o.depth)
+          | _, b -> b)
+        None its
+    in
+    let rec grow n its =
+      match shallowest its with
+      | None -> its
+      | Some _ when n >= expansion_cap || count_subs its >= frontier_target ->
+          its
+      | Some d ->
+          let replaced = ref false in
+          let its =
+            List.concat_map
+              (fun it ->
+                match it with
+                | Sub o when (not !replaced) && o.depth = d ->
+                    replaced := true;
+                    expand o
+                | it -> [ it ])
+              its
+          in
+          grow (n + 1) its
+    in
+    Array.of_list
+      (grow 0 [ Sub { rev_prefix = []; osleep = []; obranches = 0; depth = 0 } ])
+  in
+
+  (* ---- phase 2: workers drain the frontier ---- *)
+  let n_items = Array.length items in
+  let results = Array.make n_items ([] : E.execution list) in
+  let exns = Array.make n_items (None : exn option) in
+  let steals = Atomic.make 0 in
+  (* each slot is written by exactly one worker (deque ops are
+     mutually exclusive), and Domain.join orders those writes before
+     the merge reads them *)
+  let assign = Array.make (max domains 1) [] in
+  let n_subs = ref 0 in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | Sub o ->
+          let d = !n_subs mod domains in
+          assign.(d) <- (i, o) :: assign.(d);
+          incr n_subs
+      | Done _ | Poison _ -> ())
+    items;
+  let deques =
+    Array.map (fun l -> Multicore.Wsdeque.of_list (List.rev l)) assign
+  in
+  (* The worker's recursion mirrors [Explore]'s node function exactly
+     — same plan_children, same in-place first child, same sibling
+     replays — so with the cache off the buffered executions are
+     byte-identical to the sequential engine's, in order.  The cache
+     consult happens at node entry: a hit means an equal-fingerprint
+     node was already expanded somewhere, and this subtree's canonical
+     do-logs are (up to hash collision) a subset of that one's. *)
+  let rec dfs st sleep branches buf =
+    if not (pruned_at st sleep) then
+      let fps = Shm.Executor.live_footprints (E.inst_handles st.inst) in
+      match E.plan_children strategy ~sleep fps with
+      | E.Terminal -> buf := E.execution_of st.inst :: !buf
+      | E.Covered -> ()
+      | E.Children plans -> (
+          match plans with
+          | _ :: _ :: _ when branches >= branch_depth ->
+              Atomic.set truncated true;
+              E.complete_round_robin ~max_steps st.inst;
+              buf := E.execution_of st.inst :: !buf
+          | plans -> (
+              let branches =
+                match plans with _ :: _ :: _ -> branches + 1 | _ -> branches
+              in
+              match plans with
+              | [] -> assert false
+              | (p0, sl0) :: deferred ->
+                  let base_rev = E.inst_rev_sched st.inst in
+                  feed st (E.step_inst ~max_steps st.inst p0);
+                  dfs st sl0 branches buf;
+                  List.iter
+                    (fun (p, sl) ->
+                      dfs (replay_st (p :: base_rev)) sl branches buf)
+                    deferred))
+  in
+  let run_sub (idx, o) =
+    let buf = ref [] in
+    (try
+       let st = replay_st o.rev_prefix in
+       dfs st o.osleep o.obranches buf
+     with E.Max_steps_exceeded _ as e -> exns.(idx) <- Some e);
+    results.(idx) <- List.rev !buf
+  in
+  let worker wid () =
+    let rec next k =
+      if k = 0 then
+        match Multicore.Wsdeque.pop deques.(wid) with
+        | Some s -> Some s
+        | None -> next 1
+      else if k >= domains then None
+      else
+        let v = (wid + k) mod domains in
+        match Multicore.Wsdeque.steal deques.(v) with
+        | Some s ->
+            Atomic.incr steals;
+            Some s
+        | None -> next (k + 1)
+    in
+    let rec loop () =
+      match next 0 with
+      | None -> ()
+      | Some s ->
+          run_sub s;
+          loop ()
+    in
+    loop ()
+  in
+  let doms = Array.init domains (fun wid -> Domain.spawn (worker wid)) in
+  Array.iter Domain.join doms;
+
+  (* ---- phase 3: deterministic merge, on the caller's domain ----
+
+     Items are in DFS preorder and each buffer is in DFS order, so
+     emitting them in sequence reproduces the sequential emission
+     stream exactly; which domain explored which subtree is
+     invisible.  A recorded Max_steps_exceeded is re-raised at the
+     position the sequential engine would have raised it, after the
+     executions that precede it. *)
+  let observing = not (Obs.Sink.is_null sink) in
+  let executions = ref 0 in
+  let emit e =
+    incr executions;
+    if !executions mod progress_every = 0 then begin
+      if observing then
+        Obs.Sink.emit sink
+          (Obs.Sink.record ~ts:!executions ~kind:Obs.Sink.Counter
+             ~args:[ ("executions", Obs.Json.Int !executions) ]
+             "pexplore.progress");
+      Util.Logging.debug "pexplore: %d executions merged" !executions
+    end;
+    on_execution e
+  in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | Done e -> emit e
+      | Poison e -> raise e
+      | Sub _ ->
+          List.iter emit results.(i);
+          (match exns.(i) with Some e -> raise e | None -> ()))
+    items;
+  let stats =
+    {
+      executions = !executions;
+      fully_exhaustive = not (Atomic.get truncated);
+      domains;
+      work_items = !n_subs;
+      steals = Atomic.get steals;
+      cache = Option.map Fingerprint.stats table;
+    }
+  in
+  if observing then begin
+    let cache_args =
+      match stats.cache with
+      | None -> []
+      | Some c ->
+          [
+            ("cache_hits", Obs.Json.Int c.Fingerprint.hits);
+            ("cache_misses", Obs.Json.Int c.Fingerprint.misses);
+            ("cache_evictions", Obs.Json.Int c.Fingerprint.evictions);
+          ]
+    in
+    Obs.Sink.emit sink
+      (Obs.Sink.record ~ts:!executions ~kind:Obs.Sink.Counter
+         ~args:
+           ([
+              ("executions", Obs.Json.Int stats.executions);
+              ("fully_exhaustive", Obs.Json.Bool stats.fully_exhaustive);
+              ("domains", Obs.Json.Int stats.domains);
+              ("work_items", Obs.Json.Int stats.work_items);
+              ("steals", Obs.Json.Int stats.steals);
+            ]
+           @ cache_args)
+         "pexplore.done")
+  end;
+  Util.Logging.debug
+    "pexplore: done, %d executions over %d items on %d domains (%d steals)"
+    stats.executions stats.work_items stats.domains stats.steals;
+  stats
+
+let check ?strategy ?minimize ?(sink = Obs.Sink.null) ?domains ?fingerprint
+    ?fingerprint_bits ?frontier ~factory ~branch_depth ~max_steps ~oracles ()
+    =
+  let pstats : stats option ref = ref None in
+  let report =
+    E.check_executions ?minimize ~sink ~factory ~max_steps ~oracles
+      ~run:(fun ~on_execution ->
+        let s =
+          explore ?strategy ~sink ?domains ?fingerprint ?fingerprint_bits
+            ?frontier ~factory ~branch_depth ~max_steps ~on_execution ()
+        in
+        pstats := Some s;
+        {
+          E.executions = s.executions;
+          fully_exhaustive = s.fully_exhaustive;
+        })
+      ()
+  in
+  match !pstats with Some s -> (report, s) | None -> assert false

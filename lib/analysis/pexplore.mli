@@ -1,0 +1,80 @@
+(** Domain-parallel exploration with deterministic merge.
+
+    The same search {!Explore} performs, split across OCaml 5 domains:
+
+    + {b Frontier expansion} (caller's domain): walk the exploration
+      tree shallowest-first, splitting at branching states, until
+      there are enough independent subtrees (~32 per domain) to
+      balance; the frontier stays in DFS preorder.
+    + {b Work-stealing drain}: subtrees are dealt round-robin onto
+      per-domain deques ({!Multicore.Wsdeque}); each worker explores
+      its items depth-first with the {e same} recursion as the
+      sequential engine (via {!Explore.plan_children}), buffering
+      completed executions per item, and steals from the back of
+      other deques when its own runs dry.
+    + {b Deterministic merge} (caller's domain): buffers are emitted
+      in frontier order, so the [on_execution] stream — and therefore
+      canonical do-log sets, violation sets, and counts — is {e
+      byte-identical} to sequential {!Explore.explore}, whatever the
+      domain scheduling did.  Even a {!Explore.Max_steps_exceeded} is
+      re-raised at its sequential position.
+
+    With [fingerprint] set, workers additionally consult a shared
+    {!Fingerprint.table} at every node and prune already-seen states.
+    Pruning preserves the {e set} of canonical do-logs and all oracle
+    verdicts (oracles are functions of canonical do-logs), but not
+    execution {e counts} — so the differential tests compare streams
+    with the cache off and sets with it on.  The cache silently
+    disables itself on instances containing opaque automata
+    ({!Shm.Automaton.handle}[.fingerprint] = [None]). *)
+
+type stats = {
+  executions : int;
+  fully_exhaustive : bool;
+  domains : int;
+  work_items : int;  (** subtrees handed to the workers *)
+  steals : int;  (** items taken from another domain's deque *)
+  cache : Fingerprint.stats option;  (** [Some] iff [fingerprint] was set *)
+}
+
+val explore :
+  ?strategy:Explore.strategy ->
+  ?sink:Obs.Sink.t ->
+  ?domains:int ->
+  ?fingerprint:bool ->
+  ?fingerprint_bits:int ->
+  ?frontier:int ->
+  factory:(unit -> Shm.Automaton.handle array) ->
+  branch_depth:int ->
+  max_steps:int ->
+  on_execution:(Explore.execution -> unit) ->
+  unit ->
+  stats
+(** Enumerate executions on [domains] (default 1) domains.
+    [on_execution] runs on the caller's domain during the merge and
+    need not be thread-safe.  [fingerprint] (default false) enables
+    the state cache, [fingerprint_bits] its size
+    ({!Fingerprint.default_bits}), [frontier] the expansion target
+    (default 32 × domains, min 64).  A non-null [sink] receives
+    [pexplore.progress] counters and a final [pexplore.done] record
+    carrying domain/steal/cache statistics.
+    @raise Explore.Max_steps_exceeded as the sequential engine
+    would. *)
+
+val check :
+  ?strategy:Explore.strategy ->
+  ?minimize:bool ->
+  ?sink:Obs.Sink.t ->
+  ?domains:int ->
+  ?fingerprint:bool ->
+  ?fingerprint_bits:int ->
+  ?frontier:int ->
+  factory:(unit -> Shm.Automaton.handle array) ->
+  branch_depth:int ->
+  max_steps:int ->
+  oracles:Oracle.t list ->
+  unit ->
+  Explore.report * stats
+(** {!Explore.check} over the parallel enumeration — identical
+    finding/shrink logic via {!Explore.check_executions}, plus the
+    parallel stats.  @raise Explore.Max_steps_exceeded. *)

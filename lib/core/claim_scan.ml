@@ -76,6 +76,25 @@ let footprint ~custom_perform t =
   | Bump -> Footprint.Update (Register.name t.counter)
   | End | Stop -> Footprint.Internal
 
+let status_code = function
+  | Check_counter -> 0
+  | Claim -> 1
+  | Perform -> 2
+  | Bump -> 3
+  | End -> 4
+  | Stop -> 5
+
+(* sound only for the default perform; a custom perform may hold
+   state we cannot see, so the caller's automaton goes opaque *)
+let fingerprint ~custom_perform t =
+  if custom_perform then None
+  else
+    let open Util.Mix in
+    let h = combine (int 0x4353) (status_code t.status) in
+    let h = combine h t.offset in
+    let h = combine h (Memory.vhash t.claims) in
+    Some (combine h (Register.peek t.counter))
+
 let processes ~metrics ~n ~m ?(perform = default_perform) () =
   if m < 1 || m > n then invalid_arg "Claim_scan.processes: need 1 <= m <= n";
   let claims = Memory.vector ~metrics ~name:"claim" ~len:n ~init:0 in
@@ -103,4 +122,7 @@ let processes ~metrics ~n ~m ?(perform = default_perform) () =
           footprint =
             (let custom_perform = not (perform == default_perform) in
              fun () -> footprint ~custom_perform t);
+          fingerprint =
+            (let custom_perform = not (perform == default_perform) in
+             fun () -> fingerprint ~custom_perform t);
         })

@@ -248,6 +248,10 @@ let processes ?collision ?(policy = Policy.Rank_split) ?(verbose = false) plan =
                   w.inner_h.Automaton.crash ());
           phase = (fun () -> worker_phase w);
           footprint = (fun () -> worker_footprint w);
+          (* a worker nests a whole Kk instance plus the level plan;
+             hashing that faithfully is not worth it — stay opaque and
+             let the explorer fall back to uncached search *)
+          fingerprint = Automaton.opaque;
         })
 
 let predicted_loss_bound ~n ~m ~epsilon_inv =

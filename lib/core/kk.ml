@@ -557,6 +557,58 @@ let footprint t =
       else Footprint.Internal
   | End | Stop -> Footprint.Internal
 
+let status_code = function
+  | Comp_next -> 0
+  | Set_next -> 1
+  | Gather_try -> 2
+  | Gather_done -> 3
+  | Check -> 4
+  | Read_flag -> 5
+  | Do_job -> 6
+  | Done_write -> 7
+  | Set_flag -> 8
+  | Rec_scan -> 9
+  | Rec_next -> 10
+  | Rec_mark -> 11
+  | End -> 12
+  | Stop -> 13
+
+let hash_set s =
+  Set.fold (fun x acc -> Util.Mix.combine acc x) s (Set.cardinal s)
+
+(* Everything the process's future behavior can depend on: control
+   status and local sets/cursors, plus the content hashes of the
+   shared structures it reads.  Counters that only feed metrics
+   accessors (n_done, n_collisions, n_restarts) are excluded — they
+   never influence a step.  Blame tables are hashed commutatively
+   because Hashtbl iteration order depends on insertion history. *)
+let fingerprint t =
+  let open Util.Mix in
+  let h = combine (int 0x4B4B) (status_code t.status) in
+  let h = combine h t.next_j in
+  let h = combine h t.q in
+  let h = bool h t.finalizing in
+  let h = combine h t.rec_suspect in
+  let h = combine h (hash_set t.free) in
+  let h = combine h (hash_set t.done_set) in
+  let h = combine h (hash_set t.tries) in
+  let h = Array.fold_left combine h t.pos in
+  let h = combine h (Memory.vhash t.shared.next) in
+  let h = combine h (Memory.mhash t.shared.done_m) in
+  let h =
+    match t.shared.flag with
+    | None -> h
+    | Some f -> combine h (Register.peek f)
+  in
+  let h =
+    if t.blame then begin
+      let owners tbl = Hashtbl.fold (fun k v acc -> acc lxor pair k v) tbl 0 in
+      combine (combine h (owners t.try_owner)) (owners t.done_owner)
+    end
+    else h
+  in
+  Some h
+
 let handle t =
   Automaton.check
     {
@@ -566,6 +618,7 @@ let handle t =
       crash = (fun () -> if t.status <> End then t.status <- Stop);
       phase = (fun () -> status_to_string t.status);
       footprint = (fun () -> footprint t);
+      fingerprint = (fun () -> fingerprint t);
     }
 
 let result t = t.output

@@ -87,6 +87,21 @@ let footprint t =
   | Read_partner -> Footprint.Read (Memory.vname t.next ~cell:t.partner)
   | Check | Do_job | End | Stop -> Footprint.Internal
 
+let status_code = function
+  | Announce -> 0
+  | Read_partner -> 1
+  | Check -> 2
+  | Do_job -> 3
+  | End -> 4
+  | Stop -> 5
+
+let fingerprint t =
+  let open Util.Mix in
+  let h = combine (int 0x5041) (status_code t.status) in
+  let h = combine h t.cur in
+  let h = combine h t.partner_seen in
+  Some (combine h (Memory.vhash t.next))
+
 let processes ~metrics ~n ~m =
   if m < 1 || n < m then invalid_arg "Pairing.processes: need 1 <= m <= n";
   let next = Memory.vector ~metrics ~name:"pairing.next" ~len:m ~init:0 in
@@ -117,4 +132,5 @@ let processes ~metrics ~n ~m =
           crash = (fun () -> if t.status <> End then t.status <- Stop);
           phase = (fun () -> status_to_string t.status);
           footprint = (fun () -> footprint t);
+          fingerprint = (fun () -> fingerprint t);
         })

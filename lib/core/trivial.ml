@@ -34,4 +34,5 @@ let processes ~n ~m =
           (* chunks are disjoint and nothing is shared: every action
              commutes with every other process's *)
           footprint = (fun () -> Shm.Footprint.Internal);
+          fingerprint = (fun () -> Some (Util.Mix.pair 0x5452 st.cur));
         })

@@ -34,7 +34,8 @@ let oracles_for (plan : Plan.t) =
      ]
    else [])
 
-let run_plan ?(provenance = true) ?trace_level ?probe (plan : Plan.t) =
+let run_plan ?(provenance = true) ?trace_level ?probe ?max_steps (plan : Plan.t)
+    =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg ("Chaos.run_plan: " ^ e));
@@ -64,7 +65,9 @@ let run_plan ?(provenance = true) ?trace_level ?probe (plan : Plan.t) =
   let restarter =
     Inject.restarter ~plan ~restart:(fun pid -> Core.Kk.restart kks.(pid - 1))
   in
-  let max_steps = 200_000 + (1_000 * n * m) in
+  let max_steps =
+    match max_steps with Some s -> s | None -> 200_000 + (1_000 * n * m)
+  in
   let outcome =
     Shm.Executor.run ~max_steps ?trace_level ?probe ?restarter ~scheduler
       ~adversary handles
@@ -84,6 +87,19 @@ let run_plan ?(provenance = true) ?trace_level ?probe (plan : Plan.t) =
     metrics_json = Shm.Metrics.to_json metrics;
     trace;
   }
+
+(* A run that exhausts the step budget used to look like an ordinary
+   non-wait-free result: [wait_free = false], usually zero violations,
+   so a replay reported success.  [replay_plan] turns it into the same
+   exception the model checker raises, carrying the recorded pick
+   prefix so the wedged interleaving is reproducible. *)
+let replay_plan ?provenance ?trace_level ?probe ?max_steps (plan : Plan.t) =
+  let r = run_plan ?provenance ?trace_level ?probe ?max_steps plan in
+  if not r.wait_free then
+    raise
+      (Analysis.Explore.Max_steps_exceeded
+         { schedule = r.schedule; steps = r.steps });
+  r
 
 (* ---- shrinking ---- *)
 

@@ -33,6 +33,7 @@ val run_plan :
   ?provenance:bool ->
   ?trace_level:Shm.Trace.level ->
   ?probe:Shm.Probe.t ->
+  ?max_steps:int ->
   Plan.t ->
   run_result
 (** Execute a shared-memory plan to quiescence and check the oracles.
@@ -43,6 +44,25 @@ val run_plan :
     explain violations causally.  Annotations ride along existing
     steps — schedules, step counts and metrics are unchanged.
     [trace_level] and [probe] pass through to {!Shm.Executor.run}.
+    [max_steps] overrides the default budget of
+    [200_000 + 1_000 * n * m]; on exhaustion the result has
+    [wait_free = false] (no exception — see {!replay_plan}).
+    @raise Invalid_argument on an invalid or message-passing plan. *)
+
+val replay_plan :
+  ?provenance:bool ->
+  ?trace_level:Shm.Trace.level ->
+  ?probe:Shm.Probe.t ->
+  ?max_steps:int ->
+  Plan.t ->
+  run_result
+(** {!run_plan} for replay contexts, where budget exhaustion must not
+    pass silently: if the executor stops on its step budget instead of
+    reaching quiescence, raises {!Analysis.Explore.Max_steps_exceeded}
+    carrying the recorded scheduler pick prefix (replayable as
+    [Plan.Fixed]) and the step count.  [amo_run chaos --plan] uses
+    this to exit non-zero with the prefix in its JSON error payload.
+    @raise Analysis.Explore.Max_steps_exceeded on budget exhaustion.
     @raise Invalid_argument on an invalid or message-passing plan. *)
 
 val shrink_failure : run_result -> Plan.t * run_result

@@ -1,0 +1,42 @@
+type 'a t = { mu : Mutex.t; mutable front : 'a list; mutable back : 'a list }
+
+let create () = { mu = Mutex.create (); front = []; back = [] }
+
+let of_list items = { mu = Mutex.create (); front = items; back = [] }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let push t x = locked t (fun () -> t.front <- x :: t.front)
+
+let pop t =
+  locked t (fun () ->
+      match t.front with
+      | x :: rest ->
+          t.front <- rest;
+          Some x
+      | [] -> (
+          match List.rev t.back with
+          | x :: rest ->
+              t.back <- [];
+              t.front <- rest;
+              Some x
+          | [] -> None))
+
+let steal t =
+  locked t (fun () ->
+      match t.back with
+      | x :: rest ->
+          t.back <- rest;
+          Some x
+      | [] -> (
+          match List.rev t.front with
+          | x :: rest ->
+              t.front <- [];
+              t.back <- rest;
+              Some x
+          | [] -> None))
+
+let length t =
+  locked t (fun () -> List.length t.front + List.length t.back)

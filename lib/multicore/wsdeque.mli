@@ -1,0 +1,30 @@
+(** A work-stealing deque: the owner works the front in LIFO/FIFO
+    order of its choosing, thieves take from the opposite end.
+
+    This is the mutex-protected two-list variant, not the
+    Chase–Lev array: exploration work items are coarse (a whole
+    subtree each), so the deque is touched a few thousand times per
+    run and contention is negligible — the simple implementation is
+    obviously correct under any interleaving, which matters more here
+    than shaving nanoseconds.  All operations are safe from any
+    domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val of_list : 'a list -> 'a t
+(** Seed the deque; [pop] returns the items in list order. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner: prepend to the front. *)
+
+val pop : 'a t -> 'a option
+(** Owner: take from the front. *)
+
+val steal : 'a t -> 'a option
+(** Thief: take from the back — the end the owner will reach last,
+    which for depth-first exploration is the largest pending
+    subtree. *)
+
+val length : 'a t -> int

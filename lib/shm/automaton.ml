@@ -5,6 +5,7 @@ type handle = {
   crash : unit -> unit;
   phase : unit -> string;
   footprint : unit -> Footprint.t;
+  fingerprint : unit -> int option;
 }
 
 let check h =
@@ -14,3 +15,7 @@ let check h =
 let pids handles = Array.to_list (Array.map (fun h -> h.pid) handles)
 
 let footprint h = h.footprint ()
+
+let fingerprint h = h.fingerprint ()
+
+let opaque () = None

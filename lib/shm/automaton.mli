@@ -39,6 +39,18 @@ type handle = {
           uses it to compute the independence relation; automata that
           always answer [Unknown] are still explored correctly, just
           without reduction. *)
+  fingerprint : unit -> int option;
+      (** A hash of the process's {e complete} behavioral state: its
+          local variables, control status, and the content hashes
+          ({!Memory.vhash}/{!Memory.mhash}) of every shared structure
+          its future behavior can depend on.  Two processes built by
+          the same factory whose fingerprints are equal must behave
+          identically under every subsequent schedule (up to hash
+          collision).  [None] means the automaton is opaque — the
+          fingerprint cache ([Analysis.Fingerprint]) is disabled for
+          any instance containing an opaque live process, which is
+          always safe.  Must be pure and cheap; only meaningful while
+          [alive () = true]. *)
 }
 
 val check : handle -> handle
@@ -50,3 +62,10 @@ val pids : handle array -> int list
 
 val footprint : handle -> Footprint.t
 (** [footprint h = h.footprint ()] — the pending action's footprint. *)
+
+val fingerprint : handle -> int option
+(** [fingerprint h = h.fingerprint ()]. *)
+
+val opaque : unit -> int option
+(** Always [None] — a ready-made [fingerprint] field for automata that
+    opt out of state hashing. *)

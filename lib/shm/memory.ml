@@ -3,15 +3,29 @@ type vector = {
   vname : string;
   cells : int array; (* index 0 unused; cells.(i) is the paper's name[i] *)
   vwids : int array; (* write-id of the last write to each cell; 0 = initial *)
+  mutable vchash : int; (* XOR over cells of Mix.cell i cells.(i) *)
 }
+
+(* Content hashes are Zobrist-style XOR accumulations so a write only
+   has to fold out the old value and fold in the new one.  Write-ids
+   are deliberately NOT part of the hash: they encode the global order
+   in which cells were last touched, which differs between
+   commutation-equivalent interleavings — including them would defeat
+   fingerprint caching without changing any observable behavior. *)
+let hash_cells a =
+  let h = ref 0 in
+  Array.iteri (fun i x -> h := !h lxor Util.Mix.cell (i + 1) x) a;
+  !h
 
 let vector ~metrics ~name ~len ~init =
   if len < 1 then invalid_arg "Memory.vector: len must be >= 1";
+  let cells = Array.make (len + 1) init in
   {
     vmetrics = metrics;
     vname = name;
-    cells = Array.make (len + 1) init;
+    cells;
     vwids = Array.make (len + 1) 0;
+    vchash = hash_cells (Array.sub cells 1 len);
   }
 
 let vector_len v = Array.length v.cells - 1
@@ -29,6 +43,7 @@ let vset v ~p i x =
   vcheck v i;
   Metrics.on_write v.vmetrics ~p;
   v.vwids.(i) <- Metrics.fresh_wid v.vmetrics;
+  v.vchash <- v.vchash lxor Util.Mix.cell i v.cells.(i) lxor Util.Mix.cell i x;
   v.cells.(i) <- x
 
 let vpeek v i =
@@ -43,6 +58,8 @@ let vname v ~cell = Printf.sprintf "%s[%d]" v.vname cell
 
 let vsnapshot v = Array.sub v.cells 1 (Array.length v.cells - 1)
 
+let vhash v = v.vchash
+
 type matrix = {
   mmetrics : Metrics.t;
   mname : string;
@@ -50,17 +67,20 @@ type matrix = {
   cols : int;
   data : int array; (* row-major, index (r-1)*cols + (c-1) *)
   mwids : int array; (* last write-id per cell, same layout; 0 = initial *)
+  mutable mchash : int; (* XOR over data of Mix.cell (flat+1) value *)
 }
 
 let matrix ~metrics ~name ~rows ~cols ~init =
   if rows < 1 || cols < 1 then invalid_arg "Memory.matrix: empty dimensions";
+  let data = Array.make (rows * cols) init in
   {
     mmetrics = metrics;
     mname = name;
     rows;
     cols;
-    data = Array.make (rows * cols) init;
+    data;
     mwids = Array.make (rows * cols) 0;
+    mchash = hash_cells data;
   }
 
 let matrix_rows m = m.rows
@@ -81,6 +101,8 @@ let mset m ~p r c x =
   let i = index m r c in
   Metrics.on_write m.mmetrics ~p;
   m.mwids.(i) <- Metrics.fresh_wid m.mmetrics;
+  m.mchash <-
+    m.mchash lxor Util.Mix.cell (i + 1) m.data.(i) lxor Util.Mix.cell (i + 1) x;
   m.data.(i) <- x
 
 let mpeek m r c = m.data.(index m r c)
@@ -91,3 +113,7 @@ let mname m ~row ~col = Printf.sprintf "%s[%d][%d]" m.mname row col
 
 let msnapshot m =
   Array.init m.rows (fun r -> Array.sub m.data (r * m.cols) m.cols)
+
+let mhash m = m.mchash
+
+let hash_matrix rows = hash_cells (Array.concat (Array.to_list rows))

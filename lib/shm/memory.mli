@@ -42,6 +42,14 @@ val vsnapshot : vector -> int array
     For checkers and tests — an algorithm reading memory wholesale in
     one step would violate the model's atomicity. *)
 
+val vhash : vector -> int
+(** Incrementally-maintained content hash: the XOR over cells of
+    {!Util.Mix.cell}[ i value].  Updated in O(1) by {!vset}; equal to
+    {!hash_cells}[ (vsnapshot v)] at all times.  Write-ids are
+    excluded on purpose — they encode the global write order, which
+    differs between commutation-equivalent interleavings
+    (DESIGN.md §9).  Unmetered; for state fingerprinting. *)
+
 type matrix
 
 val matrix :
@@ -69,3 +77,14 @@ val mname : matrix -> row:int -> col:int -> string
 
 val msnapshot : matrix -> int array array
 (** Unmetered copy, [rows][cols], 0-based.  Checkers and tests only. *)
+
+val mhash : matrix -> int
+(** Incrementally-maintained content hash of the matrix, like
+    {!vhash}; equal to {!hash_matrix}[ (msnapshot m)] at all times. *)
+
+val hash_cells : int array -> int
+(** From-scratch hash of a {!vsnapshot} — the reference the
+    incremental {!vhash} is property-tested against. *)
+
+val hash_matrix : int array array -> int
+(** From-scratch hash of an {!msnapshot}, reference for {!mhash}. *)

@@ -1,0 +1,27 @@
+(* Splitmix64's finalizer with the published constants truncated to
+   OCaml's 63-bit native int (literals wider than 62 bits are
+   rejected); the multipliers stay odd, which is all the mixing
+   needs. *)
+let int x =
+  let x = x + 0x1E3779B97F4A7C15 in
+  let x = (x lxor (x lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let x = (x lxor (x lsr 27)) * 0x14D049BB133111EB in
+  x lxor (x lsr 31)
+
+(* boost::hash_combine's shape with the splitmix finalizer as the
+   per-element scrambler *)
+let combine seed v =
+  seed lxor (int v + 0x1E3779B97F4A7C15 + (seed lsl 6) + (seed lsr 2))
+
+let pair a b = combine (combine 0x51ED270B a) b
+
+let triple a b c = combine (pair a b) c
+
+let bool seed b = combine seed (if b then 0x5DEECE66D else 0x2545F491)
+
+let string s =
+  let h = ref 0x0BF29CE484222325 in
+  String.iter (fun c -> h := combine !h (Char.code c)) s;
+  int !h
+
+let cell i x = int (combine (int (i + 1)) x)

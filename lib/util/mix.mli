@@ -1,0 +1,36 @@
+(** Integer hash mixing for state fingerprints.
+
+    The fingerprint machinery ({!Shm.Memory} content hashes, the
+    per-automaton state hashes, [Analysis.Fingerprint]) needs cheap,
+    well-distributed hashes over OCaml's native 63-bit ints.
+    [Hashtbl.hash] is unsuitable: it truncates traversal after a few
+    nodes, so two large sets differing deep inside collide
+    systematically.  These combinators visit every bit they are
+    given.
+
+    All functions are pure and allocation-free. *)
+
+val int : int -> int
+(** A bijective avalanche finalizer (splitmix64-style, truncated to
+    the native int width): every input bit affects every output bit.
+    [int 0 <> 0]. *)
+
+val combine : int -> int -> int
+(** [combine seed v] folds [v] into [seed]; order-dependent, for
+    hashing sequences. *)
+
+val pair : int -> int -> int
+(** [pair a b] hashes the ordered pair — not symmetric. *)
+
+val triple : int -> int -> int -> int
+
+val bool : int -> bool -> int
+
+val string : string -> int
+(** Hashes every byte (FNV-1a style folded through {!int}). *)
+
+val cell : int -> int -> int
+(** [cell i x]: the hash contribution of cell [i] holding value [x] in
+    a Zobrist-style XOR-accumulated content hash.  Designed so that
+    [h lxor cell i old lxor cell i new] updates an accumulated hash
+    incrementally when cell [i] changes from [old] to [new]. *)

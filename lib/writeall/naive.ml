@@ -40,4 +40,10 @@ let processes inst ~m =
               else
                 let j = ((st.start - 1 + st.written) mod st.n) + 1 in
                 Footprint.Write (Memory.vname inst.Wa.array_ ~cell:j));
+          fingerprint =
+            (fun () ->
+              Some
+                (Util.Mix.combine
+                   (Util.Mix.pair 0x5741 st.written)
+                   (Memory.vhash inst.Wa.array_)));
         })

@@ -265,6 +265,7 @@ let test_explore_detects_nontermination () =
       crash = (fun () -> stopped := true);
       phase = (fun () -> "loop");
       footprint = (fun () -> Shm.Footprint.Internal);
+      fingerprint = Shm.Automaton.opaque;
     }
   in
   match

@@ -69,6 +69,12 @@ let unsafe_board_factory ~n ~m () =
               match !pending with
               | Some j -> Shm.Footprint.Write (Shm.Memory.vname board ~cell:j)
               | None -> Shm.Footprint.Read (Shm.Memory.vname board ~cell:!cursor));
+          fingerprint =
+            (fun () ->
+              let open Util.Mix in
+              let h = combine (int 0x5842) !cursor in
+              let h = combine h (Option.value ~default:(-1) !pending) in
+              Some (combine h (Shm.Memory.vhash board)));
         })
 
 let kk_oracles ~n ~m ~beta =

@@ -342,6 +342,31 @@ let test_net_faults_heal () =
   done;
   Alcotest.(check bool) "checked some loss-free plans" true (!checked > 0)
 
+(* regression: an oversized plan used to slip through replay silently
+   — [run_plan] just reported [wait_free = false] and zero violations.
+   [replay_plan] must raise with the recorded pick prefix instead. *)
+let test_replay_plan_surfaces_max_steps () =
+  let plan = P.make ~name:"oversized" ~seed:11 ~n:6 ~m:2 ~beta:2 () in
+  let budget = 7 in
+  (match C.replay_plan ~max_steps:budget plan with
+  | _ -> Alcotest.fail "expected Max_steps_exceeded"
+  | exception Analysis.Explore.Max_steps_exceeded { schedule; steps } ->
+      Alcotest.(check int) "steps = budget" budget steps;
+      Alcotest.(check int)
+        "schedule prefix covers every step" budget
+        (List.length schedule);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "picks are pids" true (p >= 1 && p <= 2))
+        schedule);
+  (* the same plan under the default budget quiesces and still runs
+     clean through replay_plan *)
+  let r = C.replay_plan plan in
+  Alcotest.(check bool) "default budget quiesces" true r.C.wait_free;
+  (* run_plan keeps the old non-raising contract *)
+  let r = C.run_plan ~max_steps:budget plan in
+  Alcotest.(check bool) "run_plan merely reports" false r.C.wait_free
+
 let test_net_drop_keeps_amo () =
   (* an aggressively lossy channel may strand clients (the liveness
      oracles are waived) but never breaks at-most-once *)
@@ -378,6 +403,8 @@ let suite =
       test_golden_counterexamples;
     Alcotest.test_case "golden ledger explanations" `Quick
       test_golden_explanations;
+    Alcotest.test_case "replay surfaces max-steps" `Quick
+      test_replay_plan_surfaces_max_steps;
     Alcotest.test_case "net fault windows heal" `Quick test_net_faults_heal;
     Alcotest.test_case "lossy net keeps AMO" `Quick test_net_drop_keeps_amo;
   ]

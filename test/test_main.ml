@@ -17,6 +17,7 @@ let () =
       ("superjob", Test_superjob.suite);
       ("analysis", Test_analysis.suite);
       ("explore", Test_explore.suite);
+      ("pexplore", Test_pexplore.suite);
       ("claim-scan", Test_claim_scan.suite);
       ("harness", Test_harness.suite);
       ("iterative", Test_iterative.suite);

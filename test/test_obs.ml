@@ -634,6 +634,64 @@ let test_locked_sink_multicore () =
             | _ -> None)
           recs))
 
+let test_locked_jsonl_contention () =
+  (* four domains hammer one locked jsonl sink concurrently; every
+     line in the file must be a complete, parseable record — no torn
+     or interleaved writes — and the per-pid counts must be exact *)
+  let n_domains = 4 and per_domain = 500 in
+  let payload = String.make 64 'x' in
+  let tmp = Filename.temp_file "amo_locked" ".jsonl" in
+  let oc = open_out tmp in
+  let sink = Obs.Sink.locked (Obs.Sink.jsonl oc) in
+  let emitter pid () =
+    for i = 1 to per_domain do
+      Obs.Sink.emit sink
+        (Obs.Sink.record ~ts:i ~pid ~kind:Obs.Sink.Instant
+           ~args:[ ("seq", J.Int i); ("pad", J.String payload) ]
+           "stress.line")
+    done
+  in
+  let doms =
+    Array.init n_domains (fun i -> Domain.spawn (emitter (i + 1)))
+  in
+  Array.iter Domain.join doms;
+  Obs.Sink.flush sink;
+  close_out oc;
+  let counts = Array.make (n_domains + 1) 0 in
+  let ic = open_in tmp in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match Obs.Json.parse line with
+       | Error e -> Alcotest.failf "torn line %d: %s" !lines e
+       | Ok (J.Obj fields) -> (
+           (match List.assoc_opt "name" fields with
+           | Some (J.String "stress.line") -> ()
+           | _ -> Alcotest.failf "line %d: name corrupted" !lines);
+           (match List.assoc_opt "args" fields with
+           | Some (J.Obj args) -> (
+               match List.assoc_opt "pad" args with
+               | Some (J.String p) when p = payload -> ()
+               | _ -> Alcotest.failf "line %d: payload corrupted" !lines)
+           | _ -> Alcotest.failf "line %d: args missing" !lines);
+           match List.assoc_opt "pid" fields with
+           | Some (J.Int pid) when pid >= 1 && pid <= n_domains ->
+               counts.(pid) <- counts.(pid) + 1
+           | _ -> Alcotest.failf "line %d: pid corrupted" !lines)
+       | Ok _ -> Alcotest.failf "line %d: not an object" !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check int) "no lost lines" (n_domains * per_domain) !lines;
+  for pid = 1 to n_domains do
+    Alcotest.(check int)
+      (Printf.sprintf "pid %d count exact" pid)
+      per_domain counts.(pid)
+  done
+
 (* ---- golden HTML report ---- *)
 
 (* Replicates `amo_run report --plan test/golden/chaos_skip_recovery_mark.plan.json
@@ -817,6 +875,8 @@ let suite =
     Alcotest.test_case "tee ordering" `Quick test_tee_ordering;
     Alcotest.test_case "locked sink under domains" `Quick
       test_locked_sink_multicore;
+    Alcotest.test_case "locked jsonl under 4-domain contention" `Quick
+      test_locked_jsonl_contention;
     Alcotest.test_case "golden html report" `Quick test_golden_report;
     Alcotest.test_case "libraries silent by default" `Quick
       test_libraries_silent_by_default;

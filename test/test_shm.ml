@@ -184,6 +184,7 @@ let stub ~pid ~steps_to_do =
     crash = (fun () -> stopped := true);
     phase = (fun () -> if !remaining > 0 then "running" else "end");
     footprint = (fun () -> Footprint.Internal);
+    fingerprint = (fun () -> Some (Util.Mix.pair pid !remaining));
   }
 
 let test_executor_quiescence () =
@@ -205,6 +206,7 @@ let test_executor_max_steps () =
       crash = (fun () -> stopped := true);
       phase = (fun () -> "loop");
       footprint = (fun () -> Footprint.Internal);
+      fingerprint = Automaton.opaque;
     }
   in
   let outcome =
@@ -281,6 +283,7 @@ let test_adversary_after_announce () =
       crash = (fun () -> stopped := true);
       phase = (fun () -> if !steps >= 1 then "announced" else "init");
       footprint = (fun () -> Footprint.Internal);
+      fingerprint = Automaton.opaque;
     }
   in
   let handles = [| announcing 1; announcing 2 |] in
