@@ -12,11 +12,32 @@
    and its current snapshot means the metrics cannot be compared at
    all: that is always fatal (exit 2), --warn-only notwithstanding. *)
 
+let usage_lines =
+  [
+    "usage: compare.exe --baseline DIR --current DIR [--tolerance PCT]";
+    "                   [--warn-only] [--format plain|github]";
+    "";
+    "Diff every BENCH_<exp>.json snapshot in the baseline directory";
+    "against its counterpart in the current directory.  The compared";
+    "quantity is measured/predicted where the experiment records a paper";
+    "bound, the raw measurement otherwise; a change against the metric's";
+    "direction beyond --tolerance percent (default 10) is a regression.";
+    "--warn-only reports regressions without failing the gate; --format";
+    "github additionally emits workflow-command annotations.";
+    "";
+    "exit codes:";
+    "  0  every baseline snapshot compared within tolerance (or --warn-only)";
+    "  1  a regression, or a baseline snapshot missing from --current";
+    "  2  schema-version mismatch, unreadable snapshot, or usage error";
+  ]
+
 let usage () =
-  prerr_endline
-    "usage: compare.exe --baseline DIR --current DIR [--tolerance PCT] \
-     [--warn-only] [--format plain|github]";
+  List.iter prerr_endline usage_lines;
   exit 2
+
+let help () =
+  List.iter print_endline usage_lines;
+  exit 0
 
 let () =
   let baseline_dir = ref "" in
@@ -31,6 +52,7 @@ let () =
   in
   let rec parse = function
     | [] -> ()
+    | ("--help" | "-h") :: _ -> help ()
     | "--baseline" :: d :: rest ->
         baseline_dir := d;
         parse rest

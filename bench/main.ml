@@ -25,13 +25,14 @@ let experiments =
     ("e13", E13_chaos.run);
     ("e14", E14_provenance.run);
     ("e15", E15_parallel.run);
+    ("e16", E16_telemetry.run);
     ("bechamel", Timing.run);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--csv DIR] [--json] [--json-dir DIR] [--smoke] \
-     [e1|...|e15|bechamel]...";
+     [e1|...|e16|bechamel]...";
   exit 2
 
 let check_dir ~flag dir =

@@ -23,6 +23,8 @@
 open Cmdliner
 module J = Obs.Json
 
+let version_string = "1.0.0"
+
 let pp_summary ~label ~n ~m ~f:_ (s : Core.Harness.summary) =
   (* report the crashes that actually happened, not the requested budget *)
   let f = List.length s.crashed in
@@ -211,9 +213,43 @@ let make_adversary rng ~f ~m ~n =
 
 (* ---- subcommands ---- *)
 
+(* One-shot Prometheus snapshot of a finished KK run: headline
+   counters plus a per-process work-distribution histogram, written to
+   <dir>/amo_kk.prom. *)
+let kk_prom_snapshot ~dir ~n ~m ~beta ~do_count (s : Core.Harness.summary) =
+  let reg = Obs.Prom.create () in
+  let labels =
+    [ ("n", string_of_int n); ("m", string_of_int m);
+      ("beta", string_of_int beta) ]
+  in
+  let c name help v =
+    Obs.Prom.counter reg ~name ~help ~labels (float_of_int v)
+  in
+  c "amo_kk_jobs_performed_total" "Distinct jobs performed" do_count;
+  c "amo_kk_steps_total" "Executor steps" s.steps;
+  c "amo_kk_work_total" "Weighted work (Theorem 5.6 accounting)"
+    (Shm.Metrics.total_work s.metrics);
+  c "amo_kk_reads_total" "Shared-register reads"
+    (Shm.Metrics.total_reads s.metrics);
+  c "amo_kk_writes_total" "Shared-register writes"
+    (Shm.Metrics.total_writes s.metrics);
+  c "amo_kk_collisions_total" "Collisions (Definition 5.2)"
+    (Core.Collision.total s.collision);
+  c "amo_kk_crashes_total" "Crashed processes" (List.length s.crashed);
+  Obs.Prom.gauge reg ~name:"amo_kk_wait_free" ~labels
+    ~help:"1 if the run reached quiescence"
+    (if s.wait_free then 1. else 0.);
+  let work = Obs.Sketch.create () in
+  for p = 1 to m do
+    Obs.Sketch.add work (Shm.Metrics.work s.metrics ~p)
+  done;
+  Obs.Prom.of_sketch reg ~name:"amo_kk_process_work" ~labels
+    ~help:"Per-process weighted work (quantile sketch)" work;
+  Obs.Prom.write_file reg (Filename.concat dir "amo_kk.prom")
+
 let kk_cmd =
   let run n m beta_opt seed sched_kind f csv_dos csv_timeline show_timeline
-      show_gantt log_level json trace_out =
+      show_gantt log_level json trace_out prom_out =
     apply_log_level log_level;
     let beta = Option.value beta_opt ~default:m in
     let rng = Util.Prng.of_int seed in
@@ -236,16 +272,29 @@ let kk_cmd =
             guaranteed)
         s
     in
+    (match prom_out with
+    | Some dir ->
+        kk_prom_snapshot ~dir ~n ~m ~beta ~do_count:s.do_count s;
+        if not json then
+          Fmt.pr "prometheus      : %s@." (Filename.concat dir "amo_kk.prom")
+    | None -> ());
     write_trace ~label ~m ~json trace_out s.trace;
     exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt s;
     if not ok then exit 1
+  in
+  let prom_out =
+    let doc =
+      "Write a Prometheus text-exposition snapshot of the run to \
+       $(docv)/amo_kk.prom."
+    in
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"DIR" ~doc)
   in
   let doc = "Run algorithm KKbeta (the paper's core contribution)." in
   Cmd.v (Cmd.info "kk" ~doc)
     Term.(
       const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ csv_dos
       $ csv_timeline $ show_timeline $ show_gantt $ log_level $ json_flag
-      $ trace_out)
+      $ trace_out $ prom_out)
 
 let claim_cmd =
   let run n m seed sched_kind f log_level json trace_out =
@@ -698,9 +747,98 @@ let explore_cmd =
       $ max_steps_arg $ domains_arg $ fingerprint_flag $ differential_flag
       $ log_level $ json_flag)
 
+(* Render one dashboard frame from the soak's aggregated telemetry. *)
+let chaos_dashboard_frame ~n ~m ~beta ~count ~runs_done ~dos_total ~steps_total
+    ~crashes_total ~restarts_total ~failures ~aborted ~fates ~steps_sketch
+    ~elapsed =
+  let open Obs.Dashboard in
+  let throughput =
+    if elapsed > 0. then float_of_int dos_total /. elapsed else 0.
+  in
+  let fate_row label v =
+    kvf label "%d (%.1f%%)" v
+      (if runs_done = 0 then 0.
+       else 100. *. float_of_int v /. float_of_int (runs_done * n))
+  in
+  let status =
+    if aborted then "ABORTED (fail-fast: at-most-once tripped)"
+    else if failures > 0 then Printf.sprintf "%d FAILURES" failures
+    else "OK"
+  in
+  render
+    ~title:(Printf.sprintf "amo_run chaos  n=%d m=%d beta=%d" n m beta)
+    ~status
+    [
+      section ~title:"progress"
+        [
+          gauge ~label:"plans"
+            ~frac:(float_of_int runs_done /. float_of_int (max 1 count))
+            (Printf.sprintf "%d / %d" runs_done count);
+          kvf "throughput" "%.0f jobs/s (%d jobs, %.1fs)" throughput dos_total
+            elapsed;
+          kvf "steps" "%d total" steps_total;
+        ];
+      section ~title:"job fates (cumulative)"
+        [
+          fate_row "performed" fates.Obs.Ledger.performed;
+          fate_row "forfeited" fates.Obs.Ledger.forfeited;
+          fate_row "lost to crash" fates.Obs.Ledger.lost;
+          fate_row "recovered" fates.Obs.Ledger.recovered;
+          fate_row "doubly performed" fates.Obs.Ledger.violations;
+        ];
+      section ~title:"injected faults"
+        [ kvf "crashes" "%d" crashes_total; kvf "restarts" "%d" restarts_total ];
+      section ~title:"latency (steps per plan)"
+        [ percentiles ~label:"sketch" steps_sketch ];
+      section ~title:"monitor"
+        [
+          kv "at-most-once"
+            (if fates.Obs.Ledger.violations > 0 then "VIOLATED" else "OK");
+          kvf "oracle failures" "%d" failures;
+        ];
+    ]
+
+(* Write the soak's current telemetry as a Prometheus text-exposition
+   snapshot: <dir>/amo_chaos.prom, atomically replaced on each flush. *)
+let chaos_prom_flush ~dir ~n ~m ~beta ~seed ~runs_done ~dos_total ~steps_total
+    ~crashes_total ~restarts_total ~failures ~aborted ~fates ~steps_sketch () =
+  let reg = Obs.Prom.create () in
+  let labels = [ ("n", string_of_int n); ("m", string_of_int m);
+                 ("beta", string_of_int beta); ("seed", string_of_int seed) ] in
+  let c name help v =
+    Obs.Prom.counter reg ~name ~help ~labels (float_of_int v)
+  in
+  c "amo_soak_runs_total" "Chaos plans executed" runs_done;
+  c "amo_soak_jobs_performed_total" "Distinct jobs performed across plans"
+    dos_total;
+  c "amo_soak_steps_total" "Executor steps across plans" steps_total;
+  c "amo_soak_crashes_total" "Injected crashes observed" crashes_total;
+  c "amo_soak_restarts_total" "Injected restarts observed" restarts_total;
+  c "amo_soak_oracle_failures_total" "Plans with at least one oracle violation"
+    failures;
+  Obs.Prom.gauge reg ~name:"amo_soak_aborted" ~labels
+    ~help:"1 if a fail-fast monitor aborted the soak"
+    (if aborted then 1. else 0.);
+  List.iter
+    (fun (fate, v) ->
+      Obs.Prom.counter reg ~name:"amo_soak_job_fate_total"
+        ~help:"Cumulative per-job fates (Obs.Ledger semantics)"
+        ~labels:(labels @ [ ("fate", fate) ])
+        (float_of_int v))
+    [
+      ("performed", fates.Obs.Ledger.performed);
+      ("forfeited", fates.Obs.Ledger.forfeited);
+      ("lost_crash", fates.Obs.Ledger.lost);
+      ("recovered", fates.Obs.Ledger.recovered);
+      ("doubly_performed", fates.Obs.Ledger.violations);
+    ];
+  Obs.Prom.of_sketch reg ~name:"amo_soak_plan_steps" ~labels
+    ~help:"Executor steps per chaos plan (quantile sketch)" steps_sketch;
+  Obs.Prom.write_file reg (Filename.concat dir "amo_chaos.prom")
+
 let chaos_cmd =
-  let run plan_file soak_count n m beta_opt seed out_dir max_steps log_level
-      json =
+  let run plan_file soak_count n m beta_opt seed out_dir max_steps dashboard
+      prom_out fail_fast log_level json =
     apply_log_level log_level;
     let pr_violations vs =
       List.iter
@@ -831,11 +969,86 @@ let chaos_cmd =
             pr_violations r.violations;
             if r.violations <> [] then exit 1)
     | None ->
-        (* soak mode: seeded random plans, shrink + save any failure *)
+        (* soak mode: seeded random plans, shrink + save any failure;
+           optional live dashboard and periodic Prometheus snapshots *)
         let beta = Option.value beta_opt ~default:m in
-        let s =
-          Fault.Chaos.soak ~seed ~count:soak_count ~n ~m ~beta ()
+        let t_start = Unix.gettimeofday () in
+        let runs_done = ref 0 in
+        let dos_total = ref 0 in
+        let steps_total = ref 0 in
+        let crashes_total = ref 0 in
+        let restarts_total = ref 0 in
+        let failures_seen = ref 0 in
+        let fates =
+          ref
+            {
+              Obs.Ledger.performed = 0;
+              forfeited = 0;
+              lost = 0;
+              recovered = 0;
+              violations = 0;
+            }
         in
+        let steps_sketch = Obs.Sketch.create () in
+        let last_dash = ref neg_infinity in
+        let last_prom = ref neg_infinity in
+        let telemetry ~aborted ~final () =
+          let now = Unix.gettimeofday () in
+          (* fixed refresh rate: at most 10 frames/s, plus one final
+             frame; prometheus flushes at most once a second *)
+          if dashboard && (final || now -. !last_dash >= 0.1) then begin
+            last_dash := now;
+            print_string
+              (Obs.Dashboard.ansi_home
+              ^ chaos_dashboard_frame ~n ~m ~beta ~count:soak_count
+                  ~runs_done:!runs_done ~dos_total:!dos_total
+                  ~steps_total:!steps_total ~crashes_total:!crashes_total
+                  ~restarts_total:!restarts_total ~failures:!failures_seen
+                  ~aborted ~fates:!fates ~steps_sketch
+                  ~elapsed:(now -. t_start));
+            flush stdout
+          end;
+          match prom_out with
+          | Some dir when final || now -. !last_prom >= 1.0 ->
+              last_prom := now;
+              chaos_prom_flush ~dir ~n ~m ~beta ~seed ~runs_done:!runs_done
+                ~dos_total:!dos_total ~steps_total:!steps_total
+                ~crashes_total:!crashes_total ~restarts_total:!restarts_total
+                ~failures:!failures_seen ~aborted ~fates:!fates ~steps_sketch
+                ()
+          | _ -> ()
+        in
+        let on_run _i (r : Fault.Chaos.run_result) =
+          incr runs_done;
+          dos_total := !dos_total + r.Fault.Chaos.do_count;
+          steps_total := !steps_total + r.Fault.Chaos.steps;
+          crashes_total := !crashes_total + List.length r.Fault.Chaos.crashes;
+          restarts_total :=
+            !restarts_total + List.length r.Fault.Chaos.restarts;
+          if r.Fault.Chaos.violations <> [] then incr failures_seen;
+          Obs.Sketch.add steps_sketch r.Fault.Chaos.steps;
+          let c =
+            Obs.Ledger.counts
+              (Obs.Ledger.of_trace ~n:r.Fault.Chaos.plan.Fault.Plan.n
+                 ~m:r.Fault.Chaos.plan.Fault.Plan.m r.Fault.Chaos.trace)
+          in
+          (fates :=
+             {
+               Obs.Ledger.performed = !fates.Obs.Ledger.performed + c.Obs.Ledger.performed;
+               forfeited = !fates.Obs.Ledger.forfeited + c.Obs.Ledger.forfeited;
+               lost = !fates.Obs.Ledger.lost + c.Obs.Ledger.lost;
+               recovered = !fates.Obs.Ledger.recovered + c.Obs.Ledger.recovered;
+               violations =
+                 !fates.Obs.Ledger.violations + c.Obs.Ledger.violations;
+             });
+          telemetry ~aborted:false ~final:false ()
+        in
+        let s =
+          Fault.Chaos.soak ~fail_fast ~on_run ~seed ~count:soak_count ~n ~m
+            ~beta ()
+        in
+        telemetry ~aborted:s.Fault.Chaos.aborted ~final:true ();
+        if dashboard then print_newline ();
         let saved =
           match s.first_failure with
           | None -> None
@@ -855,6 +1068,7 @@ let chaos_cmd =
                     ("recovery_plans", J.Int s.recovery_runs);
                     ("failures", J.Int s.failures);
                     ("restarts", J.Int s.total_restarts);
+                    ("aborted", J.Bool s.aborted);
                     ( "counterexample",
                       match saved with Some p -> J.String p | None -> J.Null );
                   ]))
@@ -864,6 +1078,10 @@ let chaos_cmd =
           Fmt.pr "recovery plans  : %d (%d restarts)@." s.recovery_runs
             s.total_restarts;
           Fmt.pr "oracle failures : %d@." s.failures;
+          if s.aborted then
+            Fmt.pr
+              "fail-fast       : soak ABORTED mid-run by the streaming \
+               at-most-once monitor@.";
           match saved with
           | Some p -> Fmt.pr "counterexample  : %s (shrunk, replayable)@." p
           | None -> ()
@@ -892,6 +1110,30 @@ let chaos_cmd =
     in
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"STEPS" ~doc)
   in
+  let dashboard_flag =
+    let doc =
+      "Live TTY dashboard while soaking: throughput, cumulative job-fate \
+       ledger, injected-fault counts, steps-per-plan percentiles and monitor \
+       status, repainted at a fixed refresh rate."
+    in
+    Arg.(value & flag & info [ "dashboard" ] ~doc)
+  in
+  let prom_out =
+    let doc =
+      "Flush Prometheus text-exposition snapshots of the soak's telemetry to \
+       $(docv)/amo_chaos.prom periodically (atomic replace; textfile-collector \
+       compatible)."
+    in
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"DIR" ~doc)
+  in
+  let fail_fast_flag =
+    let doc =
+      "Attach a streaming oracle monitor to every soak run and abort the \
+       whole soak the moment an at-most-once violation happens (Lemma 4.1), \
+       instead of discovering it at run end."
+    in
+    Arg.(value & flag & info [ "fail-fast" ] ~doc)
+  in
   let doc =
     "Chaos-test KKbeta under composable fault plans (crashes, restarts, \
      stalls, partitions); replay or soak."
@@ -899,7 +1141,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ plan_file $ soak_count $ jobs $ procs $ beta $ seed $ out_dir
-      $ max_steps_opt $ log_level $ json_flag)
+      $ max_steps_opt $ dashboard_flag $ prom_out $ fail_fast_flag $ log_level
+      $ json_flag)
 
 let multicore_cmd =
   let run n m beta_opt log_level json =
@@ -1101,9 +1344,33 @@ let report_cmd =
       const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ plan_file
       $ whys $ out $ ledger_out $ log_level)
 
+let version_cmd =
+  let run json =
+    (* archived artifacts (BENCH_*.json baselines, Prometheus
+       snapshots) are attributable to a binary + snapshot schema pair *)
+    if json then
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("version", J.String version_string);
+                ("snapshot_schema_version", J.Int Obs.Snapshot.schema_version);
+              ]))
+    else begin
+      Fmt.pr "amo_run %s@." version_string;
+      Fmt.pr "snapshot schema : v%d (BENCH_*.json / bench/compare.exe)@."
+        Obs.Snapshot.schema_version
+    end
+  in
+  let doc =
+    "Print the binary version and the Obs.Snapshot schema version, so \
+     archived BENCH_*.json and Prometheus artifacts are attributable."
+  in
+  Cmd.v (Cmd.info "version" ~doc) Term.(const run $ json_flag)
+
 let () =
   let doc = "at-most-once and Write-All algorithms (Kentros & Kiayias)" in
-  let info = Cmd.info "amo_run" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "amo_run" ~version:version_string ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -1120,4 +1387,5 @@ let () =
             chaos_cmd;
             multicore_cmd;
             report_cmd;
+            version_cmd;
           ]))

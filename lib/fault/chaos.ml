@@ -34,11 +34,21 @@ let oracles_for (plan : Plan.t) =
      ]
    else [])
 
-let run_plan ?(provenance = true) ?trace_level ?probe ?max_steps (plan : Plan.t)
-    =
+let run_plan ?(provenance = true) ?trace_level ?probe ?monitor
+    ?(fail_fast = false) ?max_steps (plan : Plan.t) =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg ("Chaos.run_plan: " ^ e));
+  (* compose the caller's probe with the online monitor's; the caller
+     probe runs first so its record of the fatal event is emitted
+     before a fail-fast abort unwinds the executor *)
+  let probe =
+    match (probe, monitor) with
+    | p, None -> p
+    | None, Some mon -> Some (Obs.Bridge.monitor_probe ~fail_fast mon)
+    | Some p, Some mon ->
+        Some (Shm.Probe.compose p (Obs.Bridge.monitor_probe ~fail_fast mon))
+  in
   if plan.net <> [] then
     invalid_arg "Chaos.run_plan: message-passing plan (use run_net_plan)";
   let n = plan.n and m = plan.m and beta = plan.beta in
@@ -158,11 +168,12 @@ type soak_stats = {
   total_steps : int;
   total_dos : int;
   total_restarts : int;
+  aborted : bool;
   first_failure : (Plan.t * run_result) option;
 }
 
 let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
-    ?(stalls = true) ~seed ~count ~n ~m ~beta () =
+    ?(stalls = true) ?(fail_fast = false) ?on_run ~seed ~count ~n ~m ~beta () =
   let root = Prng.of_int seed in
   let runs = ref 0 in
   let recovery_runs = ref 0 in
@@ -170,40 +181,60 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
   let total_steps = ref 0 in
   let total_dos = ref 0 in
   let total_restarts = ref 0 in
+  let aborted = ref false in
   let first_failure = ref None in
-  for i = 0 to count - 1 do
-    let rng = Prng.split root in
-    let recovery = recovery_every > 0 && i mod recovery_every = 0 in
-    let plan =
-      Plan.gen ~algo ~recovery ~stalls
-        ~name:(Printf.sprintf "chaos-%03d" i)
-        ~n ~m ~beta rng
-    in
-    let r = run_plan plan in
-    incr runs;
-    if Plan.has_recovery plan then incr recovery_runs;
-    total_steps := !total_steps + r.steps;
-    total_dos := !total_dos + r.do_count;
-    total_restarts := !total_restarts + List.length r.restarts;
-    if r.violations <> [] then begin
-      incr failures;
-      List.iter
-        (fun (v : Analysis.Oracle.violation) ->
-          Obs.Sink.emit sink
-            (Obs.Sink.record ~ts:i ~kind:Obs.Sink.Instant
-               ~args:
-                 [
-                   ("plan", Obs.Json.String plan.Plan.name);
-                   ("seed", Obs.Json.Int plan.Plan.seed);
-                   ("oracle", Obs.Json.String v.oracle);
-                   ("detail", Obs.Json.String v.detail);
-                 ]
-               "chaos.violation"))
-        r.violations;
-      if Option.is_none !first_failure then
-        first_failure := Some (shrink_failure r)
-    end
-  done;
+  (try
+     for i = 0 to count - 1 do
+       let rng = Prng.split root in
+       let recovery = recovery_every > 0 && i mod recovery_every = 0 in
+       let plan =
+         Plan.gen ~algo ~recovery ~stalls
+           ~name:(Printf.sprintf "chaos-%03d" i)
+           ~n ~m ~beta rng
+       in
+       let r =
+         if not fail_fast then run_plan plan
+         else begin
+           (* a streaming monitor aborts the executor on the first
+              repeat Do; the plan is deterministic, so re-running it
+              without the monitor rebuilds the full (shrinkable)
+              result for the violating run *)
+           let monitor =
+             Obs.Monitor.create ~n:plan.n ~m:plan.m ~beta:plan.beta ()
+           in
+           try run_plan ~monitor ~fail_fast:true plan
+           with Obs.Monitor.Tripped _ ->
+             aborted := true;
+             run_plan plan
+         end
+       in
+       incr runs;
+       if Plan.has_recovery plan then incr recovery_runs;
+       total_steps := !total_steps + r.steps;
+       total_dos := !total_dos + r.do_count;
+       total_restarts := !total_restarts + List.length r.restarts;
+       if r.violations <> [] then begin
+         incr failures;
+         List.iter
+           (fun (v : Analysis.Oracle.violation) ->
+             Obs.Sink.emit sink
+               (Obs.Sink.record ~ts:i ~kind:Obs.Sink.Instant
+                  ~args:
+                    [
+                      ("plan", Obs.Json.String plan.Plan.name);
+                      ("seed", Obs.Json.Int plan.Plan.seed);
+                      ("oracle", Obs.Json.String v.oracle);
+                      ("detail", Obs.Json.String v.detail);
+                    ]
+                  "chaos.violation"))
+           r.violations;
+         if Option.is_none !first_failure then
+           first_failure := Some (shrink_failure r)
+       end;
+       (match on_run with Some f -> f i r | None -> ());
+       if !aborted then raise Exit
+     done
+   with Exit -> ());
   Obs.Sink.emit sink
     (Obs.Sink.record ~ts:count ~kind:Obs.Sink.Instant
        ~args:
@@ -220,6 +251,7 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
     total_steps = !total_steps;
     total_dos = !total_dos;
     total_restarts = !total_restarts;
+    aborted = !aborted;
     first_failure = !first_failure;
   }
 

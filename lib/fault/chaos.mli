@@ -33,6 +33,8 @@ val run_plan :
   ?provenance:bool ->
   ?trace_level:Shm.Trace.level ->
   ?probe:Shm.Probe.t ->
+  ?monitor:Obs.Monitor.t ->
+  ?fail_fast:bool ->
   ?max_steps:int ->
   Plan.t ->
   run_result
@@ -44,9 +46,16 @@ val run_plan :
     explain violations causally.  Annotations ride along existing
     steps — schedules, step counts and metrics are unchanged.
     [trace_level] and [probe] pass through to {!Shm.Executor.run}.
+    [monitor] attaches an online {!Obs.Monitor} fed every executor
+    event (composed after [probe], so probe records are emitted before
+    any abort); with [fail_fast] (default [false]) the run raises
+    {!Obs.Monitor.Tripped} the moment a repeat [Do] streams past
+    instead of reporting the violation at run end.
     [max_steps] overrides the default budget of
     [200_000 + 1_000 * n * m]; on exhaustion the result has
     [wait_free = false] (no exception — see {!replay_plan}).
+    @raise Obs.Monitor.Tripped under [fail_fast] on a streaming
+    at-most-once violation.
     @raise Invalid_argument on an invalid or message-passing plan. *)
 
 val replay_plan :
@@ -80,6 +89,8 @@ type soak_stats = {
   total_steps : int;
   total_dos : int;
   total_restarts : int;
+  aborted : bool;
+      (** a fail-fast monitor tripped mid-run and stopped the soak *)
   first_failure : (Plan.t * run_result) option;
       (** first failing run, already shrunk *)
 }
@@ -89,6 +100,8 @@ val soak :
   ?algo:Plan.algo ->
   ?recovery_every:int ->
   ?stalls:bool ->
+  ?fail_fast:bool ->
+  ?on_run:(int -> run_result -> unit) ->
   seed:int ->
   count:int ->
   n:int ->
@@ -99,7 +112,16 @@ val soak :
 (** Run [count] seeded random plans (every [recovery_every]-th one
     crash-recovery flavoured, default 4).  Violations are emitted to
     [sink] as [chaos.violation] instants and the first failure is
-    shrunk.  Fully deterministic in [seed]. *)
+    shrunk.  Fully deterministic in [seed].
+
+    [fail_fast] (default [false]) attaches a streaming
+    {!Obs.Monitor} to every run: the soak stops at the first
+    at-most-once violation the moment the repeat [Do] happens — the
+    violating plan is deterministically re-run (and shrunk) to build
+    its full [run_result], and the stats carry [aborted = true].
+    [on_run] is invoked after each completed run with its index and
+    result — the live-dashboard / Prometheus-flush hook; statistics
+    visible to it are already updated. *)
 
 type net_result = {
   plan : Plan.t;

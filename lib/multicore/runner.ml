@@ -251,26 +251,37 @@ let run_iterative ~n ~m ~epsilon_inv () =
   { dos = List.rev !dos; per_process; wall_seconds; metrics }
 
 let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
-    ?(job_budget = fun ~pid:_ -> max_int) ?(sink = Obs.Sink.null) () =
+    ?(job_budget = fun ~pid:_ -> max_int) ?(sink = Obs.Sink.null) ?rings () =
   if m < 1 || n < m then invalid_arg "Runner.run_kk: need 1 <= m <= n";
   if beta < 1 then invalid_arg "Runner.run_kk: beta must be >= 1";
+  (match rings with
+  | Some r when Array.length r <> m ->
+      invalid_arg "Runner.run_kk: rings must have one ring per domain"
+  | _ -> ());
   let next = Atomic_mem.vector ~len:m ~init:0 in
   let done_m = Atomic_mem.matrix ~rows:m ~cols:n ~init:0 in
   let log_unit = Core.Params.log2_ceil (max 2 n) in
   let ledgers = Array.init m (fun _ -> Shm.Metrics.create ~m) in
   (* all domains share [sink]; the caller must pass a {!Obs.Sink.locked}
      wrapper (or null) — a fetch-and-add counter provides a global
-     emission order to use as the logical timestamp *)
+     emission order to use as the logical timestamp.  [rings], by
+     contrast, are per-domain SPSC channels: domain i pushes only into
+     rings.(i), lock-free, and the caller drains them concurrently —
+     the fixed-cost telemetry path that needs no mutex. *)
   let seq = Atomic.make 0 in
   let emit_for pid =
-    if Obs.Sink.is_null sink then fun _ -> ()
+    let ring = Option.map (fun r -> r.(pid - 1)) rings in
+    if Obs.Sink.is_null sink && Option.is_none ring then fun _ -> ()
     else fun job ->
-      Obs.Sink.emit sink
-        (Obs.Sink.record
-           ~ts:(Atomic.fetch_and_add seq 1)
-           ~pid ~kind:Obs.Sink.Instant
-           ~args:[ ("job", Obs.Json.Int job) ]
-           "mc.do")
+      let r =
+        Obs.Sink.record
+          ~ts:(Atomic.fetch_and_add seq 1)
+          ~pid ~kind:Obs.Sink.Instant
+          ~args:[ ("job", Obs.Json.Int job) ]
+          "mc.do"
+      in
+      (match ring with Some rg -> ignore (Obs.Ring.push rg r) | None -> ());
+      if not (Obs.Sink.is_null sink) then Obs.Sink.emit sink r
   in
   let t0 = Unix.gettimeofday () in
   let domains =

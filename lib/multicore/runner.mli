@@ -37,6 +37,7 @@ val run_kk :
   ?policy:(pid:int -> Core.Policy.t) ->
   ?job_budget:(pid:int -> int) ->
   ?sink:Obs.Sink.t ->
+  ?rings:Obs.Sink.record Obs.Ring.t array ->
   unit ->
   outcome
 (** [run_kk ~n ~m ~beta ()] spawns [m] domains and runs KKβ to
@@ -49,8 +50,16 @@ val run_kk :
     performed job, emitted {e concurrently} from every domain — pass a
     {!Obs.Sink.locked}-wrapped sink or records may interleave; [ts] is
     a fetch-and-add global emission index, [pid] the performing
-    domain.  @raise Invalid_argument unless [1 <= m <= n] and
-    [beta >= 1]. *)
+    domain.
+
+    [rings] (optional, length [m]) is the lock-free alternative: domain
+    [i] pushes its [mc.do] records only into [rings.(i)] — SPSC, no
+    mutex, fixed cost — and the caller drains or peeks them, possibly
+    concurrently with the run (live telemetry).  A full ring counts
+    drops instead of blocking.  Both channels may be used at once.
+
+    @raise Invalid_argument unless [1 <= m <= n], [beta >= 1], and
+    [rings] (when given) has length [m]. *)
 
 val run_iterative : n:int -> m:int -> epsilon_inv:int -> unit -> outcome
 (** The full IterativeKK(ε) (at-most-once variant, §6) on real

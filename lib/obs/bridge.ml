@@ -57,6 +57,44 @@ let sink_probe sink =
           (Sink.record ~ts:step ~dur:1 ~pid:(Shm.Event.pid ev)
              ~kind:(kind_of_event ev) ~args (name_of_event ev)))
 
+let monitor_probe ?(fail_fast = false) monitor =
+  Shm.Probe.make ~needs_phase:false (fun ~step ~phase:_ ev ->
+      match ev with
+      | Shm.Event.Read _ | Shm.Event.Write _ | Shm.Event.Internal _
+      | Shm.Event.Pick _ ->
+          (* pre-filter the hot path: none of these can change a
+             verdict (the monitor ignores them), so the per-event cost
+             on a tight [`Silent] run stays one branch.  Consequence:
+             a probe-fed monitor counts only lifecycle events in
+             [Monitor.event_count]/[last_step], unlike
+             [Monitor.observe_trace] — verdicts are unaffected. *)
+          ()
+      | ev -> (
+          Monitor.observe monitor ~step ev;
+          if fail_fast then
+            match ev with
+            | Shm.Event.Do _ -> (
+                (* only a Do can mint a new at-most-once violation, so
+                   the check stays off the path of every other event *)
+                match Monitor.tripped monitor with
+                | Some v -> raise (Monitor.Tripped v)
+                | None -> ())
+            | _ -> ()))
+
+let sketch_probe sketch =
+  (* per-process Do-interval sketch: samples the step distance between
+     a process's consecutive Do events — the live "how long does one
+     job take" latency signal *)
+  let last = Hashtbl.create 8 in
+  Shm.Probe.make ~needs_phase:false (fun ~step ~phase:_ ev ->
+      match ev with
+      | Shm.Event.Do { p; _ } ->
+          (match Hashtbl.find_opt last p with
+          | Some prev -> Sketch.add sketch (step - prev)
+          | None -> ());
+          Hashtbl.replace last p step
+      | _ -> ())
+
 let profile_probe profile =
   Shm.Probe.make (fun ~step:_ ~phase ev ->
       let pid = Shm.Event.pid ev in

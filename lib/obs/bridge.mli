@@ -8,6 +8,22 @@ val sink_probe : Sink.t -> Shm.Probe.t
     acting process's phase.  [sink_probe Sink.null = Probe.null], so
     an unconfigured sink keeps the executor's fast path. *)
 
+val monitor_probe : ?fail_fast:bool -> Monitor.t -> Shm.Probe.t
+(** A probe feeding the executor's events into an online {!Monitor}.
+    Verdict-irrelevant events (reads, writes, internals, picks) are
+    filtered out before the monitor call, so the hot-path cost is one
+    branch — the monitor's [event_count]/[last_step] therefore count
+    only lifecycle events, unlike {!Monitor.observe_trace}; verdicts
+    are identical either way.  With [~fail_fast:true] it raises
+    {!Monitor.Tripped} out of the executor the moment a repeat [Do]
+    streams past — the at-most-once oracle firing mid-run instead of
+    at run end.  Default [false]: observe only, never raise. *)
+
+val sketch_probe : Sketch.t -> Shm.Probe.t
+(** A probe sampling the step distance between each process's
+    consecutive [Do] events into a quantile sketch — live per-job
+    latency percentiles in logical time. *)
+
 val profile_probe : Profile.t -> Shm.Probe.t
 (** A probe that buckets shared accesses by [(pid, kind@phase)] —
     e.g. series ["read@gather_try"] — yielding per-phase access

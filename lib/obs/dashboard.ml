@@ -1,0 +1,91 @@
+(* Live TTY dashboard rendering.
+
+   Pure string assembly: callers (amo_run chaos --dashboard) own the
+   refresh loop, the terminal, and the throttle; this module only
+   turns a list of sections into a fixed-width frame.  Keeping it pure
+   makes every frame golden-testable without a TTY. *)
+
+type row =
+  | Kv of string * string
+  | Gauge_row of { label : string; frac : float; text : string }
+  | Spark of { label : string; values : int list }
+  | Text of string
+
+type section = { title : string; rows : row list }
+
+let section ~title rows = { title; rows }
+let kv k v = Kv (k, v)
+let kvf k fmt = Printf.ksprintf (fun v -> Kv (k, v)) fmt
+let text s = Text s
+let gauge ~label ~frac text = Gauge_row { label; frac = Float.max 0. (Float.min 1. frac); text }
+let spark ~label values = Spark { label; values }
+
+let percentiles ~label sketch =
+  Kv
+    ( label,
+      Printf.sprintf "p50=%d p90=%d p99=%d p999=%d max=%d"
+        (Sketch.percentile sketch 50.)
+        (Sketch.percentile sketch 90.)
+        (Sketch.percentile sketch 99.)
+        (Sketch.percentile sketch 99.9)
+        (Sketch.max_value sketch) )
+
+(* ANSI: clear screen + home.  Emitted once per frame by the caller so
+   successive frames repaint in place. *)
+let ansi_home = "\027[H\027[2J"
+
+(* U+2581..U+2588 lower one-eighth .. full block *)
+let bar_glyph i =
+  if i <= 0 then " "
+  else
+    let i = min i 8 in
+    let b = Bytes.create 3 in
+    Bytes.set b 0 '\xe2';
+    Bytes.set b 1 '\x96';
+    Bytes.set b 2 (Char.chr (0x80 + i));
+    Bytes.to_string b
+
+let render_spark values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let hi = List.fold_left max 1 values in
+      String.concat ""
+        (List.map
+           (fun v ->
+             if v <= 0 then " "
+             else bar_glyph (max 1 (((v * 8) + hi - 1) / hi)))
+           values)
+
+let render_gauge ~width frac =
+  let filled = int_of_float (Float.round (frac *. float_of_int width)) in
+  let filled = max 0 (min width filled) in
+  String.concat ""
+    (List.init width (fun i -> if i < filled then bar_glyph 8 else "\xc2\xb7"))
+(* middle dot for the empty part *)
+
+let render ?(width = 72) ~title ~status sections =
+  let b = Buffer.create 2048 in
+  let rule c = String.concat "" (List.init width (fun _ -> c)) in
+  Printf.bprintf b "%s\n" (rule "\xe2\x94\x80");
+  Printf.bprintf b "%s  %s\n" title status;
+  Printf.bprintf b "%s\n" (rule "\xe2\x94\x80");
+  let label_w = 18 in
+  List.iter
+    (fun s ->
+      Printf.bprintf b "%s\n" s.title;
+      List.iter
+        (fun row ->
+          match row with
+          | Kv (k, v) -> Printf.bprintf b "  %-*s %s\n" label_w k v
+          | Text t -> Printf.bprintf b "  %s\n" t
+          | Gauge_row { label; frac; text } ->
+              Printf.bprintf b "  %-*s %s %s\n" label_w label
+                (render_gauge ~width:24 frac)
+                text
+          | Spark { label; values } ->
+              Printf.bprintf b "  %-*s %s\n" label_w label (render_spark values))
+        s.rows;
+      Buffer.add_char b '\n')
+    sections;
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Live TTY dashboard frames.
+
+    Pure rendering: a frame is assembled from sections of key/value
+    rows, unicode bar gauges and sparklines, and returned as a string.
+    The caller owns the terminal and the refresh loop (see
+    [amo_run chaos --dashboard]); purity keeps frames testable without
+    a TTY. *)
+
+type row
+type section
+
+val section : title:string -> row list -> section
+val kv : string -> string -> row
+
+val kvf : string -> ('a, unit, string, row) format4 -> 'a
+(** [kvf key fmt ...]: printf-formatted value. *)
+
+val text : string -> row
+
+val gauge : label:string -> frac:float -> string -> row
+(** A 24-cell bar filled to [frac] (clamped to [0,1]), with a trailing
+    text annotation. *)
+
+val spark : label:string -> int list -> row
+(** A sparkline scaled to the max of [values]. *)
+
+val percentiles : label:string -> Sketch.t -> row
+(** One row of p50/p90/p99/p999/max from a sketch. *)
+
+val ansi_home : string
+(** Clear-screen + cursor-home escape; print before a frame to repaint
+    in place. *)
+
+val render : ?width:int -> title:string -> status:string -> section list -> string
+(** Assemble a frame (default width 72). *)

@@ -1,9 +1,7 @@
-(* Buckets: index 0 holds the value 0 (and any clamped negatives);
-   bucket b >= 1 holds values in [2^(b-1), 2^b - 1].  With 63-bit
-   OCaml ints the top bucket is 62: [2^61, max_int]. *)
+(* Bucket boundaries live in Logbucket, shared with Sketch so the two
+   can never drift apart. *)
 
-let top_bucket = 62
-let n_buckets = top_bucket + 1
+let n_buckets = Logbucket.n_buckets
 
 type t = {
   counts : int array;
@@ -22,17 +20,9 @@ let create () =
     max_v = min_int;
   }
 
-let bucket_of v =
-  if v <= 0 then 0
-  else begin
-    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
-    bits 0 v
-  end
-
-let bucket_lo b = if b <= 0 then 0 else 1 lsl (b - 1)
-
-let bucket_hi b =
-  if b <= 0 then 0 else if b >= top_bucket then max_int else (1 lsl b) - 1
+let bucket_of = Logbucket.of_value
+let bucket_lo = Logbucket.lo
+let bucket_hi = Logbucket.hi
 
 let add t v =
   let v = max 0 v in

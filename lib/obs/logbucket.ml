@@ -1,0 +1,22 @@
+(* Shared power-of-two bucketing used by Histogram and Sketch.
+
+   Index 0 holds the value 0 (and any clamped negatives); bucket
+   b >= 1 holds values in [2^(b-1), 2^b - 1].  With 63-bit OCaml ints
+   the top bucket is 62: [2^61, max_int].  Keeping the boundary math
+   in one place means the exact histogram and the sub-bucketed sketch
+   can never disagree about which power-of-two band a sample is in. *)
+
+let top_bucket = 62
+let n_buckets = top_bucket + 1
+
+let of_value v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 v
+  end
+
+let lo b = if b <= 0 then 0 else 1 lsl (b - 1)
+let hi b = if b <= 0 then 0 else if b >= top_bucket then max_int else (1 lsl b) - 1
+
+let width b = if b <= 0 then 1 else hi b - lo b + 1

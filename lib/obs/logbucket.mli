@@ -1,0 +1,26 @@
+(** Power-of-two bucket boundaries shared by {!Histogram} and
+    {!Sketch}.
+
+    Bucket [0] holds the value [0] (and clamped negatives); bucket [b]
+    ([b >= 1]) holds values in [[2^(b-1), 2^b - 1]]; the top bucket
+    (62) absorbs everything up to [max_int].  Both consumers delegate
+    here so their bucket boundaries cannot drift apart. *)
+
+val top_bucket : int
+(** Index of the last bucket (62). *)
+
+val n_buckets : int
+(** [top_bucket + 1]. *)
+
+val of_value : int -> int
+(** The bucket index a value lands in ([0..62]).  Non-positive values
+    land in bucket 0. *)
+
+val lo : int -> int
+(** Smallest value of a bucket ([0] for bucket 0). *)
+
+val hi : int -> int
+(** Largest value of a bucket ([max_int] for the top bucket). *)
+
+val width : int -> int
+(** [hi b - lo b + 1], saturating; [1] for bucket 0. *)

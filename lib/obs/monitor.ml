@@ -1,0 +1,267 @@
+(* Online oracle monitor: the streaming counterpart of
+   Analysis.Oracle, fed one event at a time through the executor's
+   probe seam instead of a finished trace.
+
+   Layering note: obs sits below analysis and core, so the oracle
+   verdicts are replicated here rather than imported — the at-most-once
+   scan, the recovery-aware effectiveness floor max 0 (n-(β+m-2)-r),
+   and the quiescence check, with each violation's detail string kept
+   byte-identical to Analysis.Oracle's (pinned by test_telemetry and
+   bench E16).  Recovery-effectiveness and quiescence only apply when
+   β >= m (Lemma 4.3: termination is only guaranteed when a process
+   may forfeit at most β >= m candidates), mirroring
+   Fault.Chaos.oracles_for.
+
+   Job-fate counts follow Obs.Ledger's precedence (dos beat recovers;
+   lost-to-crash is a property of the final crash state) so a finished
+   monitor agrees with Ledger.of_trace on the same trace. *)
+
+type violation = { oracle : string; detail : string }
+
+exception Tripped of violation
+
+type fates = {
+  performed : int;
+  doubly : int;
+  recovered : int;
+  lost : int;
+  forfeited : int;
+}
+
+type t = {
+  n : int;
+  m : int;
+  beta : int;
+  gated : bool; (* beta >= m: floor + quiescence oracles active *)
+  (* First performer per job, 0 = not yet performed.  An int array
+     (not a hashtable) keeps the per-Do path allocation-free — the
+     executor's pids are >= 1, so 0 is unambiguous.  Jobs outside
+     [1..n] (possible in a buggy run; the oracle tracks them too) go
+     to the fallback table. *)
+  first : int array;
+  first_oob : (int, int) Hashtbl.t;
+  mutable distinct : int; (* distinct jobs performed, Do(α) *)
+  mutable stream_rev : violation list; (* at-most-once, newest first *)
+  do_counts : int array; (* per in-range job *)
+  recovers : bool array;
+  announced : int array; (* per process: current candidate, 0 = none *)
+  crashed : bool array;
+  settled : bool array;
+  mutable dos : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable terminations : int;
+  mutable last_step : int;
+  mutable events : int;
+}
+
+let create ~n ~m ~beta () =
+  if n < 1 then invalid_arg "Monitor.create: n must be >= 1";
+  if m < 1 then invalid_arg "Monitor.create: m must be >= 1";
+  {
+    n;
+    m;
+    beta;
+    gated = beta >= m;
+    first = Array.make (n + 1) 0;
+    first_oob = Hashtbl.create 8;
+    distinct = 0;
+    stream_rev = [];
+    do_counts = Array.make (n + 1) 0;
+    recovers = Array.make (n + 1) false;
+    announced = Array.make (m + 1) 0;
+    crashed = Array.make (m + 1) false;
+    settled = Array.make (m + 1) false;
+    dos = 0;
+    crashes = 0;
+    restarts = 0;
+    terminations = 0;
+    last_step = 0;
+    events = 0;
+  }
+
+let in_job t j = j >= 1 && j <= t.n
+let in_proc t p = p >= 1 && p <= t.m
+
+let clear_candidate t p job =
+  if in_proc t p && t.announced.(p) = job then t.announced.(p) <- 0
+
+let observe t ~step event =
+  t.events <- t.events + 1;
+  if step > t.last_step then t.last_step <- step;
+  match event with
+  | Shm.Event.Do { p; job } ->
+      t.dos <- t.dos + 1;
+      (* streaming at-most-once: same scan as Analysis.Oracle — the
+         first performer is remembered, never displaced, and every
+         repeat yields one violation, in event order *)
+      let q =
+        if in_job t job then t.first.(job)
+        else match Hashtbl.find_opt t.first_oob job with
+          | Some q -> q
+          | None -> 0
+      in
+      if q = 0 then begin
+        t.distinct <- t.distinct + 1;
+        if in_job t job then t.first.(job) <- p
+        else Hashtbl.replace t.first_oob job p
+      end
+      else
+        t.stream_rev <-
+          {
+            oracle = "at-most-once";
+            detail =
+              Printf.sprintf "job %d performed again by p%d (first by p%d)"
+                job p q;
+          }
+          :: t.stream_rev;
+      if in_job t job then
+        t.do_counts.(job) <- t.do_counts.(job) + 1;
+      clear_candidate t p job
+  | Shm.Event.Crash { p } ->
+      t.crashes <- t.crashes + 1;
+      if in_proc t p then begin
+        t.settled.(p) <- true;
+        t.crashed.(p) <- true
+      end
+  | Shm.Event.Restart { p } ->
+      t.restarts <- t.restarts + 1;
+      if in_proc t p then begin
+        t.settled.(p) <- false;
+        t.crashed.(p) <- false
+      end
+  | Shm.Event.Terminate { p } ->
+      t.terminations <- t.terminations + 1;
+      if in_proc t p then t.settled.(p) <- true
+  | Shm.Event.Announce { p; job } -> if in_proc t p then t.announced.(p) <- job
+  | Shm.Event.Forfeit { p; job; _ } -> clear_candidate t p job
+  | Shm.Event.Recover { p; job } ->
+      if in_job t job then t.recovers.(job) <- true;
+      clear_candidate t p job
+  | Shm.Event.Pick _ | Shm.Event.Read _ | Shm.Event.Write _
+  | Shm.Event.Internal _ ->
+      ()
+
+let observe_trace t trace =
+  List.iter
+    (fun { Shm.Trace.step; event } -> observe t ~step event)
+    (Shm.Trace.entries trace)
+
+let streaming t = List.rev t.stream_rev
+let tripped t = match List.rev t.stream_rev with [] -> None | v :: _ -> Some v
+
+let distinct t = t.distinct
+let do_events t = t.dos
+let crash_count t = t.crashes
+let restart_count t = t.restarts
+let termination_count t = t.terminations
+let last_step t = t.last_step
+let event_count t = t.events
+
+let floor t =
+  if not t.gated then 0
+  else max 0 (t.n - (t.beta + t.m - 2) - t.restarts)
+
+let fates t =
+  let performed = ref 0 and doubly = ref 0 and recovered = ref 0 in
+  for job = 1 to t.n do
+    match t.do_counts.(job) with
+    | 0 -> if t.recovers.(job) then incr recovered
+    | 1 -> incr performed
+    | _ -> incr doubly
+  done;
+  (* A job still announced by a currently-crashed process, never
+     performed or re-marked, is lost to the crash (Ledger semantics:
+     evaluated over the final crash state). *)
+  let lost_flag = Array.make (t.n + 1) false in
+  for p = 1 to t.m do
+    if t.crashed.(p) && in_job t t.announced.(p) then
+      lost_flag.(t.announced.(p)) <- true
+  done;
+  let lost = ref 0 in
+  for job = 1 to t.n do
+    if lost_flag.(job) && t.do_counts.(job) = 0 && not t.recovers.(job) then
+      incr lost
+  done;
+  {
+    performed = !performed;
+    doubly = !doubly;
+    recovered = !recovered;
+    lost = !lost;
+    forfeited = t.n - !performed - !doubly - !recovered - !lost;
+  }
+
+let finalize t =
+  let stream = List.rev t.stream_rev in
+  if not t.gated then stream
+  else begin
+    let effectiveness =
+      let base = t.n - (t.beta + t.m - 2) in
+      let fl = max 0 (base - t.restarts) in
+      let count = distinct t in
+      if count >= fl then []
+      else
+        [
+          {
+            oracle = "recovery-effectiveness";
+            detail =
+              Printf.sprintf
+                "%d distinct jobs performed, recovery floor is %d (base %d, %d \
+                 restarts)"
+                count fl base t.restarts;
+          };
+        ]
+    in
+    let quiescence =
+      let missing = ref [] in
+      for p = t.m downto 1 do
+        if not t.settled.(p) then missing := p :: !missing
+      done;
+      List.map
+        (fun p ->
+          {
+            oracle = "quiescence";
+            detail = Printf.sprintf "p%d neither terminated nor crashed" p;
+          })
+        !missing
+    in
+    stream @ effectiveness @ quiescence
+  end
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.oracle v.detail
+
+let to_json t =
+  let f = fates t in
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ("m", Json.Int t.m);
+      ("beta", Json.Int t.beta);
+      ("events", Json.Int t.events);
+      ("dos", Json.Int t.dos);
+      ("distinct", Json.Int (distinct t));
+      ("floor", Json.Int (floor t));
+      ("crashes", Json.Int t.crashes);
+      ("restarts", Json.Int t.restarts);
+      ("terminations", Json.Int t.terminations);
+      ("last_step", Json.Int t.last_step);
+      ( "fates",
+        Json.Obj
+          [
+            ("performed", Json.Int f.performed);
+            ("doubly_performed", Json.Int f.doubly);
+            ("recovered", Json.Int f.recovered);
+            ("lost_crash", Json.Int f.lost);
+            ("forfeited", Json.Int f.forfeited);
+          ] );
+      ( "violations",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("oracle", Json.String v.oracle);
+                   ("detail", Json.String v.detail);
+                 ])
+             (finalize t)) );
+    ]

@@ -1,0 +1,87 @@
+(** Online oracle monitors: streaming counterparts of
+    [Analysis.Oracle], fed events one at a time through the executor's
+    probe seam (see {!Bridge.monitor_probe}) instead of a finished
+    trace.
+
+    Tracks, incrementally: at-most-once violations (reported the
+    moment the repeat [Do] streams past — the fail-fast hook for
+    soaks), the recovery-aware effectiveness floor
+    [max 0 (n - (β+m-2) - r)], quiescence, and {!Ledger}-style
+    job-fate counts.  {!finalize} on a completely-observed trace
+    returns violations {e byte-identical} to
+    [Analysis.Oracle.check_all] with the oracle set
+    [Fault.Chaos.oracles_for] would pick (at-most-once always;
+    recovery-effectiveness and quiescence only when [β >= m], per
+    Lemma 4.3) — pinned by [test_telemetry] and bench E16.
+
+    Not domain-safe: one monitor observes one executor's event
+    stream. *)
+
+type violation = { oracle : string; detail : string }
+(** Structurally identical to [Analysis.Oracle.violation] (obs sits
+    below analysis, so the type is replicated, not imported). *)
+
+exception Tripped of violation
+(** Raised by fail-fast probes ({!Bridge.monitor_probe}) on the first
+    streaming at-most-once violation. *)
+
+type fates = {
+  performed : int;
+  doubly : int;
+  recovered : int;
+  lost : int;
+  forfeited : int;
+}
+
+type t
+
+val create : n:int -> m:int -> beta:int -> unit -> t
+(** @raise Invalid_argument unless [n >= 1] and [m >= 1]. *)
+
+val observe : t -> step:int -> Shm.Event.t -> unit
+(** Feed one event.  O(1); never raises (fail-fast is the probe
+    wrapper's job, not the monitor's). *)
+
+val observe_trace : t -> Shm.Trace.t -> unit
+(** Feed every entry of a recorded trace, in order. *)
+
+val streaming : t -> violation list
+(** At-most-once violations seen so far, chronological. *)
+
+val tripped : t -> violation option
+(** The first at-most-once violation, if any — the fail-fast
+    predicate. *)
+
+val finalize : t -> violation list
+(** The full verdict over everything observed: streaming at-most-once
+    violations (chronological), then — iff [β >= m] —
+    recovery-effectiveness and quiescence, in
+    [Analysis.Oracle.check_all] order with byte-identical detail
+    strings. *)
+
+val distinct : t -> int
+(** Distinct jobs performed so far (the spec's Do(α) measure). *)
+
+val floor : t -> int
+(** Current effectiveness floor [max 0 (n - (β+m-2) - restarts)]; [0]
+    when [β < m] (no termination guarantee, Lemma 4.3). *)
+
+val fates : t -> fates
+(** Job-fate counts under {!Ledger} precedence, evaluated over the
+    events so far ([lost] counts jobs announced by currently-crashed
+    processes; exact once the run has ended). *)
+
+val do_events : t -> int
+(** Total [Do] events (not distinct jobs). *)
+
+val crash_count : t -> int
+val restart_count : t -> int
+val termination_count : t -> int
+val last_step : t -> int
+val event_count : t -> int
+
+val pp_violation : Format.formatter -> violation -> unit
+(** Same rendering as [Analysis.Oracle.pp_violation]:
+    ["[oracle] detail"]. *)
+
+val to_json : t -> Json.t

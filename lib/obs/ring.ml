@@ -1,0 +1,101 @@
+(* Bounded single-producer single-consumer ring buffer.
+
+   One producer domain pushes, one consumer domain drains; neither
+   ever blocks and the hot path allocates nothing beyond the pushed
+   value itself.  Under the OCaml 5 memory model the plain writes to
+   [buf] are published by the producer's [Atomic.set tail] (release)
+   and observed after the consumer's [Atomic.get tail] (acquire), so
+   the consumer always reads fully-written slots; symmetrically the
+   producer only reuses a slot after reading [head], which the
+   consumer advances only once the slot is cleared.
+
+   Full ring: the *newest* event is dropped (and counted) rather than
+   overwriting history — a soak that outruns its consumer loses the
+   tail of a refresh interval, not the events that led up to it, and
+   the drop counter makes the loss visible instead of silent. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  head : int Atomic.t; (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t; (* next slot to push; advanced by the producer *)
+  dropped : int Atomic.t;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    buf = Array.make cap None;
+    cap;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    dropped = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+
+(* head/tail are monotone counters; slot = counter mod cap.  They are
+   63-bit ints advancing one event at a time, so wraparound is not a
+   practical concern. *)
+
+let length t =
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0 else min n t.cap
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.cap then begin
+    Atomic.incr t.dropped;
+    false
+  end
+  else begin
+    t.buf.(tail mod t.cap) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let slot = head mod t.cap in
+    let v = t.buf.(slot) in
+    (* Clear before publishing the advance: once [head] moves the
+       producer may overwrite the slot, and clearing also drops the
+       GC reference. *)
+    t.buf.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let drain t f =
+  let n = ref 0 in
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some v ->
+        incr n;
+        f v;
+        go ()
+  in
+  go ();
+  !n
+
+let peek t =
+  (* Consumer-side snapshot without consuming: safe because only the
+     consumer calls it and the producer never touches live slots. *)
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  let acc = ref [] in
+  for i = tail - 1 downto head do
+    match t.buf.(i mod t.cap) with
+    | Some v -> acc := v :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let dropped t = Atomic.get t.dropped
+let accepted t = Atomic.get t.tail
+let total_offered t = accepted t + dropped t

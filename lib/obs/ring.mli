@@ -1,0 +1,48 @@
+(** Bounded lock-free single-producer single-consumer ring buffers.
+
+    The hot-path event channel for soak mode: a fixed-size buffer per
+    producer domain, O(1) non-blocking push, and an explicit drop
+    counter instead of unbounded sink accumulation.  When the ring is
+    full the {e newest} event is dropped (and counted) — history
+    already buffered is never overwritten, so a stalled consumer loses
+    the tail of an interval, not its beginning, and the loss is always
+    visible via {!dropped}.
+
+    Safe for exactly one producer domain and one concurrent consumer
+    domain (OCaml 5 release/acquire via the head/tail atomics).
+    Single-domain use is of course also fine. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] makes an empty ring holding at most [cap] elements.
+    @raise Invalid_argument if [cap <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently buffered (racy but bounded under concurrency). *)
+
+val push : 'a t -> 'a -> bool
+(** Producer side.  [false] means the ring was full and the value was
+    dropped (counted in {!dropped}). *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: oldest element, or [None] when empty. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Consumer side: pop-and-apply until empty; returns how many were
+    consumed. *)
+
+val peek : 'a t -> 'a list
+(** Consumer side: buffered elements oldest-first, without consuming.
+    Must not race with {!pop}/{!drain} from another domain. *)
+
+val dropped : 'a t -> int
+(** Values rejected by {!push} because the ring was full. *)
+
+val accepted : 'a t -> int
+(** Values ever accepted by {!push} (consumed or still buffered). *)
+
+val total_offered : 'a t -> int
+(** [accepted + dropped]. *)

@@ -34,6 +34,7 @@ type t =
   | Null
   | Memory of { cap : int; q : record Queue.t; mutable total : int }
   | Jsonl of { oc : out_channel; mutable total : int }
+  | Ring of record Ring.t
   | Locked of { mu : Mutex.t; inner : t }
   | Tee of t list
 
@@ -46,10 +47,11 @@ let memory ?(capacity = default_capacity) () =
   Memory { cap = capacity; q = Queue.create (); total = 0 }
 
 let jsonl oc = Jsonl { oc; total = 0 }
+let ring r = Ring r
 
 let rec is_null = function
   | Null -> true
-  | Memory _ | Jsonl _ -> false
+  | Memory _ | Jsonl _ | Ring _ -> false
   | Locked { inner; _ } -> is_null inner
   | Tee sinks -> List.for_all is_null sinks
 
@@ -72,6 +74,7 @@ let rec emit t r =
   | Jsonl j ->
       Json.to_channel j.oc (record_to_json r);
       j.total <- j.total + 1
+  | Ring rg -> ignore (Ring.push rg r)
   | Locked { mu; inner } ->
       Mutex.lock mu;
       Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> emit inner r)
@@ -79,6 +82,7 @@ let rec emit t r =
 
 let rec records = function
   | Memory m -> List.of_seq (Queue.to_seq m.q)
+  | Ring rg -> Ring.peek rg
   | Null | Jsonl _ -> []
   | Locked { mu; inner } ->
       Mutex.lock mu;
@@ -89,12 +93,13 @@ let rec total_emitted = function
   | Null -> 0
   | Memory m -> m.total
   | Jsonl j -> j.total
+  | Ring rg -> Ring.total_offered rg
   | Locked { inner; _ } -> total_emitted inner
   | Tee sinks -> List.fold_left (fun acc s -> acc + total_emitted s) 0 sinks
 
 let rec flush = function
   | Jsonl j -> Stdlib.flush j.oc
-  | Null | Memory _ -> ()
+  | Null | Memory _ | Ring _ -> ()
   | Locked { mu; inner } ->
       Mutex.lock mu;
       Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> flush inner)

@@ -52,6 +52,13 @@ val jsonl : out_channel -> t
 (** Writes each record as one minified JSON line.  The channel is
     owned by the caller (not closed by the sink); call {!flush}. *)
 
+val ring : record Ring.t -> t
+(** Lock-free bounded sink over a caller-owned {!Ring}: [emit] is a
+    non-blocking push (a full ring drops the record and bumps the
+    ring's drop counter — fixed-cost soak-mode channel), {!records}
+    peeks the buffered records, {!total_emitted} counts accepted plus
+    dropped.  SPSC: one emitting domain, one draining domain. *)
+
 val locked : t -> t
 (** Mutex-wraps a sink so whole records are emitted atomically —
     required when multiple domains share one sink (multicore runs,

@@ -36,6 +36,9 @@ let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null)
     ?(vclocks = false) ?restarter ~scheduler ~adversary handles =
   validate handles;
   let observing = not (Probe.is_null probe) in
+  (* A probe that ignores its phase argument (needs_phase = false)
+     lets us skip the per-event phase () indirection too. *)
+  let phased = observing && Probe.needs_phase probe in
   let nprocs = Array.length handles in
   (* Happens-before tagging (DESIGN.md §8): each process carries a
      vector clock, ticked once per action; a write snapshots the
@@ -82,7 +85,7 @@ let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null)
           let h = handles.(p - 1) in
           if h.Automaton.alive () then begin
             (* Capture the phase before [crash] discards it. *)
-            let phase = if observing then h.Automaton.phase () else "" in
+            let phase = if phased then h.Automaton.phase () else "" in
             h.Automaton.crash ();
             let ev = Event.Crash { p } in
             Trace.record trace ~step:!step ev;
@@ -113,13 +116,24 @@ let run ?max_steps ?(trace_level = `Outcomes) ?(probe = Probe.null)
       let p = Schedule.choose scheduler ~alive in
       let h = handles.(p - 1) in
       (* The phase is read before the step moves the automaton on;
-         with a null probe we skip it — [phase ()] may allocate. *)
-      let phase = if observing then h.Automaton.phase () else "" in
+         with a null or phase-blind probe we skip it — [phase ()] may
+         allocate. *)
+      let phase = if phased then h.Automaton.phase () else "" in
       let events = h.Automaton.step () in
       advance_clock p events;
       List.iter (Trace.record trace ~step:!step) events;
-      if observing then
-        List.iter (Probe.on_event probe ~step:!step ~phase) events;
+      if observing then begin
+        (* manual loop: a [List.iter] partial application would
+           allocate a closure on every observed step *)
+        let step = !step in
+        let rec emit = function
+          | [] -> ()
+          | ev :: rest ->
+              Probe.on_event probe ~step ~phase ev;
+              emit rest
+        in
+        emit events
+      end;
       incr step
     end
   done;

@@ -1,10 +1,15 @@
-type t = { on_event : step:int -> phase:string -> Event.t -> unit }
+type t = {
+  on_event : step:int -> phase:string -> Event.t -> unit;
+  needs_phase : bool;
+}
 
-let null = { on_event = (fun ~step:_ ~phase:_ _ -> ()) }
+let null = { on_event = (fun ~step:_ ~phase:_ _ -> ()); needs_phase = false }
 
 let is_null t = t == null
 
-let make on_event = { on_event }
+let make ?(needs_phase = true) on_event = { on_event; needs_phase }
+
+let needs_phase t = t.needs_phase
 
 let on_event t ~step ~phase ev = t.on_event ~step ~phase ev
 
@@ -17,4 +22,5 @@ let compose a b =
         (fun ~step ~phase ev ->
           a.on_event ~step ~phase ev;
           b.on_event ~step ~phase ev);
+      needs_phase = a.needs_phase || b.needs_phase;
     }

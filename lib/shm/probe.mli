@@ -17,7 +17,14 @@ val null : t
 
 val is_null : t -> bool
 
-val make : (step:int -> phase:string -> Event.t -> unit) -> t
+val make : ?needs_phase:bool -> (step:int -> phase:string -> Event.t -> unit) -> t
+(** [needs_phase] (default [true]): a probe that ignores its [phase]
+    argument may pass [false], letting the executor skip the
+    per-event [phase ()] indirection entirely (it then receives [""])
+    — the difference between a free and a measurable hook on tight
+    [`Silent] runs. *)
+
+val needs_phase : t -> bool
 
 val on_event : t -> step:int -> phase:string -> Event.t -> unit
 

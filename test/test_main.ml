@@ -25,6 +25,7 @@ let () =
       ("multicore", Test_multicore.suite);
       ("msg", Test_msg.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("fault", Test_fault.suite);
       ("conformance", Test_conformance.suite);
     ]
