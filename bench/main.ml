@@ -26,13 +26,14 @@ let experiments =
     ("e14", E14_provenance.run);
     ("e15", E15_parallel.run);
     ("e16", E16_telemetry.run);
+    ("e17", E17_fuzz.run);
     ("bechamel", Timing.run);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--csv DIR] [--json] [--json-dir DIR] [--smoke] \
-     [e1|...|e16|bechamel]...";
+     [e1|...|e17|bechamel]...";
   exit 2
 
 let check_dir ~flag dir =

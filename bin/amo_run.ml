@@ -1344,6 +1344,374 @@ let report_cmd =
       const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ plan_file
       $ whys $ out $ ledger_out $ log_level)
 
+(* ---- fuzz ---- *)
+
+(* Render one dashboard frame from the fuzzer's running stats. *)
+let fuzz_dashboard_frame ~n ~m ~beta ~budget ~blind ~elapsed
+    (st : Analysis.Fuzz.stats) =
+  let open Obs.Dashboard in
+  let execs_per_s =
+    if elapsed > 0. then float_of_int st.Analysis.Fuzz.execs /. elapsed else 0.
+  in
+  let status =
+    if st.Analysis.Fuzz.violations > 0 then
+      Printf.sprintf "%d VIOLATIONS" st.Analysis.Fuzz.violations
+    else "OK"
+  in
+  render
+    ~title:
+      (Printf.sprintf "amo_run fuzz  n=%d m=%d beta=%d%s" n m beta
+         (if blind then "  [blind]" else ""))
+    ~status
+    [
+      section ~title:"progress"
+        [
+          gauge ~label:"budget"
+            ~frac:
+              (float_of_int st.Analysis.Fuzz.execs
+              /. float_of_int (max 1 budget))
+            (Printf.sprintf "%d / %d" st.Analysis.Fuzz.execs budget);
+          kvf "throughput" "%.0f execs/s (%.1fs)" execs_per_s elapsed;
+        ];
+      section ~title:"coverage"
+        [
+          kvf "distinct states" "%d (%d lookups)"
+            st.Analysis.Fuzz.distinct_states st.Analysis.Fuzz.lookups;
+          gauge ~label:"hit rate" ~frac:(Analysis.Fuzz.hit_rate st)
+            (Printf.sprintf "%.1f%%" (100. *. Analysis.Fuzz.hit_rate st));
+          spark ~label:"novelty"
+            (downsample ~width:44
+               (List.map snd st.Analysis.Fuzz.novelty));
+        ];
+      section ~title:"corpus"
+        [
+          kvf "size" "%d (%d kept this run)" st.Analysis.Fuzz.corpus
+            st.Analysis.Fuzz.kept;
+        ];
+      section ~title:"oracles"
+        [
+          kv "verdict"
+            (if st.Analysis.Fuzz.violations = 0 then "OK"
+             else Printf.sprintf "%d violations" st.Analysis.Fuzz.violations);
+          kv "first violation"
+            (match st.Analysis.Fuzz.first_violation_exec with
+            | Some e -> Printf.sprintf "exec %d" e
+            | None -> "-");
+        ];
+    ]
+
+(* Prometheus snapshot of the fuzzer's running stats:
+   <dir>/amo_fuzz.prom, atomically replaced on each flush. *)
+let fuzz_prom_flush ~dir ~n ~m ~beta ~seed (st : Analysis.Fuzz.stats) =
+  let reg = Obs.Prom.create () in
+  let labels =
+    [ ("n", string_of_int n); ("m", string_of_int m);
+      ("beta", string_of_int beta); ("seed", string_of_int seed) ]
+  in
+  let c name help v =
+    Obs.Prom.counter reg ~name ~help ~labels (float_of_int v)
+  in
+  c "amo_fuzz_execs_total" "Plan executions performed" st.Analysis.Fuzz.execs;
+  c "amo_fuzz_kept_total" "Inputs kept for reaching a novel state"
+    st.Analysis.Fuzz.kept;
+  c "amo_fuzz_distinct_states_total" "Novel coverage fingerprints recorded"
+    st.Analysis.Fuzz.distinct_states;
+  c "amo_fuzz_state_lookups_total" "Coverage fingerprint observations"
+    st.Analysis.Fuzz.lookups;
+  c "amo_fuzz_violations_total" "Executions with an oracle violation"
+    st.Analysis.Fuzz.violations;
+  Obs.Prom.gauge reg ~name:"amo_fuzz_corpus_size" ~labels
+    ~help:"Current corpus size (seeds + keepers)"
+    (float_of_int st.Analysis.Fuzz.corpus);
+  Obs.Prom.gauge reg ~name:"amo_fuzz_coverage_hit_rate" ~labels
+    ~help:"Fraction of state observations already covered"
+    (Analysis.Fuzz.hit_rate st);
+  Obs.Prom.write_file reg (Filename.concat dir "amo_fuzz.prom")
+
+let fuzz_cmd =
+  let run budget corpus_dir n m beta_opt seed algo_kind blind minimize out_dir
+      max_steps max_seconds table_bits stop_on_violation dashboard prom_out
+      log_level json =
+    apply_log_level log_level;
+    let beta = Option.value beta_opt ~default:m in
+    let algo =
+      match algo_kind with
+      | `Kk -> Fault.Plan.Kk
+      | `Skip_check -> Fault.Plan.Kk_mutant_skip_check
+      | `Skip_recovery_mark -> Fault.Plan.Kk_mutant_skip_recovery_mark
+    in
+    (* corpus: load every *.json plan in the dir as a seed; a file that
+       does not parse or validate is a hard usage error (exit 2) — a
+       corrupted corpus must not silently shrink the seed set *)
+    let load_corpus dir =
+      let entries =
+        List.sort compare
+          (List.filter
+             (fun f -> Filename.check_suffix f ".json")
+             (Array.to_list (Sys.readdir dir)))
+      in
+      List.map
+        (fun f ->
+          let path = Filename.concat dir f in
+          match Fault.Plan.load path with
+          | Error e ->
+              Fmt.epr "amo_run: bad corpus entry %s: %s@." path e;
+              exit 2
+          | Ok plan -> (
+              match Fault.Plan.validate plan with
+              | Error e ->
+                  Fmt.epr "amo_run: bad corpus entry %s: %s@." path e;
+                  exit 2
+              | Ok () -> plan))
+        entries
+    in
+    let seeds =
+      match corpus_dir with
+      | Some dir when Sys.file_exists dir && Sys.is_directory dir -> (
+          match load_corpus dir with
+          | [] -> Fault.Fuzz.default_seeds ~algo ~seed ~n ~m ~beta ()
+          | plans -> plans)
+      | Some dir when Sys.file_exists dir ->
+          Fmt.epr "amo_run: --corpus %s is not a directory@." dir;
+          exit 2
+      | Some dir ->
+          Sys.mkdir dir 0o755;
+          Fault.Fuzz.default_seeds ~algo ~seed ~n ~m ~beta ()
+      | None -> Fault.Fuzz.default_seeds ~algo ~seed ~n ~m ~beta ()
+    in
+    (* persistence: every keeper is written back content-addressed, so
+       reloading a corpus never duplicates entries *)
+    let on_keep =
+      match corpus_dir with
+      | None -> None
+      | Some dir ->
+          Some
+            (fun (plan : Fault.Plan.t) ->
+              let body = Fault.Plan.to_string plan in
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "fuzz-%08x.json" (Hashtbl.hash body))
+              in
+              if not (Sys.file_exists path) then begin
+                let oc = open_out path in
+                output_string oc body;
+                output_char oc '\n';
+                close_out oc
+              end)
+    in
+    let t_start = Unix.gettimeofday () in
+    let last_dash = ref neg_infinity in
+    let last_prom = ref neg_infinity in
+    let telemetry ~final (st : Analysis.Fuzz.stats) =
+      let now = Unix.gettimeofday () in
+      if dashboard && (final || now -. !last_dash >= 0.1) then begin
+        last_dash := now;
+        print_string
+          (Obs.Dashboard.ansi_home
+          ^ fuzz_dashboard_frame ~n ~m ~beta ~budget ~blind
+              ~elapsed:(now -. t_start) st);
+        flush stdout
+      end;
+      match prom_out with
+      | Some dir when final || now -. !last_prom >= 1.0 ->
+          last_prom := now;
+          fuzz_prom_flush ~dir ~n ~m ~beta ~seed st
+      | _ -> ()
+    in
+    let harness =
+      if blind then Fault.Fuzz.blind_harness ?max_steps ()
+      else Fault.Fuzz.harness ?max_steps ()
+    in
+    let outcome =
+      Analysis.Fuzz.run ?table_bits ~stop_on_violation ?max_seconds ?on_keep
+        ~on_exec:(telemetry ~final:false) ~seed ~budget ~harness ~seeds ()
+    in
+    let st = outcome.Analysis.Fuzz.stats in
+    telemetry ~final:true st;
+    if dashboard then print_newline ();
+    let elapsed = Unix.gettimeofday () -. t_start in
+    (* one replayable FUZZ_*.json per distinct failure; --minimize
+       ddmin-shrinks each through the chaos shrinker first *)
+    let distinct_failures =
+      let tbl = Hashtbl.create 8 in
+      List.filter
+        (fun p ->
+          let key = Fault.Plan.to_string p in
+          if Hashtbl.mem tbl key then false
+          else begin
+            Hashtbl.add tbl key ();
+            true
+          end)
+        outcome.Analysis.Fuzz.failures
+    in
+    let saved =
+      List.mapi
+        (fun i (p : Fault.Plan.t) ->
+          let p =
+            if not minimize then p
+            else
+              match Fault.Fuzz.minimize p with
+              | Some (minimal, _) -> minimal
+              | None -> p
+          in
+          let path =
+            Filename.concat out_dir
+              (Printf.sprintf "FUZZ_%02d_%s.json" i p.Fault.Plan.name)
+          in
+          Fault.Plan.save ~path p;
+          path)
+        distinct_failures
+    in
+    if json then
+      print_endline
+        (J.to_string ~minify:false
+           (J.Obj
+              [
+                ("budget", J.Int budget);
+                ("execs", J.Int st.Analysis.Fuzz.execs);
+                ("execs_per_sec",
+                 J.Float
+                   (if elapsed > 0. then
+                      float_of_int st.Analysis.Fuzz.execs /. elapsed
+                    else 0.));
+                ("seeds", J.Int (List.length seeds));
+                ("kept", J.Int st.Analysis.Fuzz.kept);
+                ("corpus", J.Int st.Analysis.Fuzz.corpus);
+                ("distinct_states", J.Int st.Analysis.Fuzz.distinct_states);
+                ("lookups", J.Int st.Analysis.Fuzz.lookups);
+                ("hit_rate", J.Float (Analysis.Fuzz.hit_rate st));
+                ("violations", J.Int st.Analysis.Fuzz.violations);
+                ( "first_violation_exec",
+                  match st.Analysis.Fuzz.first_violation_exec with
+                  | Some e -> J.Int e
+                  | None -> J.Null );
+                ("blind", J.Bool blind);
+                ( "counterexamples",
+                  J.List (List.map (fun p -> J.String p) saved) );
+              ]))
+    else begin
+      Fmt.pr "fuzz            : %d execs in %.1fs (%.0f/s)%s@."
+        st.Analysis.Fuzz.execs elapsed
+        (if elapsed > 0. then float_of_int st.Analysis.Fuzz.execs /. elapsed
+         else 0.)
+        (if blind then "  [blind]" else "");
+      Fmt.pr "instance        : n=%d m=%d beta=%d algo=%s seed=%d@." n m beta
+        (Fault.Plan.algo_to_string algo)
+        seed;
+      Fmt.pr "corpus          : %d plans (%d seeds, %d kept)@."
+        st.Analysis.Fuzz.corpus (List.length seeds) st.Analysis.Fuzz.kept;
+      Fmt.pr "coverage        : %d distinct states, %d lookups (%.1f%% hit)@."
+        st.Analysis.Fuzz.distinct_states st.Analysis.Fuzz.lookups
+        (100. *. Analysis.Fuzz.hit_rate st);
+      (match st.Analysis.Fuzz.first_violation_exec with
+      | Some e ->
+          Fmt.pr "violations      : %d (first at exec %d)@."
+            st.Analysis.Fuzz.violations e
+      | None -> Fmt.pr "violations      : 0@.");
+      List.iter
+        (fun p -> Fmt.pr "counterexample  : %s (replay: amo_run chaos --plan)@." p)
+        saved
+    end;
+    if st.Analysis.Fuzz.violations > 0 then exit 1
+  in
+  let budget =
+    let doc = "Total execution budget (seed runs included)." in
+    Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"EXECS" ~doc)
+  in
+  let corpus_dir =
+    let doc =
+      "Persistent corpus directory: existing *.json plans seed the run \
+       (a file that fails to parse or validate exits 2); every kept input \
+       is written back content-addressed.  Created if missing."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let algo_arg =
+    let doc =
+      "Algorithm under test: kk, skip-check or skip-recovery-mark (the \
+       seeded mutants)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("kk", `Kk);
+               ("skip-check", `Skip_check);
+               ("skip-recovery-mark", `Skip_recovery_mark);
+             ])
+          `Kk
+      & info [ "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let blind_flag =
+    let doc =
+      "Disable coverage guidance: draw every input fresh instead of \
+       mutating the corpus (the Monte-Carlo control of bench E17)."
+    in
+    Arg.(value & flag & info [ "blind" ] ~doc)
+  in
+  let minimize_flag =
+    let doc =
+      "ddmin-shrink each counterexample (pin the recorded schedule, \
+       delta-minimize faults and picks) before saving it."
+    in
+    Arg.(value & flag & info [ "minimize" ] ~doc)
+  in
+  let out_dir =
+    let doc = "Directory for FUZZ_*.json counterexample plans." in
+    Arg.(value & opt string "." & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_steps_opt =
+    let doc = "Per-execution step budget (default 200000 + 1000*n*m)." in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"STEPS" ~doc)
+  in
+  let max_seconds_opt =
+    let doc =
+      "Wall-clock time box: stop drawing new inputs after $(docv) seconds \
+       (the nightly-CI knob; the budget still caps total work)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "max-seconds" ] ~docv:"SECS" ~doc)
+  in
+  let table_bits_opt =
+    let doc =
+      "log2 of the novelty table size (default 20, a 1M-slot table).  \
+       Affects search order only, never verdicts."
+    in
+    Arg.(value & opt (some int) None & info [ "table-bits" ] ~docv:"BITS" ~doc)
+  in
+  let stop_on_violation_flag =
+    let doc = "Stop at the first oracle violation instead of spending the \
+               whole budget." in
+    Arg.(value & flag & info [ "stop-on-violation" ] ~doc)
+  in
+  let dashboard_flag =
+    let doc =
+      "Live TTY dashboard: budget progress, execs/sec, coverage hit rate, \
+       the novelty curve as a sparkline, corpus size and oracle status."
+    in
+    Arg.(value & flag & info [ "dashboard" ] ~doc)
+  in
+  let prom_out =
+    let doc =
+      "Flush Prometheus text-exposition snapshots of the fuzzing stats to \
+       $(docv)/amo_fuzz.prom periodically (atomic replace)."
+    in
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Coverage-guided fuzzing over schedules and fault plans: mutate a \
+     persistent corpus, keep inputs that reach novel behavioral states \
+     (Mazurkiewicz-equivalent rediscoveries are discarded), ddmin-shrink \
+     any oracle violation into a replayable FUZZ_*.json plan."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ budget $ corpus_dir $ jobs $ procs $ beta $ seed $ algo_arg
+      $ blind_flag $ minimize_flag $ out_dir $ max_steps_opt $ max_seconds_opt
+      $ table_bits_opt $ stop_on_violation_flag $ dashboard_flag $ prom_out
+      $ log_level $ json_flag)
+
 let version_cmd =
   let run json =
     (* archived artifacts (BENCH_*.json baselines, Prometheus
@@ -1385,6 +1753,7 @@ let () =
             msg_cmd;
             explore_cmd;
             chaos_cmd;
+            fuzz_cmd;
             multicore_cmd;
             report_cmd;
             version_cmd;

@@ -40,19 +40,44 @@ let acc_feed acc events =
 
 let acc_hash acc = acc.dh
 
-let state ~handles ~stepno ~do_hash ~sleep =
-  let exception Opaque in
-  let fold_handles () =
+exception Opaque
+
+let fold_handles handles =
+  Array.fold_left
+    (fun h (a : Shm.Automaton.handle) ->
+      if a.Shm.Automaton.alive () then
+        match a.Shm.Automaton.fingerprint () with
+        | Some fp -> Util.Mix.combine h fp
+        | None -> raise Opaque
+      else Util.Mix.combine h dead_mark)
+    (Util.Mix.int 0x51) handles
+
+(* The fuzzer's coverage abstraction is deliberately BEHAVIORAL, not
+   the explorer's full machine state: the per-process phase vector,
+   per-pid do counts (pid-indexed — invariant under commutation of
+   independent actions, the Mazurkiewicz quotient), and the fault
+   count.  Job identities, register contents, PRNG seeds and step
+   counts are all excluded on purpose: with them every fresh random
+   run walks through near-unique states and blind sampling racks up
+   "novelty" from sheer entropy; without them equivalent behaviors
+   collide across runs, the common region saturates within a few
+   dozen executions, and a novel fingerprint means a genuinely new
+   behavioral situation (a phase alignment, a crash/restart depth)
+   rather than a new random draw. *)
+let cover ~handles ~do_counts ~faults =
+  let h =
     Array.fold_left
       (fun h (a : Shm.Automaton.handle) ->
         if a.Shm.Automaton.alive () then
-          match a.Shm.Automaton.fingerprint () with
-          | Some fp -> Util.Mix.combine h fp
-          | None -> raise Opaque
+          Util.Mix.combine h (Util.Mix.string (a.Shm.Automaton.phase ()))
         else Util.Mix.combine h dead_mark)
-      (Util.Mix.int 0x51) handles
+      (Util.Mix.int 0x5C) handles
   in
-  match fold_handles () with
+  let h = Array.fold_left Util.Mix.combine h do_counts in
+  Util.Mix.combine h faults
+
+let state ~handles ~stepno ~do_hash ~sleep =
+  match fold_handles handles with
   | exception Opaque -> None
   | h ->
       let h = Util.Mix.combine h stepno in

@@ -25,6 +25,20 @@ val state :
 (** The fingerprint of an exploration node, or [None] if any live
     automaton is opaque. *)
 
+val cover :
+  handles:Shm.Automaton.handle array -> do_counts:int array -> faults:int -> int
+(** The {e coverage} fingerprint used by {!Fuzz}-style novelty search:
+    a behavioral abstraction — the per-process phase vector (dead
+    processes marked), [do_counts] (per-pid performed-job counts, any
+    indexing as long as it is pid-stable; invariant under commutation
+    of independent actions, so Mazurkiewicz-equivalent prefixes
+    collide), and the cumulative [faults] count (crashes + restarts).
+    Job identities, register contents and step counts are excluded on
+    purpose: coverage must {e saturate} for novelty to be a signal,
+    and any per-run entropy source would let blind sampling mint
+    endless "new" states.  Total (never opaque): phases are always
+    available. *)
+
 val do_hash_add : int -> pid:int -> index:int -> job:int -> int
 (** Fold one [Do] event into a canonical do-prefix hash: commutative
     across pids, order-sensitive within a pid (via [index], the

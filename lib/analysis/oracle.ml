@@ -52,13 +52,35 @@ let recovery_effectiveness ~n ~m ~beta =
   let name = "recovery-effectiveness" in
   let base = n - (beta + m - 2) in
   let check trace =
+    (* The effectiveness theorems presume at most m-1 processes fail
+       PERMANENTLY — some survivor remains to drain the work.  That is
+       a runtime property, not a static one: a plan whose every crash
+       is paired with a restart can still leave a process dead forever
+       when the restart step lies beyond the run's actual end (the
+       executor stops once no live pid remains, so pending restarts
+       never fire).  A pid is permanently dead iff its last lifecycle
+       event is a crash; when every pid ends that way there is no
+       survivor for the theorem to charge, and the floor is vacuous. *)
+    let dead = Array.make (m + 1) false in
+    List.iter
+      (fun { Shm.Trace.event; _ } ->
+        match event with
+        | Shm.Event.Crash { p } -> if p >= 1 && p <= m then dead.(p) <- true
+        | Shm.Event.Restart { p } | Shm.Event.Terminate { p } ->
+            if p >= 1 && p <= m then dead.(p) <- false
+        | _ -> ())
+      (Shm.Trace.entries trace);
+    let permanently_dead = ref 0 in
+    for p = 1 to m do
+      if dead.(p) then incr permanently_dead
+    done;
     (* each restart may conservatively burn one job (the re-marked
        announcement, see Core.Kk.restart), so the floor degrades by
        one per observed restart *)
     let restarts = List.length (Shm.Trace.restarts trace) in
     let floor = max 0 (base - restarts) in
     let count = Core.Spec.do_count (Shm.Trace.do_events trace) in
-    if count >= floor then []
+    if !permanently_dead >= m || count >= floor then []
     else
       [
         {

@@ -41,7 +41,12 @@ val recovery_effectiveness : n:int -> m:int -> beta:int -> t
     [Restart] events in the trace — each restart conservatively
     forfeits at most one job (the re-marked pre-crash announcement,
     see {!Core.Kk} and DESIGN.md §7).  Equivalent to
-    {!kk_effectiveness} on restart-free traces. *)
+    {!kk_effectiveness} on restart-free traces.  Vacuous (never fires)
+    when every process ends the run permanently crashed — its last
+    lifecycle event a [Crash] with no later [Restart] — because the
+    theorems presume at most [m − 1] permanent failures, and a
+    statically-valid plan can still strand a pending restart beyond
+    the run's end. *)
 
 val ledger_agreement : n:int -> m:int -> beta:int -> t
 (** Ledger ↔ oracle reconciliation (DESIGN.md §8).  Rebuilds the

@@ -34,21 +34,11 @@ let oracles_for (plan : Plan.t) =
      ]
    else [])
 
-let run_plan ?(provenance = true) ?trace_level ?probe ?monitor
+let run_plan ?(provenance = true) ?trace_level ?probe ?state_probe ?monitor
     ?(fail_fast = false) ?max_steps (plan : Plan.t) =
   (match Plan.validate plan with
   | Ok () -> ()
   | Error e -> invalid_arg ("Chaos.run_plan: " ^ e));
-  (* compose the caller's probe with the online monitor's; the caller
-     probe runs first so its record of the fatal event is emitted
-     before a fail-fast abort unwinds the executor *)
-  let probe =
-    match (probe, monitor) with
-    | p, None -> p
-    | None, Some mon -> Some (Obs.Bridge.monitor_probe ~fail_fast mon)
-    | Some p, Some mon ->
-        Some (Shm.Probe.compose p (Obs.Bridge.monitor_probe ~fail_fast mon))
-  in
   if plan.net <> [] then
     invalid_arg "Chaos.run_plan: message-passing plan (use run_net_plan)";
   let n = plan.n and m = plan.m and beta = plan.beta in
@@ -68,6 +58,23 @@ let run_plan ?(provenance = true) ?trace_level ?probe ?monitor
           ~mutant_skip_recovery_mark ~provenance ~mode:Core.Kk.Standalone ())
   in
   let handles = Array.map Core.Kk.handle kks in
+  (* compose the caller's probe, the coverage probe (built late — it
+     needs the handles), and the online monitor's; the caller probe
+     runs first so its record of the fatal event is emitted before a
+     fail-fast abort unwinds the executor *)
+  let probe =
+    let probes =
+      List.filter_map Fun.id
+        [
+          probe;
+          Option.map (fun f -> f handles) state_probe;
+          Option.map (fun mon -> Obs.Bridge.monitor_probe ~fail_fast mon) monitor;
+        ]
+    in
+    match probes with
+    | [] -> None
+    | p :: rest -> Some (List.fold_left Shm.Probe.compose p rest)
+  in
   let scheduler, picks =
     Shm.Schedule.recording (Inject.scheduler ~plan ~rng:sched_rng)
   in

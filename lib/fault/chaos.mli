@@ -33,6 +33,7 @@ val run_plan :
   ?provenance:bool ->
   ?trace_level:Shm.Trace.level ->
   ?probe:Shm.Probe.t ->
+  ?state_probe:(Shm.Automaton.handle array -> Shm.Probe.t) ->
   ?monitor:Obs.Monitor.t ->
   ?fail_fast:bool ->
   ?max_steps:int ->
@@ -46,6 +47,11 @@ val run_plan :
     explain violations causally.  Annotations ride along existing
     steps — schedules, step counts and metrics are unchanged.
     [trace_level] and [probe] pass through to {!Shm.Executor.run}.
+    [state_probe] is a late-bound probe factory: it is applied to the
+    automaton handle array once the processes exist, letting callers
+    observe machine state per event — the coverage-guided fuzzer
+    ({!Fuzz}) builds its {!Analysis.Fingerprint.cover} feed this way.
+    It composes between [probe] and the monitor.
     [monitor] attaches an online {!Obs.Monitor} fed every executor
     event (composed after [probe], so probe records are emitted before
     any abort); with [fail_fast] (default [false]) the run raises

@@ -105,7 +105,7 @@ let validate t =
       | Bursty k when k < 1 -> Some "bursty burst must be >= 1"
       | Bursty _ -> None
       | Fixed picks ->
-          if List.for_all (fun p -> p >= 1 && p <= t.m) picks then None
+          if Shm.Schedule.well_formed ~m:t.m picks then None
           else Some "fixed schedule pid out of range"
     in
     match bad_sched with

@@ -124,6 +124,10 @@ val horizon : n:int -> m:int -> int
 (** Rough step-count upper estimate for a failure-free run; fault
     windows are placed within it. *)
 
+val gen_phases : string array
+(** The automaton phase names {!gen} targets with [Crash_in_phase];
+    shared with the fuzzer's fault-mutation operators ({!Fuzz}). *)
+
 val gen :
   ?algo:algo ->
   ?recovery:bool ->

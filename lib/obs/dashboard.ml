@@ -20,6 +20,24 @@ let text s = Text s
 let gauge ~label ~frac text = Gauge_row { label; frac = Float.max 0. (Float.min 1. frac); text }
 let spark ~label values = Spark { label; values }
 
+(* Max-pooling: peaks survive, which is what a live curve (novelty
+   spikes, drop bursts) must not lose when squeezed into a row. *)
+let downsample ~width values =
+  if width < 1 then invalid_arg "Dashboard.downsample: width must be >= 1";
+  let n = List.length values in
+  if n <= width then values
+  else begin
+    let vs = Array.of_list values in
+    List.init width (fun b ->
+        (* bucket b covers [lo, hi): contiguous, exhaustive *)
+        let lo = b * n / width and hi = (b + 1) * n / width in
+        let acc = ref vs.(lo) in
+        for i = lo + 1 to hi - 1 do
+          if vs.(i) > !acc then acc := vs.(i)
+        done;
+        !acc)
+  end
+
 let percentiles ~label sketch =
   Kv
     ( label,

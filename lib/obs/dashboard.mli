@@ -24,6 +24,13 @@ val gauge : label:string -> frac:float -> string -> row
 val spark : label:string -> int list -> row
 (** A sparkline scaled to the max of [values]. *)
 
+val downsample : width:int -> int list -> int list
+(** Squeeze a series to at most [width] points by max-pooling over
+    contiguous buckets, so peaks survive the compression — feed long
+    live curves (e.g. a fuzzer's novelty history) through this before
+    {!spark}.  Series of [width] or fewer points pass through
+    unchanged.  @raise Invalid_argument when [width < 1]. *)
+
 val percentiles : label:string -> Sketch.t -> row
 (** One row of p50/p90/p99/p999/max from a sketch. *)
 

@@ -89,6 +89,8 @@ let recording inner =
   in
   (wrapped, fun () -> List.rev !picks)
 
+let well_formed ~m picks = List.for_all (fun p -> p >= 1 && p <= m) picks
+
 let fixed seq =
   let pending = ref seq in
   let fallback = round_robin () in

@@ -35,6 +35,14 @@ val biased : Util.Prng.t -> favourite:int -> weight:int -> t
 (** Choose [favourite] [weight] times more often than each other live
     process (when it is alive).  Models starvation-ish schedules. *)
 
+val well_formed : m:int -> int list -> bool
+(** A pick sequence is well-formed for an [m]-process instance when
+    every pick names a pid in [1..m].  This is the full {!fixed}
+    contract — dead or exhausted picks are handled at choose time —
+    so any well-formed sequence is replayable.  Schedule-mutating
+    tools (the fault-plan fuzzer, ddmin) check candidates against
+    this before running them. *)
+
 val fixed : int list -> t
 (** Replay an explicit pid sequence; after the sequence is exhausted,
     fall back to round-robin.  Pids in the sequence that are no longer

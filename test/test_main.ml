@@ -16,6 +16,7 @@ let () =
       ("kk", Test_kk.suite);
       ("superjob", Test_superjob.suite);
       ("analysis", Test_analysis.suite);
+      ("montecarlo", Test_montecarlo.suite);
       ("explore", Test_explore.suite);
       ("pexplore", Test_pexplore.suite);
       ("claim-scan", Test_claim_scan.suite);
@@ -27,5 +28,6 @@ let () =
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
       ("fault", Test_fault.suite);
+      ("fuzz", Test_fuzz.suite);
       ("conformance", Test_conformance.suite);
     ]

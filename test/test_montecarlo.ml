@@ -1,0 +1,108 @@
+(* Unit tests for Analysis.Montecarlo: summary statistics against a
+   hand-computed distribution, argmin/argmax seed attribution (ties go
+   to the earliest seed), reproducibility, the sweep_runs seed ladder,
+   and the empty-seed-list contract. *)
+
+module M = Analysis.Montecarlo
+
+let feq = Alcotest.float 1e-9
+
+(* seeds 10..40 mapped to the fixed distribution [4; 1; 7; 4] *)
+let fixed ~seed =
+  match seed with
+  | 10 -> 4.
+  | 20 -> 1.
+  | 30 -> 7.
+  | 40 -> 4.
+  | _ -> Alcotest.failf "unexpected seed %d" seed
+
+let test_hand_computed () =
+  let calls = ref 0 in
+  let s =
+    M.sweep ~seeds:[ 10; 20; 30; 40 ] ~f:(fun ~seed ->
+        incr calls;
+        fixed ~seed)
+  in
+  Alcotest.(check int) "one evaluation per seed" 4 !calls;
+  Alcotest.(check int) "runs" 4 s.M.runs;
+  Alcotest.check feq "mean" 4. s.M.mean;
+  (* deviations 0, -3, 3, 0 -> ss 18, Bessel /3 -> sqrt 6 *)
+  Alcotest.check feq "stddev" (sqrt 6.) s.M.stddev;
+  Alcotest.check feq "min" 1. s.M.min;
+  Alcotest.check feq "max" 7. s.M.max;
+  (* sorted [1;4;4;7]: p50 interpolates ranks 1..2 -> 4;
+     p95 sits at pos 2.85 -> 4 + 0.85 * (7 - 4) *)
+  Alcotest.check feq "p50" 4. s.M.p50;
+  Alcotest.check feq "p95" (4. +. (0.85 *. 3.)) s.M.p95;
+  Alcotest.(check int) "argmin seed" 20 s.M.argmin_seed;
+  Alcotest.(check int) "argmax seed" 30 s.M.argmax_seed
+
+let test_singleton () =
+  let s = M.sweep ~seeds:[ 7 ] ~f:(fun ~seed -> float_of_int seed) in
+  Alcotest.(check int) "runs" 1 s.M.runs;
+  Alcotest.check feq "mean" 7. s.M.mean;
+  Alcotest.check feq "stddev is 0 for a singleton" 0. s.M.stddev;
+  Alcotest.check feq "min = max = p50" 7. s.M.p50;
+  Alcotest.(check int) "argmin seed" 7 s.M.argmin_seed;
+  Alcotest.(check int) "argmax seed" 7 s.M.argmax_seed
+
+(* The extremum seeds must be reproducible handles: fold with strict
+   comparison keeps the FIRST seed attaining the extremum, so a tie
+   cannot silently re-attribute an outlier. *)
+let test_tie_goes_to_first_seed () =
+  let f ~seed = match seed with 10 -> 5. | 20 -> 3. | _ -> 3. in
+  let s = M.sweep ~seeds:[ 10; 20; 30 ] ~f in
+  Alcotest.(check int) "argmin tie -> first" 20 s.M.argmin_seed;
+  let g ~seed = match seed with 10 -> 2. | _ -> 9. in
+  let s = M.sweep ~seeds:[ 10; 20; 30 ] ~f:g in
+  Alcotest.(check int) "argmax tie -> first" 20 s.M.argmax_seed
+
+(* Re-running the argmin seed in isolation reproduces the reported
+   minimum — the whole point of recording seeds, using a real seeded
+   observable (jobs done under a seeded random schedule). *)
+let test_argmin_reproduces () =
+  let observable ~seed =
+    let rng = Util.Prng.of_int seed in
+    float_of_int (1 + Util.Prng.int rng 1000)
+  in
+  let s = M.sweep_runs ~k:20 ~base:500 ~f:observable () in
+  Alcotest.check feq "argmin re-runs to the reported min" s.M.min
+    (observable ~seed:s.M.argmin_seed);
+  Alcotest.check feq "argmax re-runs to the reported max" s.M.max
+    (observable ~seed:s.M.argmax_seed);
+  let s' = M.sweep_runs ~k:20 ~base:500 ~f:observable () in
+  Alcotest.(check bool) "sweep is deterministic" true (s = s')
+
+let test_sweep_runs_ladder () =
+  let seen = ref [] in
+  let s =
+    M.sweep_runs ~k:5 ~base:100
+      ~f:(fun ~seed ->
+        seen := seed :: !seen;
+        float_of_int seed)
+      ()
+  in
+  Alcotest.(check (list int))
+    "seeds are base..base+k-1" [ 100; 101; 102; 103; 104 ] (List.rev !seen);
+  Alcotest.(check int) "runs" 5 s.M.runs;
+  (* default base is 0 *)
+  let s0 = M.sweep_runs ~k:3 ~f:(fun ~seed -> float_of_int seed) () in
+  Alcotest.check feq "default base 0: min" 0. s0.M.min
+
+let test_empty_seeds_rejected () =
+  Alcotest.check_raises "empty seed list"
+    (Invalid_argument "Montecarlo.sweep: empty seed list") (fun () ->
+      ignore (M.sweep ~seeds:[] ~f:(fun ~seed:_ -> 0.)))
+
+let suite =
+  [
+    Alcotest.test_case "hand-computed distribution" `Quick test_hand_computed;
+    Alcotest.test_case "singleton sweep" `Quick test_singleton;
+    Alcotest.test_case "extremum ties keep first seed" `Quick
+      test_tie_goes_to_first_seed;
+    Alcotest.test_case "argmin/argmax seeds reproduce" `Quick
+      test_argmin_reproduces;
+    Alcotest.test_case "sweep_runs seed ladder" `Quick test_sweep_runs_ladder;
+    Alcotest.test_case "empty seed list rejected" `Quick
+      test_empty_seeds_rejected;
+  ]
