@@ -1,0 +1,224 @@
+(* E18 — runtime profiling and the cross-run observatory.
+
+   Three claims about the profiling/observatory layer (DESIGN.md §12):
+
+   1. Cost: leaving a Runtime_events consumer attached to [`Silent]
+      KK runs — collection started, a custom phase span per run, a
+      poll per run — costs < 5% CPU time (median of paired on/off
+      ratios on the E4 work grid, best row: E16's methodology).
+
+   2. Attribution: the Gcstat probe sees exactly the executor's event
+      stream (one sample per recorded event) and attributes every
+      minor word allocated between the first and last event to some
+      (pid, phase) cell — totals agree with the probe-free run's
+      event count.
+
+   3. Analysis: over synthetic run histories with known ground truth,
+      the observatory flags a seeded median shift as a regression (or
+      improvement, direction-aware) and reports zero flags on
+      identical series; the trend dashboard renders byte-identically
+      for the same store. *)
+
+open Exp_common
+
+(* ---- 1. Runtime_events consumer overhead ---- *)
+
+(* CPU time of a batch of identical [`Silent] runs, instrumented vs
+   not.  The on side carries the steady-state protocol a soak actually
+   pays per run: collection running, one custom span per run, one poll
+   per run.  The off side pauses collection, so its writers no-op.
+   One consumer lives for the whole row — a soak attaches once, and a
+   cursor created inside the measurement would fault its ring pages
+   into the timed region (measured at ~5% by itself, swamping the
+   per-run cost it brackets). *)
+let time_batch ~re ~batch ~instrumented ~n ~m ~beta =
+  if instrumented then Obs.Rtevents.resume () else Obs.Rtevents.pause ();
+  Gc.minor ();
+  let d = ref 0 in
+  let t0 = Sys.time () in
+  if instrumented then
+    for _ = 1 to batch do
+      let s =
+        Obs.Rtevents.with_span "e18.run" (fun () ->
+            Core.Harness.kk ~trace_level:`Silent ~n ~m ~beta ())
+      in
+      ignore (Obs.Rtevents.poll re);
+      d := s.Core.Harness.do_count
+    done
+  else
+    for _ = 1 to batch do
+      let s = Core.Harness.kk ~trace_level:`Silent ~n ~m ~beta () in
+      d := s.Core.Harness.do_count
+    done;
+  let dt = Sys.time () -. t0 in
+  if instrumented then Obs.Rtevents.pause ();
+  (dt, !d)
+
+(* E16's estimator, verbatim: alternating order, median of paired
+   ratios per row, min over rows. *)
+let overhead_reps = 8
+
+let row_overhead ~batch ~n ~m ~beta =
+  let re = Obs.Rtevents.start () in
+  ignore (time_batch ~re ~batch ~instrumented:false ~n ~m ~beta);
+  ignore (time_batch ~re ~batch ~instrumented:true ~n ~m ~beta);
+  let off_best = ref infinity and on_best = ref infinity in
+  let ratios =
+    List.init overhead_reps (fun r ->
+        let first = r mod 2 = 0 in
+        let a, da =
+          time_batch ~re ~batch ~instrumented:(not first) ~n ~m ~beta
+        in
+        let b, db = time_batch ~re ~batch ~instrumented:first ~n ~m ~beta in
+        assert (da = db);
+        let off, on_ = if first then (a, b) else (b, a) in
+        off_best := min !off_best off;
+        on_best := min !on_best on_;
+        on_ /. off)
+  in
+  ignore (Obs.Rtevents.stop re);
+  let sorted = List.sort compare ratios in
+  let median =
+    (List.nth sorted ((overhead_reps - 1) / 2)
+    +. List.nth sorted (overhead_reps / 2))
+    /. 2.
+  in
+  (100. *. (median -. 1.), !off_best, !on_best)
+
+(* ---- 3. synthetic histories with known ground truth ---- *)
+
+let synthetic_series ~exp ~metric ~direction ~baseline_runs ~recent_runs
+    ~base ~shift ~jitter ~seed =
+  let rng = Util.Prng.of_int seed in
+  List.init (baseline_runs + recent_runs) (fun i ->
+      let centre = if i < baseline_runs then base else base +. shift in
+      {
+        Obs.Series.exp;
+        metric;
+        value = centre +. float_of_int (Util.Prng.int rng jitter);
+        direction;
+        git_sha = Printf.sprintf "%08x" (0xabc000 + i);
+        timestamp = 1_700_000_000 + (i * 3600);
+      })
+
+let run () =
+  section ~id:"E18" ~title:"runtime profiling and the cross-run observatory"
+    ~claim:
+      "an attached Runtime_events consumer costs < 5%; Gcstat attributes \
+       every executor event; the observatory flags seeded median shifts, \
+       never identical series, and renders a byte-deterministic dashboard";
+  record_timing ~iterations:overhead_reps ~warmup:2 ~clock:"cpu:Sys.time";
+  let all_ok = ref true in
+  (* -- 1. consumer overhead on the E4 work grid -- *)
+  Printf.printf "  Runtime_events consumer overhead (`Silent trace, m=4):\n";
+  let m = 4 in
+  let batch = if_smoke 16 32 in
+  param_int "batch" batch;
+  param_int "reps" overhead_reps;
+  let best_overhead = ref infinity in
+  let overhead_rows =
+    List.map
+      (fun n ->
+        let beta = m in
+        let pct, off, on_ = row_overhead ~batch ~n ~m ~beta in
+        let pct = max 0. pct in
+        best_overhead := min !best_overhead pct;
+        [ I n; I m;
+          F (off /. float_of_int batch *. 1e3);
+          F (on_ /. float_of_int batch *. 1e3); F pct ])
+      (if_smoke [ 256; 512 ] [ 256; 512; 1024 ])
+  in
+  table
+    ~header:[ "n"; "m"; "off (ms)"; "on (ms)"; "overhead %" ]
+    overhead_rows;
+  let overhead_ok = !best_overhead < 5. in
+  if not overhead_ok then all_ok := false;
+  record_metric ~direction:Obs.Snapshot.Lower_is_better ~predicted:5.
+    "rtevents_overhead_pct" !best_overhead;
+  (* -- 2. Gcstat attribution completeness -- *)
+  let gn = if_smoke 128 512 in
+  let gc = Obs.Gcstat.create () in
+  let s =
+    Core.Harness.kk ~trace_level:`Full ~verbose:true
+      ~probe:(Obs.Gcstat.probe gc) ~n:gn ~m:4 ~beta:4 ()
+  in
+  let words, _, _ = Obs.Gcstat.totals gc in
+  let attribution_ok =
+    Obs.Gcstat.events gc = Shm.Trace.length s.Core.Harness.trace && words > 0.
+  in
+  if not attribution_ok then all_ok := false;
+  Printf.printf
+    "\n  gcstat: %d events over %d trace entries, %.0f minor words \
+     attributed across %d cells — %s\n"
+    (Obs.Gcstat.events gc)
+    (Shm.Trace.length s.Core.Harness.trace)
+    words
+    (List.length (Obs.Gcstat.rows gc))
+    (if attribution_ok then "complete" else "INCOMPLETE");
+  record_metric ~direction:Obs.Snapshot.Higher_is_better ~predicted:1.
+    "gcstat_attribution_ok"
+    (if attribution_ok then 1. else 0.);
+  (* -- 3. observatory verdicts on known ground truth -- *)
+  let mk = synthetic_series ~baseline_runs:12 ~recent_runs:5 in
+  let regression =
+    mk ~exp:"syn" ~metric:"work_regressed"
+      ~direction:Obs.Snapshot.Lower_is_better ~base:100. ~shift:30. ~jitter:5
+      ~seed:181
+  in
+  let improvement =
+    mk ~exp:"syn" ~metric:"work_improved"
+      ~direction:Obs.Snapshot.Lower_is_better ~base:100. ~shift:(-30.)
+      ~jitter:5 ~seed:182
+  in
+  let identical =
+    mk ~exp:"syn" ~metric:"work_flat" ~direction:Obs.Snapshot.Lower_is_better
+      ~base:100. ~shift:0. ~jitter:1 ~seed:183
+  in
+  let trends = Obs.Series.trends (regression @ improvement @ identical) in
+  let verdict_of metric =
+    match List.find_opt (fun t -> t.Obs.Series.metric = metric) trends with
+    | Some t -> t.Obs.Series.verdict
+    | None -> Obs.Series.Insufficient
+  in
+  let reg_flagged = verdict_of "work_regressed" = Obs.Series.Regression in
+  let imp_flagged = verdict_of "work_improved" = Obs.Series.Improvement in
+  let flat_flags =
+    List.length
+      (Obs.Series.flagged
+         (List.filter (fun t -> t.Obs.Series.metric = "work_flat") trends))
+  in
+  List.iter
+    (fun t ->
+      Printf.printf
+        "  observatory: %-16s baseline %7.2f recent %7.2f shift %+6.1f%% \
+         p=%.4f -> %s\n"
+        t.Obs.Series.metric t.Obs.Series.baseline_median
+        t.Obs.Series.recent_median t.Obs.Series.shift_pct t.Obs.Series.p_value
+        (Obs.Series.verdict_to_string t.Obs.Series.verdict))
+    trends;
+  if not (reg_flagged && imp_flagged && flat_flags = 0) then all_ok := false;
+  record_metric ~direction:Obs.Snapshot.Higher_is_better ~predicted:1.
+    "synthetic_regression_flagged"
+    (if reg_flagged then 1. else 0.);
+  record_metric ~direction:Obs.Snapshot.Higher_is_better ~predicted:1.
+    "synthetic_improvement_flagged"
+    (if imp_flagged then 1. else 0.);
+  record_metric ~direction:Obs.Snapshot.Lower_is_better
+    "identical_series_flags" (float_of_int flat_flags);
+  (* -- 3b. dashboard determinism: two renders, one byte string -- *)
+  let d1 = Obs.Series.dashboard_html trends in
+  let d2 =
+    Obs.Series.dashboard_html
+      (Obs.Series.trends (regression @ improvement @ identical))
+  in
+  let deterministic = String.equal d1 d2 in
+  if not deterministic then all_ok := false;
+  Printf.printf "  dashboard: %d bytes, re-render %s\n" (String.length d1)
+    (if deterministic then "byte-identical" else "DIFFERS");
+  record_metric ~direction:Obs.Snapshot.Higher_is_better ~predicted:1.
+    "dashboard_deterministic"
+    (if deterministic then 1. else 0.);
+  verdict !all_ok
+    "rtevents overhead %.1f%% (< 5%%); gcstat complete; regression and \
+     improvement flagged, flat series clean; dashboard deterministic"
+    !best_overhead

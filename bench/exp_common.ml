@@ -25,12 +25,22 @@ let current_claim = ref ""
 let rev_params : (string * Obs.Json.t) list ref = ref []
 let rev_metrics : Obs.Snapshot.metric list ref = ref []
 
+(* Snapshot schema v2: every BENCH_*.json says how its numbers were
+   taken.  Experiments that measure wall-clock time override this via
+   [record_timing]; the default describes the single-pass simulator
+   measurement. *)
+let current_timing : Obs.Snapshot.timing ref = ref Obs.Snapshot.default_timing
+
+let record_timing ~iterations ~warmup ~clock =
+  current_timing := { Obs.Snapshot.iterations; warmup; clock }
+
 let section ~id ~title ~claim =
   current_id := id;
   current_title := title;
   current_claim := claim;
   rev_params := [];
   rev_metrics := [];
+  current_timing := Obs.Snapshot.default_timing;
   Printf.printf "\n=== %s: %s ===\n" id title;
   Printf.printf "    paper claim: %s\n\n" claim
 
@@ -78,7 +88,7 @@ let write_snapshot ~ok =
         Obs.Snapshot.make ~title:!current_title ~claim:!current_claim
           ~params:(List.rev !rev_params)
           ~metrics:(List.rev !rev_metrics)
-          ~ok
+          ~timing:!current_timing ~ok
           (String.lowercase_ascii !current_id)
       in
       let path = Obs.Snapshot.save ~dir snap in

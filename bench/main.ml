@@ -27,13 +27,14 @@ let experiments =
     ("e15", E15_parallel.run);
     ("e16", E16_telemetry.run);
     ("e17", E17_fuzz.run);
+    ("e18", E18_observatory.run);
     ("bechamel", Timing.run);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--csv DIR] [--json] [--json-dir DIR] [--smoke] \
-     [e1|...|e17|bechamel]...";
+     [e1|...|e18|bechamel]...";
   exit 2
 
 let check_dir ~flag dir =

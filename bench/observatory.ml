@@ -1,0 +1,247 @@
+(* Cross-run performance observatory CLI.
+
+     dune exec bench/observatory.exe -- append --store series.jsonl \
+       --snapshots OUT --git-sha $(git rev-parse --short HEAD)
+     dune exec bench/observatory.exe -- report --store series.jsonl \
+       --html trends.html --format github
+
+   [append] folds one bench run's BENCH_*.json snapshots into the
+   append-only JSONL history; [report] runs the trend analysis
+   (Mann-Whitney U + bootstrap CI, direction-aware) over the
+   accumulated history, renders the byte-deterministic HTML dashboard,
+   and gates on regressions the way compare.exe gates on baselines —
+   but longitudinally, against the store's own past instead of a
+   single committed snapshot. *)
+
+let usage_lines =
+  [
+    "usage: observatory.exe append --store FILE --snapshots DIR";
+    "                       [--git-sha SHA] [--timestamp SECS]";
+    "       observatory.exe report --store FILE [--html FILE] [--json]";
+    "                       [--window N] [--alpha P] [--min-shift PCT]";
+    "                       [--min-points N] [--warn-only]";
+    "                       [--format plain|github]";
+    "";
+    "append: convert every BENCH_*.json in --snapshots into series";
+    "entries (the same measured/predicted quantity compare.exe gates";
+    "on) and append them to the JSONL store.  --git-sha defaults to";
+    "\"unknown\", --timestamp to the current unix time.";
+    "";
+    "report: analyse every (exp, metric) series in the store: the last";
+    "--window runs (default 5) against everything before them, flagged";
+    "only when the Mann-Whitney U test is significant (p < --alpha,";
+    "default 0.05), the median shift exceeds --min-shift percent";
+    "(default 5), and the recent median escapes the baseline median's";
+    "bootstrap confidence interval.  --html writes the trend dashboard;";
+    "--json prints the trend list as JSON; --format github adds";
+    "workflow-command annotations.";
+    "";
+    "exit codes:";
+    "  0  no regressions (improvements and stable series are fine)";
+    "  1  at least one regression flagged (unless --warn-only)";
+    "  2  unreadable store/snapshots or usage error";
+  ]
+
+let usage () =
+  List.iter prerr_endline usage_lines;
+  exit 2
+
+let help () =
+  List.iter print_endline usage_lines;
+  exit 0
+
+let is_snapshot f =
+  String.length f > 6
+  && String.sub f 0 6 = "BENCH_"
+  && Filename.check_suffix f ".json"
+
+let append_cmd args =
+  let store = ref "" in
+  let snapshots = ref "" in
+  let git_sha = ref "unknown" in
+  let timestamp = ref (int_of_float (Unix.time ())) in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ -> help ()
+    | "--store" :: f :: rest ->
+        store := f;
+        parse rest
+    | "--snapshots" :: d :: rest ->
+        snapshots := d;
+        parse rest
+    | "--git-sha" :: s :: rest ->
+        git_sha := s;
+        parse rest
+    | "--timestamp" :: t :: rest -> (
+        match int_of_string_opt t with
+        | Some t ->
+            timestamp := t;
+            parse rest
+        | None -> usage ())
+    | _ -> usage ()
+  in
+  parse args;
+  if !store = "" || !snapshots = "" then usage ();
+  if not (Sys.file_exists !snapshots && Sys.is_directory !snapshots) then begin
+    Printf.eprintf "observatory: %s is not a directory\n" !snapshots;
+    exit 2
+  end;
+  let files =
+    Sys.readdir !snapshots |> Array.to_list |> List.filter is_snapshot
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Printf.eprintf "observatory: no BENCH_*.json snapshots in %s\n" !snapshots;
+    exit 2
+  end;
+  let entries =
+    List.concat_map
+      (fun file ->
+        let path = Filename.concat !snapshots file in
+        match Obs.Snapshot.load path with
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" path e;
+            exit 2
+        | Ok snap ->
+            Obs.Series.of_snapshot ~git_sha:!git_sha ~timestamp:!timestamp snap)
+      files
+  in
+  Obs.Series.append ~path:!store entries;
+  Printf.printf "appended %d entries from %d snapshot(s) to %s (sha %s)\n"
+    (List.length entries) (List.length files) !store !git_sha
+
+let report_cmd args =
+  let store = ref "" in
+  let html = ref None in
+  let json = ref false in
+  let window = ref 5 in
+  let alpha = ref 0.05 in
+  let min_shift = ref 5. in
+  let min_points = ref 6 in
+  let warn_only = ref false in
+  let github = ref false in
+  let set_format = function
+    | "plain" -> github := false
+    | "github" -> github := true
+    | _ -> usage ()
+  in
+  let int_arg r v rest parse =
+    match int_of_string_opt v with
+    | Some v when v > 0 ->
+        r := v;
+        parse rest
+    | _ -> usage ()
+  in
+  let float_arg r v rest parse =
+    match float_of_string_opt v with
+    | Some v when v > 0. ->
+        r := v;
+        parse rest
+    | _ -> usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ -> help ()
+    | "--store" :: f :: rest ->
+        store := f;
+        parse rest
+    | "--html" :: f :: rest ->
+        html := Some f;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--window" :: v :: rest -> int_arg window v rest parse
+    | "--min-points" :: v :: rest -> int_arg min_points v rest parse
+    | "--alpha" :: v :: rest -> float_arg alpha v rest parse
+    | "--min-shift" :: v :: rest -> float_arg min_shift v rest parse
+    | "--warn-only" :: rest ->
+        warn_only := true;
+        parse rest
+    | "--format" :: f :: rest ->
+        set_format f;
+        parse rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--format=" ->
+        set_format (String.sub a 9 (String.length a - 9));
+        parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  if !store = "" then usage ();
+  let entries =
+    match Obs.Series.load ~path:!store with
+    | Ok es -> es
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+  in
+  let trends =
+    Obs.Series.trends ~window:!window ~alpha:!alpha ~min_shift_pct:!min_shift
+      ~min_points:!min_points entries
+  in
+  if !json then
+    print_endline
+      (Obs.Json.to_string ~minify:false (Obs.Series.trends_json trends))
+  else begin
+    Printf.printf "%d entries, %d series (window %d, alpha %g, min shift %g%%)\n"
+      (List.length entries) (List.length trends) !window !alpha !min_shift;
+    List.iter
+      (fun (t : Obs.Series.trend) ->
+        Printf.printf
+          "  %-10s %-28s %3d runs  %10.4f -> %10.4f (%+6.1f%%) p=%.4f  %s\n"
+          t.Obs.Series.exp t.Obs.Series.metric
+          (List.length t.Obs.Series.points)
+          t.Obs.Series.baseline_median t.Obs.Series.recent_median
+          t.Obs.Series.shift_pct t.Obs.Series.p_value
+          (String.uppercase_ascii
+             (Obs.Series.verdict_to_string t.Obs.Series.verdict)))
+      trends
+  end;
+  (match !html with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Series.dashboard_html ~window:!window trends));
+      if not !json then Printf.printf "dashboard: %s\n" path
+  | None -> ());
+  let annotate ~error title fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if !github then
+          Printf.printf "::%s title=%s::%s\n"
+            (if error then "error" else "warning")
+            title msg)
+      fmt
+  in
+  List.iter
+    (fun (t : Obs.Series.trend) ->
+      match t.Obs.Series.verdict with
+      | Obs.Series.Regression ->
+          annotate ~error:(not !warn_only) "observatory regression"
+            "%s %s: median %.4f -> %.4f (%+.1f%%, p=%.4f) over the last %d runs"
+            t.Obs.Series.exp t.Obs.Series.metric t.Obs.Series.baseline_median
+            t.Obs.Series.recent_median t.Obs.Series.shift_pct
+            t.Obs.Series.p_value !window
+      | Obs.Series.Improvement ->
+          annotate ~error:false "observatory improvement"
+            "%s %s: median %.4f -> %.4f (%+.1f%%, p=%.4f)" t.Obs.Series.exp
+            t.Obs.Series.metric t.Obs.Series.baseline_median
+            t.Obs.Series.recent_median t.Obs.Series.shift_pct
+            t.Obs.Series.p_value
+      | _ -> ())
+    trends;
+  let n_reg = List.length (Obs.Series.regressions trends) in
+  if n_reg > 0 then
+    if !warn_only then
+      Printf.printf "warn-only mode: %d regression(s) reported but not fatal\n"
+        n_reg
+    else exit 1
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "append" :: rest -> append_cmd rest
+  | "report" :: rest -> report_cmd rest
+  | ("--help" | "-h") :: _ -> help ()
+  | _ -> usage ()

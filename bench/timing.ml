@@ -96,13 +96,21 @@ let tests =
         (module Twothree);
     ]
 
+(* Measurement methodology, recorded verbatim into the snapshot's
+   timing block so archived numbers are self-describing. *)
+let run_limit = 2000
+let quota_seconds = 0.5
+let clock_source = "bechamel:monotonic-clock"
+
 let benchmark () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:run_limit
+      ~quota:(Time.second quota_seconds)
+      ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
@@ -111,7 +119,15 @@ let benchmark () =
   Analyze.merge ols instances results
 
 let run () =
-  Printf.printf "\n=== T1: wall-clock timings (Bechamel, monotonic clock) ===\n\n";
+  Exp_common.section ~id:"bechamel"
+    ~title:"Wall-clock timings (Bechamel, monotonic clock)"
+    ~claim:
+      "ties the ledger's basic-operation counts to actual seconds on the host";
+  (* bechamel's OLS over the run predictor subsumes warm-up: samples at
+     every batch size contribute, none are discarded *)
+  Exp_common.record_timing ~iterations:run_limit ~warmup:0 ~clock:clock_source;
+  Exp_common.param_int "run_limit" run_limit;
+  Exp_common.param_str "quota" (Printf.sprintf "%gs" quota_seconds);
   let results = benchmark () in
   let clock = Measure.label Instance.monotonic_clock in
   let tbl = Hashtbl.find results clock in
@@ -125,6 +141,8 @@ let run () =
   List.iter
     (fun (name, ns) ->
       if ns >= 1e6 then Printf.printf "  %-40s %10.3f ms/run\n" name (ns /. 1e6)
-      else Printf.printf "  %-40s %10.1f ns/run\n" name ns)
+      else Printf.printf "  %-40s %10.1f ns/run\n" name ns;
+      Exp_common.record_metric name ns)
     (List.sort compare !rows);
-  true
+  Exp_common.verdict (!rows <> []) "%d timing series measured"
+    (List.length !rows)

@@ -1712,6 +1712,223 @@ let fuzz_cmd =
       $ table_bits_opt $ stop_on_violation_flag $ dashboard_flag $ prom_out
       $ log_level $ json_flag)
 
+let profile_cmd =
+  let run n m beta_opt seed sched_kind f mc rtevents_flag log_level json
+      trace_out prom_out report_out =
+    apply_log_level log_level;
+    let beta = Option.value beta_opt ~default:m in
+    let prom_write ~fill dir =
+      let reg = Obs.Prom.create () in
+      fill reg;
+      let path = Filename.concat dir "amo_profile.prom" in
+      Obs.Prom.write_file reg path;
+      if not json then Fmt.pr "prometheus      : %s@." path
+    in
+    if mc then begin
+      (* real domains: there is no executor probe seam, so profiling
+         is runtime-events only — mc.run/mc.domain spans, GC phases
+         and counters straight from the runtime *)
+      (match report_out with
+      | Some _ ->
+          Fmt.epr
+            "amo_run profile: --report-out needs the simulator (drop --mc)@.";
+          exit 2
+      | None -> ());
+      let re = Obs.Rtevents.start () in
+      let outcome = Multicore.Runner.run_kk ~n ~m ~beta ~rtevents:re () in
+      let summary = Obs.Rtevents.stop re in
+      let do_count = List.length outcome.Multicore.Runner.dos in
+      if json then
+        print_endline
+          (J.to_string ~minify:false
+             (J.Obj
+                [
+                  ("algorithm", J.String "mc-profile");
+                  ("n", J.Int n);
+                  ("m", J.Int m);
+                  ("beta", J.Int beta);
+                  ("do_count", J.Int do_count);
+                  ( "wall_seconds",
+                    J.Float outcome.Multicore.Runner.wall_seconds );
+                  ("rtevents", Obs.Rtevents.summary_json summary);
+                ]))
+      else begin
+        Fmt.pr "algorithm       : KK(beta=%d) on %d domains@." beta m;
+        Fmt.pr "jobs performed  : %d / %d@." do_count n;
+        Fmt.pr "wall seconds    : %.4f@." outcome.Multicore.Runner.wall_seconds;
+        Fmt.pr "runtime events  : %d (%d lost), total GC %d us@."
+          summary.Obs.Rtevents.events summary.Obs.Rtevents.lost
+          (Obs.Rtevents.total_gc_us summary);
+        List.iter
+          (fun (name, count, dur_us) ->
+            Fmt.pr "  %-24s %6d spans %10d us@." name count dur_us)
+          (Obs.Rtevents.by_phase summary)
+      end;
+      (match trace_out with
+      | Some path ->
+          (* runtime tracks only: there is no logical-step trace here *)
+          let doc =
+            J.Obj
+              [
+                ( "traceEvents",
+                  J.List (Obs.Rtevents.trace_events summary) );
+                ("displayTimeUnit", J.String "ms");
+              ]
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (J.to_string ~minify:false doc));
+          if not json then Fmt.pr "chrome trace    : %s@." path
+      | None -> ());
+      (match prom_out with
+      | Some dir -> prom_write dir ~fill:(fun reg -> Obs.Rtevents.prom summary reg)
+      | None -> ())
+    end
+    else begin
+      (* simulator: a Gcstat probe rides the executor's event stream,
+         attributing allocation to (pid, phase); --rtevents adds the
+         runtime's own view on top.  The run is traced at `Full with
+         verbose memory events so attribution has per-access
+         granularity — profile numbers include tracing cost, which is
+         the honest figure for an instrumented run. *)
+      let rng = Util.Prng.of_int seed in
+      let gc = Obs.Gcstat.create () in
+      let re = if rtevents_flag then Some (Obs.Rtevents.start ()) else None in
+      let body () =
+        Core.Harness.kk
+          ~scheduler:(make_sched sched_kind rng)
+          ~adversary:(make_adversary rng ~f ~m ~n)
+          ~trace_level:`Full ~verbose:true
+          ~provenance:(report_out <> None)
+          ~probe:(Obs.Gcstat.probe gc) ~n ~m ~beta ()
+      in
+      let s =
+        match re with
+        | Some _ -> Obs.Rtevents.with_span "kk.run" body
+        | None -> body ()
+      in
+      let rsummary = Option.map Obs.Rtevents.stop re in
+      if json then
+        print_endline
+          (J.to_string ~minify:false
+             (J.Obj
+                ([
+                   ("algorithm", J.String "kk-profile");
+                   ("n", J.Int n);
+                   ("m", J.Int m);
+                   ("beta", J.Int beta);
+                   ("do_count", J.Int s.Core.Harness.do_count);
+                   ("steps", J.Int s.Core.Harness.steps);
+                   ("gcstat", Obs.Gcstat.to_json gc);
+                 ]
+                @
+                match rsummary with
+                | Some summary ->
+                    [ ("rtevents", Obs.Rtevents.summary_json summary) ]
+                | None -> [])))
+      else begin
+        Fmt.pr "algorithm       : KK(beta=%d), simulator@." beta;
+        Fmt.pr "jobs performed  : %d / %d@." s.Core.Harness.do_count n;
+        Fmt.pr "executor steps  : %d@." s.Core.Harness.steps;
+        Fmt.pr "%a@." Obs.Gcstat.pp gc;
+        match rsummary with
+        | Some summary ->
+            Fmt.pr "runtime events  : %d (%d lost), total GC %d us@."
+              summary.Obs.Rtevents.events summary.Obs.Rtevents.lost
+              (Obs.Rtevents.total_gc_us summary);
+            List.iter
+              (fun (name, count, dur_us) ->
+                Fmt.pr "  %-24s %6d spans %10d us@." name count dur_us)
+              (Obs.Rtevents.by_phase summary)
+        | None -> ()
+      end;
+      (match trace_out with
+      | Some path ->
+          let extra =
+            match rsummary with
+            | Some summary -> Obs.Rtevents.trace_events summary
+            | None -> []
+          in
+          Obs.Chrome_trace.write_file
+            ~run_name:(Printf.sprintf "KK(beta=%d) profile" beta)
+            ~heatmap:(Obs.Heatmap.of_trace s.Core.Harness.trace)
+            ~extra ~m ~path s.Core.Harness.trace;
+          if not json then Fmt.pr "chrome trace    : %s@." path
+      | None -> ());
+      (match prom_out with
+      | Some dir ->
+          prom_write dir ~fill:(fun reg ->
+              Obs.Gcstat.prom gc reg;
+              match rsummary with
+              | Some summary -> Obs.Rtevents.prom summary reg
+              | None -> ())
+      | None -> ());
+      match report_out with
+      | Some path ->
+          let trace = s.Core.Harness.trace in
+          let ledger = Obs.Ledger.of_trace ~n ~m trace in
+          let html =
+            Obs.Report.make
+              ~run_name:(Printf.sprintf "KK(beta=%d) profile" beta)
+              ~params:
+                [
+                  ("n", string_of_int n);
+                  ("m", string_of_int m);
+                  ("beta", string_of_int beta);
+                  ("seed", string_of_int seed);
+                  ("crashes", string_of_int f);
+                ]
+              ~ledger
+              ~heatmap:(Obs.Heatmap.of_trace trace)
+              ~gcstat:gc ~trace ()
+          in
+          Obs.Report.write_file ~path html;
+          if not json then Fmt.pr "html report     : %s@." path
+      | None -> ()
+    end
+  in
+  let mc_flag =
+    let doc =
+      "Profile the multicore runner (real domains) instead of the simulator: \
+       runtime-events only, no per-phase allocation attribution."
+    in
+    Arg.(value & flag & info [ "mc" ] ~doc)
+  in
+  let rtevents_flag =
+    let doc =
+      "Also attach a Runtime_events consumer: GC phases, lifecycle and \
+       counters from the runtime itself, merged into --trace-out as \
+       dedicated tracks."
+    in
+    Arg.(value & flag & info [ "rtevents" ] ~doc)
+  in
+  let prom_out =
+    let doc =
+      "Write a Prometheus snapshot of the profile (GC attribution + runtime \
+       events) to $(docv)/amo_profile.prom."
+    in
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"DIR" ~doc)
+  in
+  let report_out =
+    let doc =
+      "Write the self-contained HTML run report, GC-attribution section \
+       included, to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Profile a run: per-phase GC attribution via the executor probe seam, \
+     and optionally the runtime's own event stream (GC phases, domain \
+     lifecycle) via OCaml 5 Runtime_events."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ mc_flag
+      $ rtevents_flag $ log_level $ json_flag $ trace_out $ prom_out
+      $ report_out)
+
 let version_cmd =
   let run json =
     (* archived artifacts (BENCH_*.json baselines, Prometheus
@@ -1756,5 +1973,6 @@ let () =
             fuzz_cmd;
             multicore_cmd;
             report_cmd;
+            profile_cmd;
             version_cmd;
           ]))

@@ -180,7 +180,13 @@ type soak_stats = {
 }
 
 let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
-    ?(stalls = true) ?(fail_fast = false) ?on_run ~seed ~count ~n ~m ~beta () =
+    ?(stalls = true) ?(fail_fast = false) ?on_run ?rtevents ~seed ~count ~n ~m
+    ~beta () =
+  (* with a runtime-events consumer attached, each chaos run is a
+     [chaos.run] span on the runtime timeline and the rings are
+     drained between runs — soaks run long enough to overflow them
+     otherwise *)
+  let instrument = Option.is_some rtevents in
   let root = Prng.of_int seed in
   let runs = ref 0 in
   let recovery_runs = ref 0 in
@@ -199,6 +205,7 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
            ~name:(Printf.sprintf "chaos-%03d" i)
            ~n ~m ~beta rng
        in
+       if instrument then Obs.Rtevents.emit_begin "chaos.run";
        let r =
          if not fail_fast then run_plan plan
          else begin
@@ -215,6 +222,11 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
              run_plan plan
          end
        in
+       (match rtevents with
+       | Some re ->
+           Obs.Rtevents.emit_end "chaos.run";
+           ignore (Obs.Rtevents.poll re)
+       | None -> ());
        incr runs;
        if Plan.has_recovery plan then incr recovery_runs;
        total_steps := !total_steps + r.steps;

@@ -108,6 +108,7 @@ val soak :
   ?stalls:bool ->
   ?fail_fast:bool ->
   ?on_run:(int -> run_result -> unit) ->
+  ?rtevents:Obs.Rtevents.t ->
   seed:int ->
   count:int ->
   n:int ->
@@ -127,7 +128,12 @@ val soak :
     its full [run_result], and the stats carry [aborted = true].
     [on_run] is invoked after each completed run with its index and
     result — the live-dashboard / Prometheus-flush hook; statistics
-    visible to it are already updated. *)
+    visible to it are already updated.
+
+    [rtevents] (optional) is an active {!Obs.Rtevents} consumer: each
+    run becomes a [chaos.run] span on the runtime-events timeline and
+    the consumer is polled between runs, so GC behaviour over a long
+    soak is attributable run-by-run. *)
 
 type net_result = {
   plan : Plan.t;

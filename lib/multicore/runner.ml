@@ -251,7 +251,8 @@ let run_iterative ~n ~m ~epsilon_inv () =
   { dos = List.rev !dos; per_process; wall_seconds; metrics }
 
 let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
-    ?(job_budget = fun ~pid:_ -> max_int) ?(sink = Obs.Sink.null) ?rings () =
+    ?(job_budget = fun ~pid:_ -> max_int) ?(sink = Obs.Sink.null) ?rings
+    ?rtevents () =
   if m < 1 || n < m then invalid_arg "Runner.run_kk: need 1 <= m <= n";
   if beta < 1 then invalid_arg "Runner.run_kk: beta must be >= 1";
   (match rings with
@@ -283,6 +284,14 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
       (match ring with Some rg -> ignore (Obs.Ring.push rg r) | None -> ());
       if not (Obs.Sink.is_null sink) then Obs.Sink.emit sink r
   in
+  (* [rtevents]: an active runtime-events consumer.  The run brackets
+     itself and each domain in custom phase spans so GC pauses line up
+     against algorithm phases on the shared runtime timeline, and the
+     rings are drained once after join (long-lived callers should keep
+     polling themselves).  With [None] the runtime path is untouched —
+     the on/off delta is exactly what E18's overhead gate measures. *)
+  let instrument = Option.is_some rtevents in
+  if instrument then Obs.Rtevents.emit_begin "mc.run";
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init m (fun i ->
@@ -292,11 +301,20 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
         let ledger = ledgers.(i) in
         let emit = emit_for pid in
         Domain.spawn (fun () ->
-            process_loop ~n ~m ~beta ~policy:pol ~budget ~next ~done_m ~pid
-              ~ledger ~log_unit ~emit))
+            let body () =
+              process_loop ~n ~m ~beta ~policy:pol ~budget ~next ~done_m ~pid
+                ~ledger ~log_unit ~emit
+            in
+            if instrument then Obs.Rtevents.with_span "mc.domain" body
+            else body ()))
   in
   let logs = Array.map Domain.join domains in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  (match rtevents with
+  | Some re ->
+      Obs.Rtevents.emit_end "mc.run";
+      ignore (Obs.Rtevents.poll re)
+  | None -> ());
   let metrics = Shm.Metrics.create ~m in
   Array.iter (Shm.Metrics.merge metrics) ledgers;
   let per_process = Array.make (m + 1) 0 in

@@ -38,6 +38,7 @@ val run_kk :
   ?job_budget:(pid:int -> int) ->
   ?sink:Obs.Sink.t ->
   ?rings:Obs.Sink.record Obs.Ring.t array ->
+  ?rtevents:Obs.Rtevents.t ->
   unit ->
   outcome
 (** [run_kk ~n ~m ~beta ()] spawns [m] domains and runs KKβ to
@@ -57,6 +58,12 @@ val run_kk :
     mutex, fixed cost — and the caller drains or peeks them, possibly
     concurrently with the run (live telemetry).  A full ring counts
     drops instead of blocking.  Both channels may be used at once.
+
+    [rtevents] (optional) is an active {!Obs.Rtevents} consumer: the
+    run brackets itself in an [mc.run] span and each domain in an
+    [mc.domain] span on the runtime-events timeline, and polls the
+    consumer once after join.  Without it the runtime-profiling path
+    costs nothing (E18 gates the instrumented overhead below 5%).
 
     @raise Invalid_argument unless [1 <= m <= n], [beta >= 1], and
     [rings] (when given) has length [m]. *)

@@ -139,19 +139,21 @@ let events ?(run_name = "amo run") ?heatmap ~m trace =
 
 (* One event per line: diff-friendly goldens, still a single valid
    JSON document. *)
-let to_string ?run_name ?heatmap ~m trace =
+(* [extra] appends pre-built records — the seam {!Rtevents} uses to
+   merge its runtime tracks into the same document. *)
+let to_string ?run_name ?heatmap ?(extra = []) ~m trace =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
   List.iteri
     (fun i ev ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf (Json.to_string ev))
-    (events ?run_name ?heatmap ~m trace);
+    (events ?run_name ?heatmap ~m trace @ extra);
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf
 
-let write_file ?run_name ?heatmap ~m ~path trace =
+let write_file ?run_name ?heatmap ?extra ~m ~path trace =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?run_name ?heatmap ~m trace))
+    (fun () -> output_string oc (to_string ?run_name ?heatmap ?extra ~m trace))

@@ -33,12 +33,22 @@ val events :
     [heatmap] is given). *)
 
 val to_string :
-  ?run_name:string -> ?heatmap:Heatmap.t -> m:int -> Shm.Trace.t -> string
-(** A complete [{"traceEvents": [...]}] document. *)
+  ?run_name:string ->
+  ?heatmap:Heatmap.t ->
+  ?extra:Json.t list ->
+  m:int ->
+  Shm.Trace.t ->
+  string
+(** A complete [{"traceEvents": [...]}] document.  [extra] appends
+    pre-built records to the event list — the seam {!Rtevents} uses to
+    merge its runtime tracks into the same document (note those tracks
+    carry wall-clock µs, so a merged trace is no longer
+    byte-deterministic). *)
 
 val write_file :
   ?run_name:string ->
   ?heatmap:Heatmap.t ->
+  ?extra:Json.t list ->
   m:int ->
   path:string ->
   Shm.Trace.t ->

@@ -1,0 +1,220 @@
+(* Per-phase, per-process GC attribution.
+
+   The executor's probe seam delivers every recorded event with the
+   acting process's pid and phase; sampling GC-counter deltas at
+   those points attributes allocation (minor words) and collection
+   counts to the (pid, phase) cell that was running when they
+   happened.  Attribution is to the *interval since the previous
+   event* — exact for the single-domain simulator, a per-domain
+   approximation under the multicore runner (each domain should carry
+   its own collector).
+
+   Allocation is read through [Gc.minor_words] (the allocation
+   pointer), not [Gc.quick_stat]'s [minor_words] field: on OCaml 5.1
+   the latter only advances at minor-collection boundaries, which
+   would lump every interval's allocation onto whichever event
+   happens to follow a collection — and attribute zero words to a
+   window containing no minor GC at all.  [quick_stat] still supplies
+   promoted words and collection counts.
+
+   Per-cell allocation deltas are log-bucketed into an [Obs.Sketch],
+   so the report can show not just "phase X allocated N words total"
+   but the shape of the per-step allocation distribution. *)
+
+type cell = {
+  sketch : Sketch.t;  (* minor words allocated per observed interval *)
+  mutable events : int;
+  mutable words : float;  (* total minor words *)
+  mutable promoted : float;
+  mutable minors : int;
+  mutable majors : int;
+}
+
+type t = {
+  cells : (int * string, cell) Hashtbl.t;
+  mutable last_minor_words : float;
+  mutable last_promoted : float;
+  mutable last_minors : int;
+  mutable last_majors : int;
+  mutable total_events : int;
+}
+
+let create () =
+  let q = Gc.quick_stat () in
+  {
+    cells = Hashtbl.create 16;
+    last_minor_words = Gc.minor_words ();
+    last_promoted = q.Gc.promoted_words;
+    last_minors = q.Gc.minor_collections;
+    last_majors = q.Gc.major_collections;
+    total_events = 0;
+  }
+
+let cell t pid phase =
+  let key = (pid, phase) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          sketch = Sketch.create ();
+          events = 0;
+          words = 0.;
+          promoted = 0.;
+          minors = 0;
+          majors = 0;
+        }
+      in
+      Hashtbl.add t.cells key c;
+      c
+
+let observe t ~pid ~phase =
+  let minor_words = Gc.minor_words () in
+  let q = Gc.quick_stat () in
+  let d_words = minor_words -. t.last_minor_words in
+  let d_promoted = q.Gc.promoted_words -. t.last_promoted in
+  let d_minors = q.Gc.minor_collections - t.last_minors in
+  let d_majors = q.Gc.major_collections - t.last_majors in
+  t.last_minor_words <- minor_words;
+  t.last_promoted <- q.Gc.promoted_words;
+  t.last_minors <- q.Gc.minor_collections;
+  t.last_majors <- q.Gc.major_collections;
+  t.total_events <- t.total_events + 1;
+  let c = cell t pid phase in
+  c.events <- c.events + 1;
+  c.words <- c.words +. d_words;
+  c.promoted <- c.promoted +. d_promoted;
+  c.minors <- c.minors + d_minors;
+  c.majors <- c.majors + d_majors;
+  Sketch.add c.sketch (int_of_float (Float.max 0. d_words))
+
+let probe t =
+  Shm.Probe.make (fun ~step:_ ~phase e ->
+      observe t ~pid:(Shm.Event.pid e) ~phase)
+
+type row = {
+  pid : int;
+  phase : string;
+  events : int;
+  words : float;
+  promoted : float;
+  minors : int;
+  majors : int;
+  words_p50 : int;
+  words_p99 : int;
+  words_max : int;
+}
+
+let row_of pid phase (c : cell) =
+  {
+    pid;
+    phase;
+    events = c.events;
+    words = c.words;
+    promoted = c.promoted;
+    minors = c.minors;
+    majors = c.majors;
+    words_p50 = Sketch.percentile c.sketch 50.;
+    words_p99 = Sketch.percentile c.sketch 99.;
+    words_max = Sketch.max_value c.sketch;
+  }
+
+let rows t =
+  Hashtbl.fold (fun (pid, phase) c acc -> row_of pid phase c :: acc) t.cells []
+  |> List.sort (fun a b -> compare (a.pid, a.phase) (b.pid, b.phase))
+
+(* The same cells merged across pids: what each *algorithm phase*
+   costs the runtime, regardless of who ran it. *)
+let by_phase t =
+  let merged = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (_, phase) (c : cell) ->
+      match Hashtbl.find_opt merged phase with
+      | None ->
+          Hashtbl.add merged phase
+            {
+              sketch = Sketch.merge c.sketch (Sketch.create ());
+              events = c.events;
+              words = c.words;
+              promoted = c.promoted;
+              minors = c.minors;
+              majors = c.majors;
+            }
+      | Some m ->
+          Hashtbl.replace merged phase
+            {
+              sketch = Sketch.merge m.sketch c.sketch;
+              events = m.events + c.events;
+              words = m.words +. c.words;
+              promoted = m.promoted +. c.promoted;
+              minors = m.minors + c.minors;
+              majors = m.majors + c.majors;
+            })
+    t.cells;
+  Hashtbl.fold (fun phase c acc -> row_of (-1) phase c :: acc) merged []
+  |> List.sort (fun a b -> compare a.phase b.phase)
+
+let totals t =
+  Hashtbl.fold
+    (fun _ (c : cell) (w, mi, ma) -> (w +. c.words, mi + c.minors, ma + c.majors))
+    t.cells (0., 0, 0)
+
+let events t = t.total_events
+
+let row_json r =
+  Json.Obj
+    ([
+       ("pid", Json.Int r.pid);
+       ("phase", Json.String r.phase);
+       ("events", Json.Int r.events);
+       ("minor_words", Json.Float r.words);
+       ("promoted_words", Json.Float r.promoted);
+       ("minor_collections", Json.Int r.minors);
+       ("major_collections", Json.Int r.majors);
+       ("words_per_event_p50", Json.Int r.words_p50);
+       ("words_per_event_p99", Json.Int r.words_p99);
+       ("words_per_event_max", Json.Int r.words_max);
+     ]
+    |> List.filter (fun (k, _) -> not (k = "pid" && r.pid < 0)))
+
+let to_json t =
+  let words, minors, majors = totals t in
+  Json.Obj
+    [
+      ("events", Json.Int t.total_events);
+      ("minor_words", Json.Float words);
+      ("minor_collections", Json.Int minors);
+      ("major_collections", Json.Int majors);
+      ("by_phase", Json.List (List.map row_json (by_phase t)));
+      ("by_pid_phase", Json.List (List.map row_json (rows t)));
+    ]
+
+let prom t reg =
+  List.iter
+    (fun r ->
+      let labels = [ ("phase", r.phase) ] in
+      Prom.counter reg ~name:"amo_gc_minor_words_total"
+        ~help:"Minor words allocated, attributed per algorithm phase" ~labels
+        r.words;
+      Prom.counter reg ~name:"amo_gc_minor_collections_total"
+        ~help:"Minor collections attributed per algorithm phase" ~labels
+        (float_of_int r.minors);
+      Prom.counter reg ~name:"amo_gc_major_collections_total"
+        ~help:"Major collections attributed per algorithm phase" ~labels
+        (float_of_int r.majors))
+    (by_phase t)
+
+let pp ppf t =
+  let words, minors, majors = totals t in
+  Format.fprintf ppf
+    "@[<v>gc attribution: %d events, %.0f minor words, %d minor / %d major \
+     collections@,"
+    t.total_events words minors majors;
+  Format.fprintf ppf "%-16s %10s %14s %8s %8s %10s %10s@," "phase" "events"
+    "minor-words" "minors" "majors" "p50/evt" "p99/evt";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %10d %14.0f %8d %8d %10d %10d@," r.phase
+        r.events r.words r.minors r.majors r.words_p50 r.words_p99)
+    (by_phase t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Per-phase, per-process GC attribution.
+
+    A collector samples GC-counter deltas at every executor event
+    (via the {!Shm.Probe} seam) and attributes minor allocation,
+    promotion and collection counts to the (pid, phase) cell that was
+    running since the previous event.  Allocation reads
+    [Gc.minor_words] (accurate between collections); promotion and
+    collection counts come from [Gc.quick_stat].  Exact on the single-domain
+    simulator; an approximation under the multicore runner unless each
+    domain carries its own collector.
+
+    Per-interval allocation deltas are log-bucketed into a {!Sketch},
+    so reports show the shape of per-step allocation, not just
+    totals. *)
+
+type t
+
+val create : unit -> t
+(** A fresh collector, baselined at the current GC counters. *)
+
+val probe : t -> Shm.Probe.t
+(** The executor hook: attach with [~probe:(Gcstat.probe g)] (or
+    compose with an existing probe). *)
+
+val observe : t -> pid:int -> phase:string -> unit
+(** Manual sampling point for callers outside the executor (e.g. the
+    multicore runner's per-domain loops). *)
+
+type row = {
+  pid : int;  (** [-1] in {!by_phase} rows (merged across pids) *)
+  phase : string;
+  events : int;
+  words : float;  (** minor words allocated *)
+  promoted : float;
+  minors : int;
+  majors : int;
+  words_p50 : int;  (** per-event allocation percentiles, in words *)
+  words_p99 : int;
+  words_max : int;
+}
+
+val rows : t -> row list
+(** One row per (pid, phase) cell, sorted. *)
+
+val by_phase : t -> row list
+(** Cells merged across pids: what each algorithm phase costs the
+    runtime regardless of which process ran it.  [pid = -1]. *)
+
+val totals : t -> float * int * int
+(** [(minor words, minor collections, major collections)] across all
+    cells. *)
+
+val events : t -> int
+
+val to_json : t -> Json.t
+val prom : t -> Prom.t -> unit
+val pp : Format.formatter -> t -> unit
+(** Fixed-width per-phase table, as shown by [amo_run profile]. *)

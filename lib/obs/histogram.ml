@@ -1,88 +1,37 @@
-(* Bucket boundaries live in Logbucket, shared with Sketch so the two
-   can never drift apart. *)
+(* A histogram IS the k = 1 degenerate case of the quantile sketch:
+   one linear sub-bucket per power-of-two band, so the flat slot index
+   equals the Logbucket band index and every boundary comes from the
+   same Logbucket functions the sketch uses.  Delegating the counting
+   core (add/merge/percentile rank walk) to Sketch keeps a single
+   implementation; only the rendered shapes (JSON with lo/hi bands,
+   the one-line pp) stay histogram-specific. *)
 
-let n_buckets = Logbucket.n_buckets
+type t = Sketch.t
 
-type t = {
-  counts : int array;
-  mutable n : int;
-  mutable sum : float; (* float: [n] samples of [max_int] overflow int *)
-  mutable min_v : int;
-  mutable max_v : int;
-}
-
-let create () =
-  {
-    counts = Array.make n_buckets 0;
-    n = 0;
-    sum = 0.;
-    min_v = max_int;
-    max_v = min_int;
-  }
-
+let create () = Sketch.create ~sub_buckets:1 ()
 let bucket_of = Logbucket.of_value
 let bucket_lo = Logbucket.lo
 let bucket_hi = Logbucket.hi
+let add = Sketch.add
+let count = Sketch.count
+let total = Sketch.total
+let min_value = Sketch.min_value
+let max_value = Sketch.max_value
+let mean = Sketch.mean
 
-let add t v =
-  let v = max 0 v in
-  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
-  t.n <- t.n + 1;
-  t.sum <- t.sum +. float_of_int v;
-  if v < t.min_v then t.min_v <- v;
-  if v > t.max_v then t.max_v <- v
+(* With k = 1 the flat slot index IS the band index. *)
+let buckets = Sketch.buckets
+let merge = Sketch.merge
 
-let count t = t.n
-let total t = t.sum
-let min_value t = if t.n = 0 then 0 else t.min_v
-let max_value t = if t.n = 0 then 0 else t.max_v
-let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
-
-let buckets t =
-  let acc = ref [] in
-  for b = n_buckets - 1 downto 0 do
-    if t.counts.(b) > 0 then acc := (b, t.counts.(b)) :: !acc
-  done;
-  !acc
-
-let merge a b =
-  let t = create () in
-  Array.blit a.counts 0 t.counts 0 n_buckets;
-  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
-  t.n <- a.n + b.n;
-  t.sum <- a.sum +. b.sum;
-  t.min_v <- min a.min_v b.min_v;
-  t.max_v <- max a.max_v b.max_v;
-  t
-
-(* Upper-bound estimate: the smallest bucket upper bound covering the
-   requested rank.  Exact for ranks landing in bucket 0 and for
-   p = 100 (true max); within a factor of 2 elsewhere — tails in a
-   log-bucketed histogram are resolution-limited by construction. *)
 let percentile t p =
   if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p in [0,100]";
-  if t.n = 0 then 0
-  else if p >= 100. then t.max_v
-  else begin
-    let rank =
-      let r = int_of_float (Float.ceil (p /. 100. *. float_of_int t.n)) in
-      max 1 r
-    in
-    let rec go b cum =
-      if b >= n_buckets then t.max_v
-      else begin
-        let cum = cum + t.counts.(b) in
-        if cum >= rank then min (bucket_hi b) t.max_v else go (b + 1) cum
-      end
-    in
-    go 0 0
-  end
+  Sketch.percentile t p
 
 let to_json t =
   Json.Obj
     [
-      ("n", Json.Int t.n);
-      ("sum", Json.Float t.sum);
+      ("n", Json.Int (count t));
+      ("sum", Json.Float (total t));
       ("min", Json.Int (min_value t));
       ("max", Json.Int (max_value t));
       ( "buckets",
@@ -100,6 +49,6 @@ let to_json t =
     ]
 
 let pp fmt t =
-  Format.fprintf fmt "n=%d min=%d p50=%d p90=%d p99=%d max=%d" t.n
+  Format.fprintf fmt "n=%d min=%d p50=%d p90=%d p99=%d max=%d" (count t)
     (min_value t) (percentile t 50.) (percentile t 90.) (percentile t 99.)
     (max_value t)

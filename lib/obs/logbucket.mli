@@ -24,3 +24,26 @@ val hi : int -> int
 
 val width : int -> int
 (** [hi b - lo b + 1], saturating; [1] for bucket 0. *)
+
+(** {2 k-way sub-bucket slotting}
+
+    Each band subdivided into [k] equal-width linear sub-buckets,
+    flattened to [1 + top_bucket * k] slots.  {!Sketch} uses arbitrary
+    [k]; {!Histogram} is the [k = 1] degenerate case (slot index =
+    band index) — both consumers share these boundaries, the single
+    source of truth. *)
+
+val n_slots : k:int -> int
+(** Number of flat slots, [1 + top_bucket * k]. *)
+
+val sub_width : k:int -> int -> int
+(** Width of one sub-bucket of band [b]; at least [1] (narrow low
+    bands have fewer than [k] distinct values). *)
+
+val slot_of : k:int -> int -> int
+(** The flat slot a value lands in ([0 .. n_slots-1]).  Non-positive
+    values land in slot 0.  [slot_of ~k:1] = {!of_value}. *)
+
+val slot_hi : k:int -> int -> int
+(** Largest value covered by flat slot [i], capped at the band's upper
+    edge.  [slot_hi ~k:1] = {!hi}. *)

@@ -35,9 +35,20 @@ let valid_name name =
          | _ -> false)
        name
 
+(* NaN and infinities are syntactically expressible in the exposition
+   format but poison every aggregation downstream (rate(), quantiles,
+   alerts silently never firing) — a sample that is not a finite
+   number is a bug at the instrumentation site, so reject it there. *)
+let check_finite v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Prom.add: non-finite sample %h" v)
+
 let add t ~name ~help ?(labels = []) value =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Prom.add: invalid metric name %S" name);
+  (match value with
+  | Counter v | Gauge v -> check_finite v
+  | Histo { sum; _ } -> check_finite sum);
   t.metrics <- { name; help; labels; value } :: t.metrics
 
 let counter t ~name ~help ?labels v = add t ~name ~help ?labels (Counter v)

@@ -12,7 +12,9 @@ val create : unit -> t
 
 val counter : t -> name:string -> help:string -> ?labels:(string * string) list -> float -> unit
 (** @raise Invalid_argument on a name outside
-    [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+    [[a-zA-Z_:][a-zA-Z0-9_:]*], or on a NaN/infinite value — a
+    non-finite sample poisons every downstream aggregation, so it is
+    rejected at the instrumentation site. *)
 
 val gauge : t -> name:string -> help:string -> ?labels:(string * string) list -> float -> unit
 

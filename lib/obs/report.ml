@@ -157,8 +157,28 @@ let heatmap_section buf heatmap =
     cells;
   Buffer.add_string buf "</table>\n"
 
+let gcstat_section buf g =
+  Buffer.add_string buf
+    "<table><tr><th>phase</th><th>events</th><th>minor words</th><th>minor \
+     gcs</th><th>major gcs</th><th>p50 w/evt</th><th>p99 w/evt</th></tr>\n";
+  List.iter
+    (fun (r : Gcstat.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><td>%s</td><td>%d</td><td>%.0f</td><td>%d</td><td>%d</td>\
+            <td>%d</td><td>%d</td></tr>\n"
+           (esc r.phase) r.events r.words r.minors r.majors r.words_p50
+           r.words_p99))
+    (Gcstat.by_phase g);
+  let words, minors, majors = Gcstat.totals g in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<tr><td><b>total</b></td><td>%d</td><td>%.0f</td><td>%d</td>\
+        <td>%d</td><td></td><td></td></tr>\n</table>\n"
+       (Gcstat.events g) words minors majors)
+
 let make ~run_name ~params ~ledger ?heatmap ?(verdicts = []) ?plan_json
-    ?(why = []) ~trace () =
+    ?(why = []) ?gcstat ~trace () =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
   Buffer.add_string buf
@@ -201,6 +221,9 @@ let make ~run_name ~params ~ledger ?heatmap ?(verdicts = []) ?plan_json
   (match heatmap with
   | None -> ()
   | Some h -> section buf "Register contention heatmap" (fun buf -> heatmap_section buf h));
+  (match gcstat with
+  | None -> ()
+  | Some g -> section buf "GC attribution" (fun buf -> gcstat_section buf g));
   if why <> [] then
     section buf "Causal chains (why)" (fun buf ->
         List.iter

@@ -18,12 +18,15 @@ val make :
   ?verdicts:(string * bool * string) list ->
   ?plan_json:Json.t ->
   ?why:(int * string list) list ->
+  ?gcstat:Gcstat.t ->
   trace:Shm.Trace.t ->
   unit ->
   string
 (** Render the report.  [params] is shown as a key/value header row
     (order preserved); [verdicts] are [(oracle, passed, detail)]
     rows; [plan_json] is pretty-printed as the fault-plan overlay;
-    [why] attaches pre-rendered causal-chain lines per job. *)
+    [why] attaches pre-rendered causal-chain lines per job; [gcstat]
+    adds the per-phase GC-attribution table when the run carried a
+    {!Gcstat} collector. *)
 
 val write_file : path:string -> string -> unit

@@ -1,0 +1,99 @@
+(** Cross-run performance history — the observatory's store and
+    analysis.
+
+    Where [bench/compare.exe] diffs one run against one committed
+    baseline, the observatory accumulates {e every} bench run into an
+    append-only JSONL store keyed (experiment, metric, git sha,
+    timestamp) and asks the longitudinal question: is this metric
+    drifting, or is the run-to-run scatter just noise?
+
+    Analysis is direction-aware and distribution-free: a Mann–Whitney
+    U test between the recent window and the older history,
+    cross-checked against a percentile-bootstrap confidence interval
+    of the baseline median.  All of it — including the HTML trend
+    dashboard — is a pure, byte-deterministic function of the entries
+    (bootstrap seeds derive from the series key), so outputs are
+    golden-testable. *)
+
+type entry = {
+  exp : string;
+  metric : string;
+  value : float;
+      (** the compared quantity: ratio-to-prediction when the metric
+          has one, raw measurement otherwise — identical to what
+          [compare.exe] gates on *)
+  direction : Snapshot.direction;
+  git_sha : string;
+  timestamp : int;  (** unix seconds *)
+}
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.t -> (entry, string) result
+
+val append : path:string -> entry list -> unit
+(** Append one minified-JSON line per entry; creates the file if
+    missing. *)
+
+val load : path:string -> (entry list, string) result
+(** All entries, in file order.  A missing file is an empty store.
+    Blank lines are skipped; a malformed line fails with
+    [path:line: message]. *)
+
+val of_snapshot : git_sha:string -> timestamp:int -> Snapshot.t -> entry list
+(** One entry per snapshot metric, valued at
+    {!Snapshot.compared_value}. *)
+
+(** {1 Trend analysis} *)
+
+type verdict = Regression | Improvement | Stable | Insufficient
+
+val verdict_to_string : verdict -> string
+
+type point = { timestamp : int; git_sha : string; value : float }
+
+type trend = {
+  exp : string;
+  metric : string;
+  direction : Snapshot.direction;
+  points : point list;  (** chronological *)
+  baseline_median : float;  (** median of all runs before the window *)
+  recent_median : float;  (** median of the recent window *)
+  shift_pct : float;  (** recent vs baseline median, percent *)
+  ci_lo : float;  (** 95% bootstrap CI of the baseline median *)
+  ci_hi : float;
+  p_value : float;  (** two-sided Mann–Whitney U *)
+  verdict : verdict;
+}
+
+val trends :
+  ?window:int ->
+  ?alpha:float ->
+  ?min_shift_pct:float ->
+  ?min_points:int ->
+  entry list ->
+  trend list
+(** One trend per (exp, metric) series, sorted by key.  The last
+    [window] (default 5) runs are tested against everything before
+    them; a series flags as [Regression]/[Improvement] only when the
+    U test is significant ([p < alpha], default 0.05), the median
+    shift exceeds [min_shift_pct] (default 5%), {e and} the recent
+    median falls outside the baseline's bootstrap CI — three
+    independent ways for noise to be dismissed.  Series with fewer
+    than [min_points] (default 6) runs are [Insufficient], never
+    flagged. *)
+
+val flagged : trend list -> trend list
+(** Regressions and improvements only. *)
+
+val regressions : trend list -> trend list
+
+val trend_json : trend -> Json.t
+val trends_json : trend list -> Json.t
+
+val dashboard_html : ?window:int -> trend list -> string
+(** The full observatory page: summary counts, one row per series
+    (medians, CI, shift, p-value, verdict) with an inline-SVG
+    sparkline (recent window tinted).  Byte-deterministic — no
+    clocks, fixed float formatting. [window] only affects the
+    sparkline tint and should match the [window] passed to
+    {!trends}. *)

@@ -32,7 +32,7 @@ let create ?(sub_buckets = default_sub_buckets) () =
     invalid_arg "Sketch.create: sub_buckets must be a positive power of two";
   {
     k = sub_buckets;
-    counts = Array.make (1 + (Logbucket.top_bucket * sub_buckets)) 0;
+    counts = Array.make (Logbucket.n_slots ~k:sub_buckets) 0;
     n = 0;
     sum = 0.;
     min_v = max_int;
@@ -41,33 +41,13 @@ let create ?(sub_buckets = default_sub_buckets) () =
 
 let sub_buckets t = t.k
 
-(* Width of a sub-bucket of band [b]; at least 1 (narrow low bands
-   have fewer than [k] distinct values). *)
-let sub_width k b = max 1 (Logbucket.width b / k)
-
-let index_of k v =
-  let b = Logbucket.of_value v in
-  if b = 0 then 0
-  else begin
-    let s = (v - Logbucket.lo b) / sub_width k b in
-    let s = min s (k - 1) in
-    1 + ((b - 1) * k) + s
-  end
-
-(* Inverse of [index_of]: upper value edge of flat index [i]. *)
-let slot_hi k i =
-  if i = 0 then 0
-  else begin
-    let b = 1 + ((i - 1) / k) in
-    let s = (i - 1) mod k in
-    let w = sub_width k b in
-    let edge = Logbucket.lo b + ((s + 1) * w) - 1 in
-    min edge (Logbucket.hi b)
-  end
+(* Slot boundaries live in Logbucket, shared with Histogram (its k = 1
+   degenerate case), so the two can never drift apart. *)
+let slot_hi k i = Logbucket.slot_hi ~k i
 
 let add t v =
   let v = max 0 v in
-  let i = index_of t.k v in
+  let i = Logbucket.slot_of ~k:t.k v in
   t.counts.(i) <- t.counts.(i) + 1;
   t.n <- t.n + 1;
   t.sum <- t.sum +. float_of_int v;
@@ -76,6 +56,7 @@ let add t v =
 
 let count t = t.n
 let total t = t.sum
+let sum = total
 let min_value t = if t.n = 0 then 0 else t.min_v
 let max_value t = if t.n = 0 then 0 else t.max_v
 let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n

@@ -23,7 +23,15 @@ val add : t -> int -> unit
 (** Record one sample.  Negative values clamp to 0. *)
 
 val count : t -> int
+(** Number of recorded samples. *)
+
 val total : t -> float
+(** Sum of samples (float: sums of near-[max_int] samples overflow). *)
+
+val sum : t -> float
+(** Alias of {!total}: the [_sum] quantity Prometheus histograms
+    expose. *)
+
 val min_value : t -> int
 val max_value : t -> int
 val mean : t -> float

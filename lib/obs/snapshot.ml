@@ -1,4 +1,7 @@
-let schema_version = 1
+(* v2 added the [timing] block (iteration count, warm-up discards,
+   clock source) to every snapshot; v1 files parse with the simulator
+   defaults. *)
+let schema_version = 2
 
 type direction = Lower_is_better | Higher_is_better
 
@@ -26,6 +29,12 @@ let ratio m =
   | Some p when p <> 0. -> Some (m.measured /. p)
   | _ -> None
 
+type timing = { iterations : int; warmup : int; clock : string }
+
+(* Simulator experiments measure logical quantities in a single pass:
+   one iteration, nothing discarded, the "clock" is the step counter. *)
+let default_timing = { iterations = 1; warmup = 0; clock = "logical-steps" }
+
 type t = {
   version : int;
   experiment : string;
@@ -33,12 +42,22 @@ type t = {
   claim : string;
   params : (string * Json.t) list;
   metrics : metric list;
+  timing : timing;
   ok : bool;
 }
 
-let make ?(title = "") ?(claim = "") ?(params = []) ?(metrics = []) ~ok
-    experiment =
-  { version = schema_version; experiment; title; claim; params; metrics; ok }
+let make ?(title = "") ?(claim = "") ?(params = []) ?(metrics = [])
+    ?(timing = default_timing) ~ok experiment =
+  {
+    version = schema_version;
+    experiment;
+    title;
+    claim;
+    params;
+    metrics;
+    timing;
+    ok;
+  }
 
 let metric_to_json m =
   let base =
@@ -65,6 +84,13 @@ let to_json t =
       ("claim", Json.String t.claim);
       ("params", Json.Obj t.params);
       ("metrics", Json.List (List.map metric_to_json t.metrics));
+      ( "timing",
+        Json.Obj
+          [
+            ("iterations", Json.Int t.timing.iterations);
+            ("warmup", Json.Int t.timing.warmup);
+            ("clock", Json.String t.timing.clock);
+          ] );
       ("ok", Json.Bool t.ok);
     ]
 
@@ -104,6 +130,22 @@ let of_json j =
             Option.value ~default:[]
               (Option.bind (Json.member "params" j) Json.get_obj)
           in
+          let timing =
+            match Json.member "timing" j with
+            | None -> default_timing (* v1 snapshot *)
+            | Some tj ->
+                let int key d =
+                  Option.value ~default:d
+                    (Option.bind (Json.member key tj) Json.get_int)
+                in
+                {
+                  iterations = int "iterations" default_timing.iterations;
+                  warmup = int "warmup" default_timing.warmup;
+                  clock =
+                    Option.value ~default:default_timing.clock
+                      (Option.bind (Json.member "clock" tj) Json.get_string);
+                }
+          in
           let rec metrics acc = function
             | [] -> Ok (List.rev acc)
             | mj :: rest -> (
@@ -120,6 +162,7 @@ let of_json j =
                 claim = str "claim";
                 params;
                 metrics;
+                timing;
                 ok;
               })
             (metrics []

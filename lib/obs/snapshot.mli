@@ -28,6 +28,27 @@ val metric :
 val ratio : metric -> float option
 (** [measured /. predicted] when a non-zero prediction is recorded. *)
 
+val compared_value : metric -> float
+(** The quantity regression tooling compares across runs: the
+    measured/predicted ratio when a prediction is recorded
+    (insensitive to deliberate grid-size changes), the raw measurement
+    otherwise.  Shared by {!diff} and the observatory's
+    {!Series.of_snapshot}. *)
+
+type timing = {
+  iterations : int;  (** measured repetitions contributing to metrics *)
+  warmup : int;  (** discarded warm-up repetitions *)
+  clock : string;
+      (** wall-clock timestamp source: ["logical-steps"] for the
+          simulator's step counter, ["cpu:Sys.time"],
+          ["mono:Unix.gettimeofday"], ["bechamel:monotonic-clock"]… *)
+}
+
+val default_timing : timing
+(** [{ iterations = 1; warmup = 0; clock = "logical-steps" }] — the
+    single-pass simulator measurement, and the value assumed when
+    parsing a v1 snapshot. *)
+
 type t = {
   version : int;
       (** the schema version the snapshot was written with —
@@ -38,6 +59,7 @@ type t = {
   claim : string;  (** the paper claim this experiment checks *)
   params : (string * Json.t) list;
   metrics : metric list;
+  timing : timing;  (** how the numbers were taken (v2) *)
   ok : bool;  (** the experiment's own verdict *)
 }
 
@@ -46,6 +68,7 @@ val make :
   ?claim:string ->
   ?params:(string * Json.t) list ->
   ?metrics:metric list ->
+  ?timing:timing ->
   ok:bool ->
   string ->
   t

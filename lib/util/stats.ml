@@ -74,6 +74,86 @@ let loglog_slope pts =
   in
   (linear_fit logged).slope
 
+(* Standard normal CDF via the Abramowitz & Stegun 26.2.17 polynomial
+   (|error| < 7.5e-8) — the stdlib has no erf, and rank tests only
+   need the tail to that accuracy. *)
+let normal_cdf z =
+  let t = 1. /. (1. +. (0.2316419 *. Float.abs z)) in
+  let d = 0.3989422804014327 *. exp (-.(z *. z) /. 2.) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t
+          *. (-0.356563782
+             +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))
+          ))
+  in
+  let p = 1. -. (d *. poly) in
+  if z >= 0. then p else 1. -. p
+
+type mwu = { u : float; z : float; p : float }
+
+let mann_whitney_u xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 || ny = 0 then invalid_arg "Stats.mann_whitney_u: empty sample";
+  let nt = nx + ny in
+  let pooled =
+    Array.append
+      (Array.map (fun v -> (v, true)) xs)
+      (Array.map (fun v -> (v, false)) ys)
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pooled;
+  (* 1-based midranks; equal runs share their average rank, and each
+     run of t ties contributes t^3 - t to the variance correction *)
+  let ranks = Array.make nt 0. in
+  let tie_term = ref 0. in
+  let i = ref 0 in
+  while !i < nt do
+    let j = ref !i in
+    while !j + 1 < nt && fst pooled.(!j + 1) = fst pooled.(!i) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      ranks.(k) <- avg
+    done;
+    let t = float_of_int (!j - !i + 1) in
+    if t > 1. then tie_term := !tie_term +. ((t *. t *. t) -. t);
+    i := !j + 1
+  done;
+  let r1 = ref 0. in
+  Array.iteri (fun k (_, is_x) -> if is_x then r1 := !r1 +. ranks.(k)) pooled;
+  let nxf = float_of_int nx and nyf = float_of_int ny in
+  let ntf = float_of_int nt in
+  let u = !r1 -. (nxf *. (nxf +. 1.) /. 2.) in
+  let mu = nxf *. nyf /. 2. in
+  let sigma2 =
+    nxf *. nyf /. 12. *. (ntf +. 1. -. (!tie_term /. (ntf *. (ntf -. 1.))))
+  in
+  if sigma2 <= 0. then { u; z = 0.; p = 1. } (* every value tied *)
+  else begin
+    let z = max 0. (Float.abs (u -. mu) -. 0.5) /. sqrt sigma2 in
+    { u; z; p = min 1. (2. *. (1. -. normal_cdf z)) }
+  end
+
+let bootstrap_ci ?(reps = 1000) ?(confidence = 0.95) ~seed xs =
+  require_nonempty "Stats.bootstrap_ci" xs;
+  if reps < 1 then invalid_arg "Stats.bootstrap_ci: reps must be >= 1";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Stats.bootstrap_ci: confidence in (0,1)";
+  let k = Array.length xs in
+  let rng = Prng.of_int seed in
+  let resample = Array.make k 0. in
+  let medians =
+    Array.init reps (fun _ ->
+        for i = 0 to k - 1 do
+          resample.(i) <- xs.(Prng.int rng k)
+        done;
+        median resample)
+  in
+  let alpha = (1. -. confidence) /. 2. in
+  (percentile medians (100. *. alpha), percentile medians (100. *. (1. -. alpha)))
+
 let ratio_spread pts =
   if Array.length pts = 0 then invalid_arg "Stats.ratio_spread: empty input";
   let ratios =

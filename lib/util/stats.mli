@@ -40,6 +40,33 @@ val loglog_slope : (float * float) array -> float
     empirical polynomial degree of a scaling curve.  Points with
     non-positive coordinates are rejected with [Invalid_argument]. *)
 
+val normal_cdf : float -> float
+(** Standard normal CDF, Abramowitz & Stegun 26.2.17 polynomial
+    approximation (absolute error below 7.5e-8). *)
+
+type mwu = {
+  u : float;  (** the U statistic of the first sample *)
+  z : float;  (** tie-corrected, continuity-corrected normal deviate *)
+  p : float;  (** two-sided p-value (normal approximation) *)
+}
+
+val mann_whitney_u : float array -> float array -> mwu
+(** Two-sided Mann–Whitney U rank test of [xs] against [ys]: midranks
+    for ties, tie-corrected variance, continuity correction, normal
+    approximation for the p-value.  All values tied yields [p = 1.]
+    (no evidence either way).  The observatory uses this to flag
+    cross-run metric shifts without assuming normality of bench
+    timings.  @raise Invalid_argument on an empty sample. *)
+
+val bootstrap_ci :
+  ?reps:int -> ?confidence:float -> seed:int -> float array -> float * float
+(** Percentile-bootstrap confidence interval for the median:
+    [reps] (default 1000) resamples drawn with a {!Prng} seeded from
+    [seed], so the interval is a deterministic function of
+    [(xs, seed, reps, confidence)].  Default confidence 0.95.
+    @raise Invalid_argument on empty input, [reps < 1], or confidence
+    outside (0,1). *)
+
 val ratio_spread : (float * float) array -> float * float
 (** [ratio_spread pts] returns [(mean, max/min)] of the ratios [y/x].
     A spread close to [1.] means [y] is proportional to [x] — the

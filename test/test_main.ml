@@ -27,6 +27,7 @@ let () =
       ("msg", Test_msg.suite);
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observatory", Test_observatory.suite);
       ("fault", Test_fault.suite);
       ("fuzz", Test_fuzz.suite);
       ("conformance", Test_conformance.suite);

@@ -427,6 +427,91 @@ let test_prom_write_file_atomic () =
   Sys.remove path;
   Sys.rmdir dir
 
+(* HELP text escapes backslash and newline (a different escape set
+   from label values: quotes pass through), and an empty label set
+   renders with no braces at all — `m{} 1` is valid exposition text
+   but non-canonical. *)
+let test_prom_help_escaping_and_empty_labels () =
+  let t = Obs.Prom.create () in
+  Obs.Prom.counter t ~name:"m_total" ~help:"line1\nline2 \\ \"quoted\"" 1.;
+  Obs.Prom.gauge t ~name:"g" ~help:"g" ~labels:[] 2.;
+  let out = Obs.Prom.render t in
+  let has needle =
+    Alcotest.(check bool) ("contains " ^ String.escaped needle) true
+      (let nl = String.length needle and ol = String.length out in
+       let rec scan i =
+         i + nl <= ol && (String.sub out i nl = needle || scan (i + 1))
+       in
+       scan 0)
+  in
+  has "# HELP m_total line1\\nline2 \\\\ \"quoted\"\n";
+  has "\ng 2\n";
+  (* no "g{}" anywhere *)
+  Alcotest.(check bool) "no empty braces" false
+    (let needle = "{}" in
+     let nl = String.length needle and ol = String.length out in
+     let rec scan i =
+       i + nl <= ol && (String.sub out i nl = needle || scan (i + 1))
+     in
+     scan 0)
+
+let test_prom_nonfinite_rejected () =
+  let t = Obs.Prom.create () in
+  List.iter
+    (fun v ->
+      Alcotest.check_raises
+        (Printf.sprintf "counter rejects %h" v)
+        (Invalid_argument (Printf.sprintf "Prom.add: non-finite sample %h" v))
+        (fun () -> Obs.Prom.counter t ~name:"x_total" ~help:"x" v);
+      Alcotest.check_raises
+        (Printf.sprintf "gauge rejects %h" v)
+        (Invalid_argument (Printf.sprintf "Prom.add: non-finite sample %h" v))
+        (fun () -> Obs.Prom.gauge t ~name:"x" ~help:"x" v))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* nothing was registered by the rejected calls *)
+  Alcotest.(check string) "registry untouched" "" (Obs.Prom.render t)
+
+(* QCheck: any byte string is safe as HELP text and as a label value —
+   the rendered exposition never contains a raw newline inside a HELP
+   line or a label value (the two places a newline would corrupt the
+   line-oriented format), and rendering never raises. *)
+let prom_escaping_fuzz_prop =
+  QCheck.Test.make ~name:"prom HELP/label escaping yields one-line records"
+    ~count:500
+    QCheck.(
+      pair
+        (string_gen Gen.(map Char.chr (int_range 0 255)))
+        (string_gen Gen.(map Char.chr (int_range 0 255))))
+    (fun (help, label_v) ->
+      let t = Obs.Prom.create () in
+      Obs.Prom.counter t ~name:"fuzz_total" ~help
+        ~labels:[ ("k", label_v) ]
+        1.;
+      let out = Obs.Prom.render t in
+      (* every line is either a comment or a sample ending in " 1";
+         raw newlines in inputs must have been escaped away *)
+      String.split_on_char '\n' out
+      |> List.for_all (fun line ->
+             line = ""
+             || String.length line >= 2
+                && (String.sub line 0 2 = "# "
+                   || String.sub line (String.length line - 2) 2 = " 1")))
+
+(* ---- sketch accessors ---- *)
+
+let test_sketch_sum_count_accessors () =
+  let sk = Sk.create () in
+  Alcotest.(check (float 0.)) "empty total" 0. (Sk.total sk);
+  List.iter (Sk.add sk) [ 3; 0; 41; 7 ];
+  Alcotest.(check int) "count" 4 (Sk.count sk);
+  Alcotest.(check (float 0.)) "total is exact" 51. (Sk.total sk);
+  Alcotest.(check (float 0.)) "sum aliases total" (Sk.total sk) (Sk.sum sk);
+  let other = Sk.create () in
+  List.iter (Sk.add other) [ 9; 100 ];
+  let merged = Sk.merge sk other in
+  Alcotest.(check (float 0.)) "merge sums totals" 160. (Sk.total merged);
+  Alcotest.(check int) "merge sums counts" 6 (Sk.count merged)
+
 (* ---- dashboard frames ---- *)
 
 let test_dashboard_render () =
@@ -530,6 +615,13 @@ let suite =
     Alcotest.test_case "JSON control-char escaping" `Quick
       test_json_control_chars;
     Alcotest.test_case "prometheus exposition" `Quick test_prom_render;
+    Alcotest.test_case "prometheus HELP escaping and empty labels" `Quick
+      test_prom_help_escaping_and_empty_labels;
+    Alcotest.test_case "prometheus rejects non-finite samples" `Quick
+      test_prom_nonfinite_rejected;
+    qtest prom_escaping_fuzz_prop;
+    Alcotest.test_case "sketch sum/count accessors" `Quick
+      test_sketch_sum_count_accessors;
     Alcotest.test_case "prometheus atomic write" `Quick
       test_prom_write_file_atomic;
     Alcotest.test_case "dashboard frame" `Quick test_dashboard_render;
