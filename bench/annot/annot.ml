@@ -1,0 +1,12 @@
+(* GitHub Actions workflow-command annotations.  Both CI gates —
+   bench/compare (snapshot regression) and bench/observatory
+   (cross-run trend) — emit ::error/::warning lines in exactly this
+   shape; sharing the formatter keeps them byte-identical. *)
+let printf ~enabled ~error ~title fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if enabled then
+        Printf.printf "::%s title=%s::%s\n"
+          (if error then "error" else "warning")
+          title msg)
+    fmt

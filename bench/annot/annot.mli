@@ -1,0 +1,18 @@
+(** GitHub Actions workflow-command annotations, shared by the two CI
+    gates ([bench/compare] and [bench/observatory]) so their
+    [::error]/[::warning] lines stay byte-identical.
+
+    [printf ~enabled ~error ~title fmt ...] formats the message and,
+    when [enabled] (the gate's [--format github] flag), prints
+    [::error title=TITLE::MSG] (or [::warning ...] when [error] is
+    false) on stdout — the syntax Actions scrapes from the job log to
+    surface annotations on the PR checks page.  When [enabled] is
+    false the formatted message is discarded: callers can annotate
+    unconditionally and let the flag decide. *)
+
+val printf :
+  enabled:bool ->
+  error:bool ->
+  title:string ->
+  ('a, unit, string, unit) format4 ->
+  'a

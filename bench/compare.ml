@@ -83,13 +83,7 @@ let () =
      log.  Severity follows the gate: --warn-only downgrades
      regressions to warnings, schema mismatches stay errors. *)
   let annotate ~error title fmt =
-    Printf.ksprintf
-      (fun msg ->
-        if !github then
-          Printf.printf "::%s title=%s::%s\n"
-            (if error then "error" else "warning")
-            title msg)
-      fmt
+    Annot.printf ~enabled:!github ~error ~title fmt
   in
   let is_snapshot f =
     String.length f > 6

@@ -28,13 +28,14 @@ let experiments =
     ("e16", E16_telemetry.run);
     ("e17", E17_fuzz.run);
     ("e18", E18_observatory.run);
+    ("e19", E19_flight.run);
     ("bechamel", Timing.run);
   ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--csv DIR] [--json] [--json-dir DIR] [--smoke] \
-     [e1|...|e18|bechamel]...";
+     [e1|...|e19|bechamel]...";
   exit 2
 
 let check_dir ~flag dir =

@@ -207,13 +207,7 @@ let report_cmd args =
       if not !json then Printf.printf "dashboard: %s\n" path
   | None -> ());
   let annotate ~error title fmt =
-    Printf.ksprintf
-      (fun msg ->
-        if !github then
-          Printf.printf "::%s title=%s::%s\n"
-            (if error then "error" else "warning")
-            title msg)
-      fmt
+    Annot.printf ~enabled:!github ~error ~title fmt
   in
   List.iter
     (fun (t : Obs.Series.trend) ->

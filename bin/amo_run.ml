@@ -201,6 +201,41 @@ let trace_out =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let flight_out =
+  let doc =
+    "Arm an always-on binary flight recorder on the run: every executor \
+     event is journaled into a bounded ring of fixed-size segments \
+     (drop-oldest retention), and the retained tail plus a manifest is \
+     dumped atomically into $(docv) — immediately on a violation, else at \
+     run end.  Inspect with $(b,amo_run trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"DIR" ~doc)
+
+(* One armed recorder per --flight-out run.  The dump is once-only —
+   the first trigger (a violation) wins and later triggers are no-ops,
+   so a soak's first failure is not overwritten by the end-of-run
+   on-demand dump. *)
+let make_flight = function
+  | None -> None
+  | Some dir -> Some (dir, Obs.Flight.create (), ref false)
+
+let flight_probe = function
+  | None -> None
+  | Some (_, fl, _) -> Some (Obs.Journal.probe fl)
+
+let flight_dump ~json ~trigger ?(extra = []) = function
+  | None -> ()
+  | Some (dir, fl, dumped) ->
+      if not !dumped then begin
+        dumped := true;
+        let path = Obs.Journal.dump ~trigger ~extra ~dir fl in
+        if not json then
+          Fmt.pr "flight dump     : %s (%d records retained, trigger: %s)@."
+            path
+            (Obs.Flight.retained_records fl)
+            trigger
+      end
+
 let make_sched kind rng =
   match kind with
   | `Rr -> Shm.Schedule.round_robin ()
@@ -249,16 +284,18 @@ let kk_prom_snapshot ~dir ~n ~m ~beta ~do_count (s : Core.Harness.summary) =
 
 let kk_cmd =
   let run n m beta_opt seed sched_kind f csv_dos csv_timeline show_timeline
-      show_gantt log_level json trace_out prom_out =
+      show_gantt log_level json trace_out prom_out flight_out =
     apply_log_level log_level;
     let beta = Option.value beta_opt ~default:m in
     let rng = Util.Prng.of_int seed in
     let label = Printf.sprintf "KK(beta=%d)" beta in
+    let flight = make_flight flight_out in
     let s =
       Core.Harness.kk
         ~scheduler:(make_sched sched_kind rng)
         ~adversary:(make_adversary rng ~f ~m ~n)
         ~trace_level:(trace_level_for trace_out)
+        ?probe:(flight_probe flight)
         ~verbose:(trace_out <> None) ~n ~m ~beta ()
     in
     let guaranteed =
@@ -280,6 +317,17 @@ let kk_cmd =
     | None -> ());
     write_trace ~label ~m ~json trace_out s.trace;
     exports ~m ~csv_dos ~csv_timeline ~show_timeline ~show_gantt s;
+    flight_dump ~json
+      ~trigger:(if ok then "on-demand" else "violation")
+      ~extra:
+        [
+          ("cmd", J.String "kk");
+          ("n", J.Int n);
+          ("m", J.Int m);
+          ("beta", J.Int beta);
+          ("seed", J.Int seed);
+        ]
+      flight;
     if not ok then exit 1
   in
   let prom_out =
@@ -294,7 +342,7 @@ let kk_cmd =
     Term.(
       const run $ jobs $ procs $ beta $ seed $ sched $ crashes $ csv_dos
       $ csv_timeline $ show_timeline $ show_gantt $ log_level $ json_flag
-      $ trace_out $ prom_out)
+      $ trace_out $ prom_out $ flight_out)
 
 let claim_cmd =
   let run n m seed sched_kind f log_level json trace_out =
@@ -838,8 +886,12 @@ let chaos_prom_flush ~dir ~n ~m ~beta ~seed ~runs_done ~dos_total ~steps_total
 
 let chaos_cmd =
   let run plan_file soak_count n m beta_opt seed out_dir max_steps dashboard
-      prom_out fail_fast log_level json =
+      prom_out fail_fast flight_out log_level json =
     apply_log_level log_level;
+    let flight = make_flight flight_out in
+    let flight_extra trigger_cmd =
+      [ ("cmd", J.String trigger_cmd); ("seed", J.Int seed) ]
+    in
     let pr_violations vs =
       List.iter
         (fun v ->
@@ -891,7 +943,10 @@ let chaos_cmd =
             let r =
               (* budget exhaustion must not masquerade as a passing
                  replay: surface the wedged prefix and exit non-zero *)
-              try Fault.Chaos.replay_plan ?max_steps plan
+              try
+                Fault.Chaos.replay_plan
+                  ?probe:(flight_probe flight)
+                  ?max_steps plan
               with Analysis.Explore.Max_steps_exceeded { schedule; steps } ->
                 if json then
                   print_endline
@@ -913,6 +968,9 @@ let chaos_cmd =
                     "amo_run: the plan does not quiesce under this budget — \
                      a would-be wait-freedom counterexample@."
                 end;
+                (* the journal holds the wedged run's tail — keep it *)
+                flight_dump ~json ~trigger:"max-steps"
+                  ~extra:(flight_extra "chaos-replay") flight;
                 exit 3
             in
             (* the ledger's one-line causal explanation of the violated
@@ -967,6 +1025,10 @@ let chaos_cmd =
                 if not json then Fmt.pr "explanation     : %s@." line)
               explanation;
             pr_violations r.violations;
+            flight_dump ~json
+              ~trigger:
+                (if r.violations <> [] then "violation" else "on-demand")
+              ~extra:(flight_extra "chaos-replay") flight;
             if r.violations <> [] then exit 1)
     | None ->
         (* soak mode: seeded random plans, shrink + save any failure;
@@ -1044,8 +1106,11 @@ let chaos_cmd =
           telemetry ~aborted:false ~final:false ()
         in
         let s =
-          Fault.Chaos.soak ~fail_fast ~on_run ~seed ~count:soak_count ~n ~m
-            ~beta ()
+          Fault.Chaos.soak ~fail_fast ?probe:(flight_probe flight)
+            ~on_failure:(fun _r ->
+              flight_dump ~json ~trigger:"violation"
+                ~extra:(flight_extra "chaos-soak") flight)
+            ~on_run ~seed ~count:soak_count ~n ~m ~beta ()
         in
         telemetry ~aborted:s.Fault.Chaos.aborted ~final:true ();
         if dashboard then print_newline ();
@@ -1086,6 +1151,8 @@ let chaos_cmd =
           | Some p -> Fmt.pr "counterexample  : %s (shrunk, replayable)@." p
           | None -> ()
         end;
+        flight_dump ~json ~trigger:"on-demand"
+          ~extra:(flight_extra "chaos-soak") flight;
         if s.failures > 0 then exit 1
   in
   let plan_file =
@@ -1141,8 +1208,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ plan_file $ soak_count $ jobs $ procs $ beta $ seed $ out_dir
-      $ max_steps_opt $ dashboard_flag $ prom_out $ fail_fast_flag $ log_level
-      $ json_flag)
+      $ max_steps_opt $ dashboard_flag $ prom_out $ fail_fast_flag $ flight_out
+      $ log_level $ json_flag)
 
 let multicore_cmd =
   let run n m beta_opt log_level json =
@@ -1431,9 +1498,13 @@ let fuzz_prom_flush ~dir ~n ~m ~beta ~seed (st : Analysis.Fuzz.stats) =
 let fuzz_cmd =
   let run budget corpus_dir n m beta_opt seed algo_kind blind minimize out_dir
       max_steps max_seconds table_bits stop_on_violation dashboard prom_out
-      log_level json =
+      flight_out log_level json =
     apply_log_level log_level;
     let beta = Option.value beta_opt ~default:m in
+    let flight = make_flight flight_out in
+    let flight_extra =
+      [ ("cmd", J.String "fuzz"); ("seed", J.Int seed) ]
+    in
     let algo =
       match algo_kind with
       | `Kk -> Fault.Plan.Kk
@@ -1519,12 +1590,20 @@ let fuzz_cmd =
       | _ -> ()
     in
     let harness =
-      if blind then Fault.Fuzz.blind_harness ?max_steps ()
-      else Fault.Fuzz.harness ?max_steps ()
+      let probe = flight_probe flight in
+      if blind then Fault.Fuzz.blind_harness ?probe ?max_steps ()
+      else Fault.Fuzz.harness ?probe ?max_steps ()
+    in
+    (* retain the journal the moment the first violating execution is
+       seen — the recorder still holds that execution's tail *)
+    let on_exec (st : Analysis.Fuzz.stats) =
+      if st.Analysis.Fuzz.violations > 0 then
+        flight_dump ~json ~trigger:"violation" ~extra:flight_extra flight;
+      telemetry ~final:false st
     in
     let outcome =
       Analysis.Fuzz.run ?table_bits ~stop_on_violation ?max_seconds ?on_keep
-        ~on_exec:(telemetry ~final:false) ~seed ~budget ~harness ~seeds ()
+        ~on_exec ~seed ~budget ~harness ~seeds ()
     in
     let st = outcome.Analysis.Fuzz.stats in
     telemetry ~final:true st;
@@ -1612,6 +1691,10 @@ let fuzz_cmd =
         (fun p -> Fmt.pr "counterexample  : %s (replay: amo_run chaos --plan)@." p)
         saved
     end;
+    flight_dump ~json
+      ~trigger:
+        (if st.Analysis.Fuzz.violations > 0 then "violation" else "on-demand")
+      ~extra:flight_extra flight;
     if st.Analysis.Fuzz.violations > 0 then exit 1
   in
   let budget =
@@ -1710,7 +1793,7 @@ let fuzz_cmd =
       const run $ budget $ corpus_dir $ jobs $ procs $ beta $ seed $ algo_arg
       $ blind_flag $ minimize_flag $ out_dir $ max_steps_opt $ max_seconds_opt
       $ table_bits_opt $ stop_on_violation_flag $ dashboard_flag $ prom_out
-      $ log_level $ json_flag)
+      $ flight_out $ log_level $ json_flag)
 
 let profile_cmd =
   let run n m beta_opt seed sched_kind f mc rtevents_flag log_level json
@@ -1929,6 +2012,288 @@ let profile_cmd =
       $ rtevents_flag $ log_level $ json_flag $ trace_out $ prom_out
       $ report_out)
 
+(* ------------------------------------------------------------------ *)
+(* trace: the offline flight-journal engine (decode / query / merge).
+   Exit contract: 0 clean, 1 only when --fail-empty matched nothing,
+   2 on unreadable/corrupt input (recovered records are still
+   printed — a truncated journal yields everything before the
+   damage, plus the byte offset where decoding stopped). *)
+
+let trace_cmd =
+  (* a dump directory, its manifest.json, or a single segment file *)
+  let load path =
+    match Obs.Journal.load_dump path with
+    | Error e ->
+        Fmt.epr "amo_run: %s: %s@." path e;
+        exit 2
+    | Ok (items, damages) ->
+        List.iter
+          (fun (file, (d : Obs.Journal.damage)) ->
+            Fmt.epr
+              "amo_run: %s: damaged at byte %d: %s (recovered all prior \
+               records)@."
+              file d.Obs.Journal.offset d.Obs.Journal.reason)
+          damages;
+        (items, damages <> [])
+  in
+  let infer_m items =
+    List.fold_left
+      (fun acc it -> max acc (Obs.Journal.record_of_item it).Obs.Sink.pid)
+      1 items
+  in
+  let jsonl_of_record r =
+    J.to_string ~minify:true (Obs.Sink.record_to_json r)
+  in
+  (* non-executor records (counters, net.send/net.recv, bench marks)
+     ride into the Chrome document through the ?extra seam *)
+  let chrome_of_record (r : Obs.Sink.record) =
+    let base =
+      [
+        ("name", J.String r.Obs.Sink.name);
+        ("pid", J.Int r.Obs.Sink.pid);
+        ("tid", J.Int r.Obs.Sink.pid);
+        ("ts", J.Int r.Obs.Sink.ts);
+      ]
+    in
+    let args =
+      match r.Obs.Sink.args with [] -> [] | a -> [ ("args", J.Obj a) ]
+    in
+    match r.Obs.Sink.kind with
+    | Obs.Sink.Span ->
+        J.Obj
+          (base @ [ ("ph", J.String "X"); ("dur", J.Int r.Obs.Sink.dur) ] @ args)
+    | Obs.Sink.Counter -> J.Obj (base @ [ ("ph", J.String "C") ] @ args)
+    | Obs.Sink.Instant | Obs.Sink.Log ->
+        J.Obj (base @ [ ("ph", J.String "i"); ("s", J.String "t") ] @ args)
+  in
+  let in_arg =
+    let doc =
+      "Journal to read: a flight-dump directory (or its manifest.json), or a \
+       single segment-*.amoj file."
+    in
+    Arg.(required & opt (some string) None & info [ "in" ] ~docv:"PATH" ~doc)
+  in
+  let decode_cmd =
+    let run in_path jsonl_out chrome_out log_level =
+      apply_log_level log_level;
+      let items, damaged = load in_path in
+      let emit_jsonl oc =
+        List.iter
+          (fun it ->
+            output_string oc (jsonl_of_record (Obs.Journal.record_of_item it));
+            output_char oc '\n')
+          items
+      in
+      (match jsonl_out with
+      | Some path ->
+          let oc = open_out path in
+          emit_jsonl oc;
+          close_out oc
+      | None -> if chrome_out = None then emit_jsonl stdout);
+      (match chrome_out with
+      | None -> ()
+      | Some path ->
+          let trace = Obs.Journal.to_trace items in
+          let m = infer_m items in
+          let extra =
+            List.filter_map
+              (function
+                | Obs.Journal.Record r
+                  when Obs.Journal.event_of_record r = None ->
+                    Some (chrome_of_record r)
+                | _ -> None)
+              items
+          in
+          let doc =
+            Obs.Chrome_trace.to_string ~run_name:(Filename.basename in_path)
+              ~extra ~m trace
+          in
+          let oc = open_out path in
+          output_string oc doc;
+          close_out oc);
+      if damaged then exit 2
+    in
+    let jsonl_out =
+      let doc = "Write the JSONL decode to $(docv) instead of stdout." in
+      Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+    in
+    let chrome_out =
+      let doc =
+        "Also render the journal as a Chrome trace_event document at $(docv) \
+         (executor events become spans/marks; other records ride along as \
+         extra events).  Suppresses the stdout JSONL unless --jsonl is also \
+         given."
+      in
+      Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+    in
+    let doc =
+      "Decode a binary journal to JSONL (one record per line) or a Chrome \
+       trace; recovers every record before any damage and exits 2 if damage \
+       was found."
+    in
+    Cmd.v (Cmd.info "decode" ~doc)
+      Term.(const run $ in_arg $ jsonl_out $ chrome_out $ log_level)
+  in
+  let query_cmd =
+    let run in_path pid_f kind_f name_f from_f to_f why procs fail_empty
+        log_level =
+      apply_log_level log_level;
+      let items, damaged = load in_path in
+      if damaged then exit 2;
+      match why with
+      | Some job ->
+          let trace = Obs.Journal.to_trace items in
+          let m = Option.value procs ~default:(infer_m items) in
+          let chain = Obs.Span.causal_chain ~m trace ~job in
+          List.iter (fun s -> print_endline (Obs.Span.render s)) chain;
+          if chain = [] && fail_empty then exit 1
+      | None ->
+          let keep (r : Obs.Sink.record) =
+            (match pid_f with None -> true | Some p -> r.Obs.Sink.pid = p)
+            && (match kind_f with
+               | None -> true
+               | Some k -> r.Obs.Sink.kind = k)
+            && (match name_f with
+               | None -> true
+               | Some sub ->
+                   let name = r.Obs.Sink.name in
+                   let nl = String.length name and sl = String.length sub in
+                   let rec at i =
+                     i + sl <= nl
+                     && (String.sub name i sl = sub || at (i + 1))
+                   in
+                   at 0)
+            && (match from_f with None -> true | Some t -> r.Obs.Sink.ts >= t)
+            && match to_f with None -> true | Some t -> r.Obs.Sink.ts <= t
+          in
+          let matched =
+            List.filter keep (List.map Obs.Journal.record_of_item items)
+          in
+          List.iter (fun r -> print_endline (jsonl_of_record r)) matched;
+          if matched = [] && fail_empty then exit 1
+    in
+    let pid_f =
+      let doc = "Keep only records of process $(docv)." in
+      Arg.(value & opt (some int) None & info [ "pid" ] ~docv:"PID" ~doc)
+    in
+    let kind_f =
+      let doc = "Keep only $(docv) records (span, instant, counter, log)." in
+      Arg.(
+        value
+        & opt
+            (some
+               (enum
+                  [
+                    ("span", Obs.Sink.Span);
+                    ("instant", Obs.Sink.Instant);
+                    ("counter", Obs.Sink.Counter);
+                    ("log", Obs.Sink.Log);
+                  ]))
+            None
+        & info [ "kind" ] ~docv:"KIND" ~doc)
+    in
+    let name_f =
+      let doc = "Keep only records whose name contains $(docv)." in
+      Arg.(value & opt (some string) None & info [ "name" ] ~docv:"SUBSTR" ~doc)
+    in
+    let from_f =
+      let doc = "Keep only records with ts >= $(docv)." in
+      Arg.(value & opt (some int) None & info [ "from" ] ~docv:"TS" ~doc)
+    in
+    let to_f =
+      let doc = "Keep only records with ts <= $(docv)." in
+      Arg.(value & opt (some int) None & info [ "to" ] ~docv:"TS" ~doc)
+    in
+    let why =
+      let doc =
+        "Instead of filtering, print the minimal causal chain explaining job \
+         $(docv)'s fate (Obs.Span.causal_chain over the journal's executor \
+         events) — the offline twin of [amo_run report --why]."
+      in
+      Arg.(value & opt (some int) None & info [ "why" ] ~docv:"JOB" ~doc)
+    in
+    let procs_opt =
+      let doc =
+        "Process count for --why's causal reconstruction (default: the \
+         largest pid seen in the journal)."
+      in
+      Arg.(value & opt (some int) None & info [ "procs" ] ~docv:"M" ~doc)
+    in
+    let fail_empty =
+      let doc = "Exit 1 when nothing matches (for CI gating)." in
+      Arg.(value & flag & info [ "fail-empty" ] ~doc)
+    in
+    let doc =
+      "Filter a journal by pid/kind/name/time-window (JSONL output), or \
+       explain one job's fate with --why; exits 1 with --fail-empty on no \
+       match, 2 on a damaged journal."
+    in
+    Cmd.v (Cmd.info "query" ~doc)
+      Term.(
+        const run $ in_arg $ pid_f $ kind_f $ name_f $ from_f $ to_f $ why
+        $ procs_opt $ fail_empty $ log_level)
+  in
+  let merge_cmd =
+    let run in_paths out log_level =
+      apply_log_level log_level;
+      let loaded = List.map load in_paths in
+      if List.exists snd loaded then exit 2;
+      let merged = Obs.Journal.merge (Array.of_list (List.map fst loaded)) in
+      match out with
+      | Some path ->
+          (* a merged stream is itself a valid journal segment *)
+          let tmp = path ^ ".tmp" in
+          let oc = open_out_bin tmp in
+          output_string oc Obs.Journal.header;
+          List.iter
+            (fun (_src, it) -> output_string oc (Obs.Journal.encode it))
+            merged;
+          close_out oc;
+          Sys.rename tmp path;
+          Fmt.pr "merged          : %d records from %d journals -> %s@."
+            (List.length merged) (List.length in_paths) path
+      | None ->
+          List.iter
+            (fun (src, it) ->
+              let r = Obs.Journal.record_of_item it in
+              let j =
+                match Obs.Sink.record_to_json r with
+                | J.Obj fields -> J.Obj (("src", J.Int src) :: fields)
+                | j -> j
+              in
+              print_endline (J.to_string ~minify:true j))
+            merged
+    in
+    let in_args =
+      let doc =
+        "A journal to merge (repeatable: one per multicore domain or \
+         Msg.Net node)."
+      in
+      Arg.(non_empty & opt_all string [] & info [ "in" ] ~docv:"PATH" ~doc)
+    in
+    let out =
+      let doc =
+        "Write the merged stream as a binary journal to $(docv) (atomic \
+         tmp+rename) instead of JSONL on stdout."
+      in
+      Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    let doc =
+      "Merge k per-domain/per-node journals into one causally consistent \
+       stream: vector-clocked records (Msg.Net) are ordered by \
+       happens-before, everything else tie-breaks deterministically on \
+       (ts, pid, source) — repeated merges of the same journals are \
+       byte-identical."
+    in
+    Cmd.v (Cmd.info "merge" ~doc) Term.(const run $ in_args $ out $ log_level)
+  in
+  let doc =
+    "Offline engine over binary flight journals: decode to JSONL/Chrome, \
+     query by pid/kind/name/time or causal --why, merge per-domain/per-node \
+     journals deterministically."
+  in
+  Cmd.group (Cmd.info "trace" ~doc) [ decode_cmd; query_cmd; merge_cmd ]
+
 let version_cmd =
   let run json =
     (* archived artifacts (BENCH_*.json baselines, Prometheus
@@ -1974,5 +2339,6 @@ let () =
             multicore_cmd;
             report_cmd;
             profile_cmd;
+            trace_cmd;
             version_cmd;
           ]))

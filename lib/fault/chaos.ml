@@ -180,8 +180,8 @@ type soak_stats = {
 }
 
 let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
-    ?(stalls = true) ?(fail_fast = false) ?on_run ?rtevents ~seed ~count ~n ~m
-    ~beta () =
+    ?(stalls = true) ?(fail_fast = false) ?probe ?on_run ?on_failure ?rtevents
+    ~seed ~count ~n ~m ~beta () =
   (* with a runtime-events consumer attached, each chaos run is a
      [chaos.run] span on the runtime timeline and the rings are
      drained between runs — soaks run long enough to overflow them
@@ -207,7 +207,7 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
        in
        if instrument then Obs.Rtevents.emit_begin "chaos.run";
        let r =
-         if not fail_fast then run_plan plan
+         if not fail_fast then run_plan ?probe plan
          else begin
            (* a streaming monitor aborts the executor on the first
               repeat Do; the plan is deterministic, so re-running it
@@ -216,10 +216,10 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
            let monitor =
              Obs.Monitor.create ~n:plan.n ~m:plan.m ~beta:plan.beta ()
            in
-           try run_plan ~monitor ~fail_fast:true plan
+           try run_plan ?probe ~monitor ~fail_fast:true plan
            with Obs.Monitor.Tripped _ ->
              aborted := true;
-             run_plan plan
+             run_plan ?probe plan
          end
        in
        (match rtevents with
@@ -247,6 +247,11 @@ let soak ?(sink = Obs.Sink.null) ?(algo = Plan.Kk) ?(recovery_every = 4)
                     ]
                   "chaos.violation"))
            r.violations;
+         (* dump-on-failure seam: fires before shrinking so a flight
+            recorder attached via [probe] is persisted while it still
+            holds the failing run's tail (the shrink re-runs below use
+            bare [run_plan] and never touch the caller's probe) *)
+         (match on_failure with Some f -> f r | None -> ());
          if Option.is_none !first_failure then
            first_failure := Some (shrink_failure r)
        end;

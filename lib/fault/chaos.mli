@@ -107,7 +107,9 @@ val soak :
   ?recovery_every:int ->
   ?stalls:bool ->
   ?fail_fast:bool ->
+  ?probe:Shm.Probe.t ->
   ?on_run:(int -> run_result -> unit) ->
+  ?on_failure:(run_result -> unit) ->
   ?rtevents:Obs.Rtevents.t ->
   seed:int ->
   count:int ->
@@ -129,6 +131,17 @@ val soak :
     [on_run] is invoked after each completed run with its index and
     result — the live-dashboard / Prometheus-flush hook; statistics
     visible to it are already updated.
+
+    [probe] is attached to every soaked run (composed before any
+    fail-fast monitor, so it observes the events leading up to an
+    abort) — the seam an always-on {!Obs.Journal.probe} flight
+    recorder plugs into.  [on_failure] fires on each run with
+    violations, before that failure is shrunk and before any later
+    run can overwrite a bounded recorder's retained tail — the
+    dump-on-failure trigger ([amo_run chaos --flight-out] persists
+    the flight dump from it).  Shrinking re-runs plans without
+    [probe], so the recorder's contents stay those of the original
+    failing run.
 
     [rtevents] (optional) is an active {!Obs.Rtevents} consumer: each
     run becomes a [chaos.run] span on the runtime-events timeline and

@@ -245,7 +245,7 @@ let net_fingerprint (r : Chaos.net_result) =
   in
   List.fold_left (fun h c -> Mix.combine h (Mix.int c)) h r.Chaos.stuck
 
-let execute ?max_steps (plan : Plan.t) =
+let execute ?probe ?max_steps (plan : Plan.t) =
   if plan.Plan.net <> [] then begin
     let r = Chaos.run_net_plan plan in
     {
@@ -268,7 +268,7 @@ let execute ?max_steps (plan : Plan.t) =
             Analysis.Fingerprint.cover ~handles ~do_counts ~faults:!faults
             :: !states)
     in
-    let r = Chaos.run_plan ~state_probe ?max_steps plan in
+    let r = Chaos.run_plan ?probe ~state_probe ?max_steps plan in
     {
       Analysis.Fuzz.states = List.rev !states;
       violating = r.Chaos.violations <> [];
@@ -276,16 +276,16 @@ let execute ?max_steps (plan : Plan.t) =
     }
   end
 
-let harness ?max_steps () =
-  { Analysis.Fuzz.mutate; execute = execute ?max_steps }
+let harness ?probe ?max_steps () =
+  { Analysis.Fuzz.mutate; execute = execute ?probe ?max_steps }
 
-let blind_harness ?max_steps () =
+let blind_harness ?probe ?max_steps () =
   let fresh rng (parent : Plan.t) =
     Plan.gen ~algo:parent.Plan.algo ~recovery:(Prng.bool rng)
       ~name:parent.Plan.name ~n:parent.Plan.n ~m:parent.Plan.m
       ~beta:parent.Plan.beta rng
   in
-  { Analysis.Fuzz.mutate = fresh; execute = execute ?max_steps }
+  { Analysis.Fuzz.mutate = fresh; execute = execute ?probe ?max_steps }
 
 (* ---- seeds and shrinking ---- *)
 

@@ -24,19 +24,23 @@ val mutate : Util.Prng.t -> Plan.t -> Plan.t
     (falls back to a reseed when the drawn edit cannot be made
     valid).  Deterministic in the generator state. *)
 
-val execute : ?max_steps:int -> Plan.t -> Plan.t Analysis.Fuzz.exec
+val execute : ?probe:Shm.Probe.t -> ?max_steps:int -> Plan.t -> Plan.t Analysis.Fuzz.exec
 (** Run the plan under {!Chaos.run_plan} with a coverage probe
     attached ([state_probe]); for message-passing plans, falls back to
     {!Chaos.run_net_plan} with a single whole-run outcome fingerprint
     (canonical do-multiset + stuck set — net runs expose no
     per-event machine state).  [pinned] is the plan with the recorded
-    pick sequence fixed (shm) or the plan itself (net).
+    pick sequence fixed (shm) or the plan itself (net).  [probe] is
+    composed in front of the coverage probe on every shm execution —
+    the seam for an always-on {!Obs.Journal.probe} flight recorder,
+    whose drop-oldest ring then retains the tail of the most recent
+    (e.g. violating) execution ([amo_run fuzz --flight-out]).
     @raise Invalid_argument on an invalid plan. *)
 
-val harness : ?max_steps:int -> unit -> Plan.t Analysis.Fuzz.harness
+val harness : ?probe:Shm.Probe.t -> ?max_steps:int -> unit -> Plan.t Analysis.Fuzz.harness
 (** {!mutate} + {!execute}: the guided configuration. *)
 
-val blind_harness : ?max_steps:int -> unit -> Plan.t Analysis.Fuzz.harness
+val blind_harness : ?probe:Shm.Probe.t -> ?max_steps:int -> unit -> Plan.t Analysis.Fuzz.harness
 (** The control: identical {!execute} (same probe, same engine, same
     novelty table), but mutation ignores the parent and draws a fresh
     {!Plan.gen} plan with the parent's instance parameters — blind

@@ -25,6 +25,12 @@ type 'a t = {
   clocks : Util.Vclock.t array; (* 1-based; slot 0 unused *)
   msg_clocks : (int, Util.Vclock.t) Hashtbl.t; (* envelope id -> sender clock *)
   mutable observer : (obs -> unit) option;
+  (* per-node durable journals (flight-recorder sinks): node i's sends
+     and receives go only to journals.(i-1), so each journal is a
+     single-writer causal stream that [Obs.Journal.merge] can stitch
+     back together by the "vc" stamps *)
+  mutable journals : Obs.Sink.t array option;
+  jseq : int array; (* per-node journal ts when vclocks are off *)
 }
 
 let create ?(vclocks = false) ~nodes () =
@@ -44,6 +50,8 @@ let create ?(vclocks = false) ~nodes () =
        else [||]);
     msg_clocks = Hashtbl.create (if vclocks then 64 else 1);
     observer = None;
+    journals = None;
+    jseq = Array.make (nodes + 1) 0;
   }
 
 let nodes t = t.node_count
@@ -58,6 +66,41 @@ let set_handler t ~node f =
 let set_observer t f = t.observer <- Some f
 
 let notify t ev = match t.observer with None -> () | Some f -> f ev
+
+let set_journals t sinks =
+  if Array.length sinks <> t.node_count then
+    invalid_arg "Net.set_journals: need one sink per node";
+  t.journals <- Some sinks
+
+(* One record per node-local channel action.  With vclocks on, [ts] is
+   the node's own clock component and the full clock rides along as
+   the "vc" arg — exactly what the offline causal merge orders by;
+   without clocks, a per-node sequence number keeps each journal
+   internally ordered. *)
+let journal_emit t ~node ~name ~peer ~id =
+  match t.journals with
+  | None -> ()
+  | Some js ->
+      let sink = js.(node - 1) in
+      if not (Obs.Sink.is_null sink) then begin
+        let ts, vc_args =
+          if t.vclocks then
+            let l = Util.Vclock.to_list t.clocks.(node) in
+            ( Util.Vclock.get t.clocks.(node) ~p:node,
+              [ ("vc", Obs.Json.List (List.map (fun x -> Obs.Json.Int x) l)) ]
+            )
+          else begin
+            t.jseq.(node) <- t.jseq.(node) + 1;
+            (t.jseq.(node), [])
+          end
+        in
+        Obs.Sink.emit sink
+          (Obs.Sink.record ~ts ~pid:node ~kind:Obs.Sink.Instant
+             ~args:
+               (("id", Obs.Json.Int id) :: ("peer", Obs.Json.Int peer)
+              :: vc_args)
+             name)
+      end
 
 let clock t node =
   check t node;
@@ -88,7 +131,8 @@ let send t ~src ~dst body =
       Hashtbl.replace t.msg_clocks id (Util.Vclock.copy t.clocks.(src))
     end;
     enqueue t { id; src; dst; body };
-    notify t (Sent { id; src; dst })
+    notify t (Sent { id; src; dst });
+    journal_emit t ~node:src ~name:"net.send" ~peer:dst ~id
   end
 
 let crash t node =
@@ -119,10 +163,12 @@ let dispatch t env =
       (* a delivery is an action of [dst] causally after the send:
          tick, then join the sender's stamped snapshot *)
       Util.Vclock.tick t.clocks.(env.dst) ~p:env.dst;
-      match Hashtbl.find_opt t.msg_clocks env.id with
+      (match Hashtbl.find_opt t.msg_clocks env.id with
       | Some c -> Util.Vclock.join t.clocks.(env.dst) c
-      | None -> ()
+      | None -> ())
     end;
+    (* after the join, so the journaled "vc" already covers the send *)
+    journal_emit t ~node:env.dst ~name:"net.recv" ~peer:env.src ~id:env.id;
     match t.handlers.(env.dst) with
     | Some f -> f ~src:env.src env.body
     | None -> invalid_arg "Net: delivery to node without handler"

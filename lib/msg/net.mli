@@ -98,6 +98,19 @@ val set_observer : 'a t -> (obs -> unit) -> unit
     delivery (before the handler runs), drop and duplication.  At most
     one observer; a second call replaces the first. *)
 
+val set_journals : 'a t -> Obs.Sink.t array -> unit
+(** Per-node durable journals, independent of (and composable with)
+    the observer: node [i]'s sends and live deliveries are emitted
+    only to [sinks.(i-1)] as [net.send]/[net.recv] instants carrying
+    the message [id] and [peer].  With [~vclocks:true] each record's
+    [ts] is the node's own clock component and the full vector clock
+    rides along as a ["vc"] arg — the stamps {!Obs.Journal.merge} (and
+    [amo_run trace merge]) order the per-node streams by; without
+    clocks a per-node sequence number keeps each stream internally
+    ordered.  Pass {!Obs.Journal.sink}-wrapped flights for a bounded
+    binary black box per node.
+    @raise Invalid_argument unless one sink per node. *)
+
 val clock : 'a t -> int -> Util.Vclock.t
 (** A copy of the node's current vector clock.
     @raise Invalid_argument unless created with [~vclocks:true]. *)

@@ -252,12 +252,16 @@ let run_iterative ~n ~m ~epsilon_inv () =
 
 let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
     ?(job_budget = fun ~pid:_ -> max_int) ?(sink = Obs.Sink.null) ?rings
-    ?rtevents () =
+    ?journals ?rtevents () =
   if m < 1 || n < m then invalid_arg "Runner.run_kk: need 1 <= m <= n";
   if beta < 1 then invalid_arg "Runner.run_kk: beta must be >= 1";
   (match rings with
   | Some r when Array.length r <> m ->
       invalid_arg "Runner.run_kk: rings must have one ring per domain"
+  | _ -> ());
+  (match journals with
+  | Some j when Array.length j <> m ->
+      invalid_arg "Runner.run_kk: journals must have one flight per domain"
   | _ -> ());
   let next = Atomic_mem.vector ~len:m ~init:0 in
   let done_m = Atomic_mem.matrix ~rows:m ~cols:n ~init:0 in
@@ -272,7 +276,14 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
   let seq = Atomic.make 0 in
   let emit_for pid =
     let ring = Option.map (fun r -> r.(pid - 1)) rings in
-    if Obs.Sink.is_null sink && Option.is_none ring then fun _ -> ()
+    (* journals, like rings, are per-domain single-writer channels:
+       domain i appends only to journals.(i) — no mutex needed — and
+       the caller stitches them back together offline with
+       [Obs.Journal.merge] (the fetch-and-add [ts] makes the merged
+       order total and deterministic) *)
+    let journal = Option.map (fun j -> j.(pid - 1)) journals in
+    if Obs.Sink.is_null sink && Option.is_none ring && Option.is_none journal
+    then fun _ -> ()
     else fun job ->
       let r =
         Obs.Sink.record
@@ -282,6 +293,9 @@ let run_kk ~n ~m ~beta ?(policy = fun ~pid:_ -> Core.Policy.Rank_split)
           "mc.do"
       in
       (match ring with Some rg -> ignore (Obs.Ring.push rg r) | None -> ());
+      (match journal with
+      | Some fl -> Obs.Flight.push fl (Obs.Journal.encode (Obs.Journal.Record r))
+      | None -> ());
       if not (Obs.Sink.is_null sink) then Obs.Sink.emit sink r
   in
   (* [rtevents]: an active runtime-events consumer.  The run brackets

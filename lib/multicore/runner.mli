@@ -38,6 +38,7 @@ val run_kk :
   ?job_budget:(pid:int -> int) ->
   ?sink:Obs.Sink.t ->
   ?rings:Obs.Sink.record Obs.Ring.t array ->
+  ?journals:Obs.Flight.t array ->
   ?rtevents:Obs.Rtevents.t ->
   unit ->
   outcome
@@ -58,6 +59,14 @@ val run_kk :
     mutex, fixed cost — and the caller drains or peeks them, possibly
     concurrently with the run (live telemetry).  A full ring counts
     drops instead of blocking.  Both channels may be used at once.
+
+    [journals] (optional, length [m]) is the durable per-domain
+    variant: domain [i] appends its [mc.do] records, binary-encoded,
+    only to the flight recorder [journals.(i)] (single-writer, no
+    mutex).  Dump them with {!Obs.Journal.dump} and stitch the
+    per-domain streams back into one deterministic total order with
+    {!Obs.Journal.merge} or [amo_run trace merge] — the fetch-and-add
+    [ts] breaks every tie.
 
     [rtevents] (optional) is an active {!Obs.Rtevents} consumer: the
     run brackets itself in an [mc.run] span and each domain in an

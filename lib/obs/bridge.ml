@@ -48,14 +48,21 @@ let args_of_event (e : Shm.Event.t) =
       ]
   | Shm.Event.Recover { job; _ } -> [ ("job", Json.Int job) ]
 
+let record_of_event ~step ?phase ev =
+  let args = args_of_event ev in
+  let args =
+    match phase with
+    | Some ph -> ("phase", Json.String ph) :: args
+    | None -> args
+  in
+  Sink.record ~ts:step ~dur:1 ~pid:(Shm.Event.pid ev) ~kind:(kind_of_event ev)
+    ~args (name_of_event ev)
+
 let sink_probe sink =
   if Sink.is_null sink then Shm.Probe.null
   else
     Shm.Probe.make (fun ~step ~phase ev ->
-        let args = ("phase", Json.String phase) :: args_of_event ev in
-        Sink.emit sink
-          (Sink.record ~ts:step ~dur:1 ~pid:(Shm.Event.pid ev)
-             ~kind:(kind_of_event ev) ~args (name_of_event ev)))
+        Sink.emit sink (record_of_event ~step ~phase ev))
 
 let monitor_probe ?(fail_fast = false) monitor =
   Shm.Probe.make ~needs_phase:false (fun ~step ~phase:_ ev ->

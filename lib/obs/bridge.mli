@@ -1,6 +1,13 @@
 (** Connect {!Shm.Probe} (the executor's observer seam) to obs
     consumers. *)
 
+val record_of_event : step:int -> ?phase:string -> Shm.Event.t -> Sink.record
+(** The canonical event-to-record rendering used by {!sink_probe} (and
+    by {!Journal} when decoding compact executor events back into
+    records): [ts = step], [dur = 1], names like ["do(3)"]/["crash"],
+    args like [job]/[cell]/[owner].  [phase], when given, is prepended
+    as the first arg. *)
+
 val sink_probe : Sink.t -> Shm.Probe.t
 (** A probe that emits one structured record per executor event into
     the sink: 1-step spans for reads/writes/internal actions and

@@ -1,0 +1,106 @@
+type segment = { bytes : string; records : int; first_seq : int }
+
+type t = {
+  segment_bytes : int;
+  max_segments : int;
+  mutable cur : Buffer.t;
+  mutable cur_records : int;
+  mutable cur_first_seq : int;
+  sealed : segment Queue.t;
+  mutable sealed_records : int;
+  mutable dropped_segments : int;
+  mutable dropped_records : int;
+  mutable total_records : int;
+  mutable total_bytes : int;
+}
+
+let create ?(segment_bytes = 65_536) ?(max_segments = 8) () =
+  if segment_bytes < 1 then
+    invalid_arg "Flight.create: segment_bytes must be >= 1";
+  if max_segments < 1 then invalid_arg "Flight.create: max_segments must be >= 1";
+  {
+    segment_bytes;
+    max_segments;
+    cur = Buffer.create (min segment_bytes 4096);
+    cur_records = 0;
+    cur_first_seq = 0;
+    sealed = Queue.create ();
+    sealed_records = 0;
+    dropped_segments = 0;
+    dropped_records = 0;
+    total_records = 0;
+    total_bytes = 0;
+  }
+
+let seal t =
+  Queue.push
+    {
+      bytes = Buffer.contents t.cur;
+      records = t.cur_records;
+      first_seq = t.cur_first_seq;
+    }
+    t.sealed;
+  t.sealed_records <- t.sealed_records + t.cur_records;
+  Buffer.clear t.cur;
+  t.cur_first_seq <- t.total_records;
+  t.cur_records <- 0;
+  (* open segment counts toward the bound, hence [- 1] *)
+  while Queue.length t.sealed > t.max_segments - 1 do
+    let victim = Queue.pop t.sealed in
+    t.dropped_segments <- t.dropped_segments + 1;
+    t.dropped_records <- t.dropped_records + victim.records;
+    t.sealed_records <- t.sealed_records - victim.records
+  done
+
+let before_push t len =
+  if t.cur_records > 0 && Buffer.length t.cur + len > t.segment_bytes then
+    seal t
+
+let after_push t len =
+  t.cur_records <- t.cur_records + 1;
+  t.total_records <- t.total_records + 1;
+  t.total_bytes <- t.total_bytes + len
+
+let push t s =
+  let len = String.length s in
+  before_push t len;
+  Buffer.add_string t.cur s;
+  after_push t len
+
+let push_buf t b =
+  let len = Buffer.length b in
+  before_push t len;
+  Buffer.add_buffer t.cur b;
+  after_push t len
+
+let total_records t = t.total_records
+let total_bytes t = t.total_bytes
+let dropped_segments t = t.dropped_segments
+let dropped_records t = t.dropped_records
+let retained_records t = t.sealed_records + t.cur_records
+let segment_count t = Queue.length t.sealed + 1
+
+let retained_bytes t =
+  Queue.fold (fun acc s -> acc + String.length s.bytes) 0 t.sealed
+  + Buffer.length t.cur
+
+let segments t =
+  List.of_seq (Queue.to_seq t.sealed)
+  @ [
+      {
+        bytes = Buffer.contents t.cur;
+        records = t.cur_records;
+        first_seq = t.cur_first_seq;
+      };
+    ]
+
+let clear t =
+  Queue.clear t.sealed;
+  Buffer.clear t.cur;
+  t.cur_records <- 0;
+  t.cur_first_seq <- 0;
+  t.sealed_records <- 0;
+  t.dropped_segments <- 0;
+  t.dropped_records <- 0;
+  t.total_records <- 0;
+  t.total_bytes <- 0

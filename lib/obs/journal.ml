@@ -1,0 +1,638 @@
+let magic = "AMOJ"
+let version = 1
+let header = magic ^ String.make 1 (Char.chr version)
+
+type item =
+  | Record of Sink.record
+  | Event of { step : int; event : Shm.Event.t }
+
+type damage = { offset : int; reason : string }
+
+(* ---------- primitive writers ---------- *)
+
+let add_varint b n =
+  (* unsigned LEB128 over the int's bit pattern; [lsr] is logical so
+     this terminates for negative inputs too (9 bytes max) *)
+  let n = ref n in
+  let fin = ref false in
+  while not !fin do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      fin := true
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+let add_zint b n = add_varint b (zigzag n)
+
+let add_str b s =
+  add_varint b (String.length s);
+  Buffer.add_string b s
+
+let rec add_json b (j : Json.t) =
+  match j with
+  | Json.Null -> Buffer.add_char b '\000'
+  | Json.Bool false -> Buffer.add_char b '\001'
+  | Json.Bool true -> Buffer.add_char b '\002'
+  | Json.Int n ->
+      Buffer.add_char b '\003';
+      add_zint b n
+  | Json.Float f ->
+      (* exact IEEE bit pattern, so NaN and -0. round-trip *)
+      Buffer.add_char b '\004';
+      Buffer.add_int64_le b (Int64.bits_of_float f)
+  | Json.String s ->
+      Buffer.add_char b '\005';
+      add_str b s
+  | Json.List l ->
+      Buffer.add_char b '\006';
+      add_varint b (List.length l);
+      List.iter (add_json b) l
+  | Json.Obj kvs ->
+      Buffer.add_char b '\007';
+      add_varint b (List.length kvs);
+      List.iter
+        (fun (k, v) ->
+          add_str b k;
+          add_json b v)
+        kvs
+
+let kind_byte : Sink.kind -> char = function
+  | Sink.Span -> '\000'
+  | Sink.Instant -> '\001'
+  | Sink.Counter -> '\002'
+  | Sink.Log -> '\003'
+
+let add_event b (e : Shm.Event.t) =
+  let tag c = Buffer.add_char b c in
+  match e with
+  | Shm.Event.Do { p; job } ->
+      tag '\000';
+      add_zint b p;
+      add_zint b job
+  | Shm.Event.Crash { p } ->
+      tag '\001';
+      add_zint b p
+  | Shm.Event.Restart { p } ->
+      tag '\002';
+      add_zint b p
+  | Shm.Event.Terminate { p } ->
+      tag '\003';
+      add_zint b p
+  | Shm.Event.Read { p; cell; value; wid } ->
+      tag '\004';
+      add_zint b p;
+      add_str b cell;
+      add_zint b value;
+      add_zint b wid
+  | Shm.Event.Write { p; cell; value; wid } ->
+      tag '\005';
+      add_zint b p;
+      add_str b cell;
+      add_zint b value;
+      add_zint b wid
+  | Shm.Event.Internal { p; action } ->
+      tag '\006';
+      add_zint b p;
+      add_str b action
+  | Shm.Event.Pick { p; job; free_card; try_card } ->
+      tag '\007';
+      add_zint b p;
+      add_zint b job;
+      add_zint b free_card;
+      add_zint b try_card
+  | Shm.Event.Announce { p; job } ->
+      tag '\008';
+      add_zint b p;
+      add_zint b job
+  | Shm.Event.Forfeit { p; job; hit; owner } ->
+      tag '\009';
+      add_zint b p;
+      add_zint b job;
+      add_str b hit;
+      add_zint b owner
+  | Shm.Event.Recover { p; job } ->
+      tag '\010';
+      add_zint b p;
+      add_zint b job
+
+let encode_payload b = function
+  | Record (r : Sink.record) ->
+      Buffer.add_char b '\000';
+      add_zint b r.ts;
+      add_zint b r.dur;
+      add_zint b r.pid;
+      Buffer.add_char b (kind_byte r.kind);
+      add_str b r.name;
+      add_varint b (List.length r.args);
+      List.iter
+        (fun (k, v) ->
+          add_str b k;
+          add_json b v)
+        r.args
+  | Event { step; event } ->
+      Buffer.add_char b '\001';
+      add_zint b step;
+      add_event b event
+
+let checksum_seed = 0xA5
+
+let encode_to ~payload ~frame item =
+  Buffer.clear payload;
+  Buffer.clear frame;
+  encode_payload payload item;
+  let len = Buffer.length payload in
+  add_varint frame len;
+  Buffer.add_buffer frame payload;
+  let x = ref checksum_seed in
+  for i = 0 to len - 1 do
+    x := !x lxor Char.code (Buffer.nth payload i)
+  done;
+  Buffer.add_char frame (Char.chr !x)
+
+let encode item =
+  let payload = Buffer.create 64 and frame = Buffer.create 80 in
+  encode_to ~payload ~frame item;
+  Buffer.contents frame
+
+(* ---------- primitive readers ---------- *)
+
+exception Bad of string
+
+let read_varint s pos limit =
+  let v = ref 0 and shift = ref 0 and fin = ref false in
+  while not !fin do
+    if !pos >= limit then raise (Bad "truncated varint");
+    if !shift >= 63 then raise (Bad "varint overflow");
+    let byte = Char.code (String.unsafe_get s !pos) in
+    incr pos;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then fin := true
+  done;
+  !v
+
+let read_zint s pos limit = unzigzag (read_varint s pos limit)
+
+let read_byte s pos limit what =
+  if !pos >= limit then raise (Bad ("truncated " ^ what));
+  let c = Char.code s.[!pos] in
+  incr pos;
+  c
+
+let read_str s pos limit =
+  let n = read_varint s pos limit in
+  if n < 0 || n > limit - !pos then raise (Bad "truncated string");
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r
+
+let rec read_json s pos limit =
+  match read_byte s pos limit "json value" with
+  | 0 -> Json.Null
+  | 1 -> Json.Bool false
+  | 2 -> Json.Bool true
+  | 3 -> Json.Int (read_zint s pos limit)
+  | 4 ->
+      if limit - !pos < 8 then raise (Bad "truncated float");
+      let bits = String.get_int64_le s !pos in
+      pos := !pos + 8;
+      Json.Float (Int64.float_of_bits bits)
+  | 5 -> Json.String (read_str s pos limit)
+  | 6 ->
+      let n = read_varint s pos limit in
+      Json.List (List.init n (fun _ -> read_json s pos limit))
+  | 7 ->
+      let n = read_varint s pos limit in
+      Json.Obj
+        (List.init n (fun _ ->
+             let k = read_str s pos limit in
+             (k, read_json s pos limit)))
+  | t -> raise (Bad (Printf.sprintf "bad json tag %d" t))
+
+let read_kind s pos limit =
+  match read_byte s pos limit "kind" with
+  | 0 -> Sink.Span
+  | 1 -> Sink.Instant
+  | 2 -> Sink.Counter
+  | 3 -> Sink.Log
+  | k -> raise (Bad (Printf.sprintf "bad kind %d" k))
+
+let read_event s pos limit =
+  let zint () = read_zint s pos limit in
+  let str () = read_str s pos limit in
+  match read_byte s pos limit "event" with
+  | 0 ->
+      let p = zint () in
+      Shm.Event.Do { p; job = zint () }
+  | 1 -> Shm.Event.Crash { p = zint () }
+  | 2 -> Shm.Event.Restart { p = zint () }
+  | 3 -> Shm.Event.Terminate { p = zint () }
+  | 4 ->
+      let p = zint () in
+      let cell = str () in
+      let value = zint () in
+      Shm.Event.Read { p; cell; value; wid = zint () }
+  | 5 ->
+      let p = zint () in
+      let cell = str () in
+      let value = zint () in
+      Shm.Event.Write { p; cell; value; wid = zint () }
+  | 6 ->
+      let p = zint () in
+      Shm.Event.Internal { p; action = str () }
+  | 7 ->
+      let p = zint () in
+      let job = zint () in
+      let free_card = zint () in
+      Shm.Event.Pick { p; job; free_card; try_card = zint () }
+  | 8 ->
+      let p = zint () in
+      Shm.Event.Announce { p; job = zint () }
+  | 9 ->
+      let p = zint () in
+      let job = zint () in
+      let hit = str () in
+      Shm.Event.Forfeit { p; job; hit; owner = zint () }
+  | 10 ->
+      let p = zint () in
+      Shm.Event.Recover { p; job = zint () }
+  | t -> raise (Bad (Printf.sprintf "bad event tag %d" t))
+
+let decode_payload s pos limit =
+  match read_byte s pos limit "item tag" with
+  | 0 ->
+      let ts = read_zint s pos limit in
+      let dur = read_zint s pos limit in
+      let pid = read_zint s pos limit in
+      let kind = read_kind s pos limit in
+      let name = read_str s pos limit in
+      let nargs = read_varint s pos limit in
+      let args =
+        List.init nargs (fun _ ->
+            let k = read_str s pos limit in
+            (k, read_json s pos limit))
+      in
+      Record { Sink.ts; dur; pid; kind; name; args }
+  | 1 ->
+      let step = read_zint s pos limit in
+      Event { step; event = read_event s pos limit }
+  | t -> raise (Bad (Printf.sprintf "bad item tag %d" t))
+
+let decode_one s pos limit =
+  let len = read_varint s pos limit in
+  if len < 0 || len > limit - !pos - 1 then
+    raise
+      (Bad
+         (Printf.sprintf "truncated record (payload %d bytes, %d available)"
+            len
+            (max 0 (limit - !pos - 1))));
+  let payload_end = !pos + len in
+  let x = ref checksum_seed in
+  for i = !pos to payload_end - 1 do
+    x := !x lxor Char.code (String.unsafe_get s i)
+  done;
+  if !x <> Char.code s.[payload_end] then raise (Bad "checksum mismatch");
+  let item = decode_payload s pos payload_end in
+  if !pos <> payload_end then raise (Bad "payload length mismatch");
+  incr pos;
+  (* the checksum byte *)
+  item
+
+let decode_string ?(base = 0) s =
+  let limit = String.length s in
+  let pos = ref 0 in
+  let items = ref [] in
+  let damage = ref None in
+  (try
+     while !pos < limit do
+       let start = !pos in
+       match decode_one s pos limit with
+       | item -> items := item :: !items
+       | exception Bad reason ->
+           damage := Some { offset = base + start; reason };
+           raise Exit
+     done
+   with Exit -> ());
+  (List.rev !items, !damage)
+
+let read_file path =
+  try Ok (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error e -> Error e
+
+let decode_file path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok s ->
+      let hlen = String.length header in
+      if String.length s < hlen || String.sub s 0 (String.length magic) <> magic
+      then Error (Printf.sprintf "%s: not a journal (bad magic)" path)
+      else if s.[String.length magic] <> header.[String.length magic] then
+        Error
+          (Printf.sprintf "%s: unsupported journal version %d (want %d)" path
+             (Char.code s.[String.length magic])
+             version)
+      else
+        Ok (decode_string ~base:hlen (String.sub s hlen (String.length s - hlen)))
+
+(* ---------- write paths ---------- *)
+
+let sink fl = Sink.journal ~encode:(fun r -> encode (Record r)) fl
+
+let probe fl =
+  let payload = Buffer.create 128 and frame = Buffer.create 160 in
+  Shm.Probe.make ~needs_phase:false (fun ~step ~phase:_ ev ->
+      encode_to ~payload ~frame (Event { step; event = ev });
+      Flight.push_buf fl frame)
+
+(* ---------- dumps ---------- *)
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let manifest_schema = "amo-flight-manifest"
+
+let dump ?(trigger = "on-demand") ?(extra = []) ~dir fl =
+  ensure_dir dir;
+  let segs =
+    List.filter (fun (s : Flight.segment) -> s.records > 0) (Flight.segments fl)
+  in
+  let seg_entries =
+    List.mapi
+      (fun i (s : Flight.segment) ->
+        let file = Printf.sprintf "segment-%03d.amoj" i in
+        write_atomic (Filename.concat dir file) (header ^ s.bytes);
+        Json.Obj
+          [
+            ("file", Json.String file);
+            ("bytes", Json.Int (String.length s.bytes));
+            ("records", Json.Int s.records);
+            ("first_seq", Json.Int s.first_seq);
+          ])
+      segs
+  in
+  let manifest =
+    Json.Obj
+      ([
+         ("schema", Json.String manifest_schema);
+         ("version", Json.Int version);
+         ("trigger", Json.String trigger);
+         ("total_records", Json.Int (Flight.total_records fl));
+         ("retained_records", Json.Int (Flight.retained_records fl));
+         ("dropped_segments", Json.Int (Flight.dropped_segments fl));
+         ("dropped_records", Json.Int (Flight.dropped_records fl));
+         ("segments", Json.List seg_entries);
+       ]
+      @ if extra = [] then [] else [ ("extra", Json.Obj extra) ])
+  in
+  let path = Filename.concat dir "manifest.json" in
+  write_atomic path (Json.to_string ~minify:false manifest ^ "\n");
+  path
+
+let load_dump path =
+  let decode_seg file (items, damages) =
+    match decode_file file with
+    | Error e -> Error e
+    | Ok (its, dmg) ->
+        Ok
+          ( items @ its,
+            match dmg with
+            | None -> damages
+            | Some d -> damages @ [ (file, d) ] )
+  in
+  if Sys.file_exists path && Sys.is_directory path then
+    let mpath = Filename.concat path "manifest.json" in
+    match read_file mpath with
+    | Error e -> Error e
+    | Ok s -> (
+        match Json.parse s with
+        | Error e -> Error (Printf.sprintf "%s: %s" mpath e)
+        | Ok m -> (
+            match Option.map Json.get_string (Json.member "schema" m) with
+            | Some (Some sc) when sc = manifest_schema -> (
+                let files =
+                  match Json.member "segments" m with
+                  | Some (Json.List segs) ->
+                      List.filter_map
+                        (fun seg ->
+                          Option.bind (Json.member "file" seg) Json.get_string)
+                        segs
+                  | _ -> []
+                in
+                let rec go acc = function
+                  | [] -> Ok acc
+                  | f :: rest -> (
+                      match decode_seg (Filename.concat path f) acc with
+                      | Error e -> Error e
+                      | Ok acc -> go acc rest)
+                in
+                match go ([], []) files with
+                | Error e -> Error e
+                | Ok (items, damages) -> Ok (items, damages))
+            | _ -> Error (Printf.sprintf "%s: not a flight-dump manifest" mpath)))
+  else
+    match decode_file path with
+    | Error e -> Error e
+    | Ok (items, dmg) ->
+        Ok
+          ( items,
+            match dmg with None -> [] | Some d -> [ (path, d) ] )
+
+(* ---------- offline engine ---------- *)
+
+let record_of_item = function
+  | Record r -> r
+  | Event { step; event } -> Bridge.record_of_event ~step event
+
+let arg_int (r : Sink.record) key ~default =
+  match List.assoc_opt key r.args with Some (Json.Int n) -> n | _ -> default
+
+let arg_str (r : Sink.record) key =
+  match List.assoc_opt key r.args with
+  | Some (Json.String s) -> Some s
+  | _ -> None
+
+(* "do(3)" -> Some 3 for prefix "do" *)
+let call_arg name prefix =
+  let pl = String.length prefix and nl = String.length name in
+  if
+    nl > pl + 2
+    && String.sub name 0 pl = prefix
+    && name.[pl] = '('
+    && name.[nl - 1] = ')'
+  then int_of_string_opt (String.sub name (pl + 1) (nl - pl - 2))
+  else None
+
+let event_of_record (r : Sink.record) =
+  let p = r.pid in
+  let ev =
+    match arg_str r "action" with
+    | Some a when a = r.name -> Some (Shm.Event.Internal { p; action = a })
+    | _ -> (
+        match r.name with
+        | "crash" -> Some (Shm.Event.Crash { p })
+        | "restart" -> Some (Shm.Event.Restart { p })
+        | "terminate" -> Some (Shm.Event.Terminate { p })
+        | name -> (
+            match call_arg name "do" with
+            | Some job -> Some (Shm.Event.Do { p; job })
+            | None -> (
+                match call_arg name "pick" with
+                | Some job ->
+                    Some
+                      (Shm.Event.Pick
+                         {
+                           p;
+                           job;
+                           free_card = arg_int r "free" ~default:0;
+                           try_card = arg_int r "try" ~default:0;
+                         })
+                | None -> (
+                    match call_arg name "announce" with
+                    | Some job -> Some (Shm.Event.Announce { p; job })
+                    | None -> (
+                        match call_arg name "forfeit" with
+                        | Some job ->
+                            Some
+                              (Shm.Event.Forfeit
+                                 {
+                                   p;
+                                   job;
+                                   hit =
+                                     Option.value (arg_str r "hit") ~default:"";
+                                   owner = arg_int r "owner" ~default:0;
+                                 })
+                        | None -> (
+                            match call_arg name "recover" with
+                            | Some job -> Some (Shm.Event.Recover { p; job })
+                            | None ->
+                                if String.length name > 5
+                                   && String.sub name 0 5 = "read "
+                                then
+                                  Some
+                                    (Shm.Event.Read
+                                       {
+                                         p;
+                                         cell =
+                                           String.sub name 5
+                                             (String.length name - 5);
+                                         value = arg_int r "value" ~default:0;
+                                         wid = arg_int r "wid" ~default:0;
+                                       })
+                                else if String.length name > 6
+                                        && String.sub name 0 6 = "write "
+                                then
+                                  Some
+                                    (Shm.Event.Write
+                                       {
+                                         p;
+                                         cell =
+                                           String.sub name 6
+                                             (String.length name - 6);
+                                         value = arg_int r "value" ~default:0;
+                                         wid = arg_int r "wid" ~default:0;
+                                       })
+                                else None))))))
+  in
+  Option.map (fun e -> (r.ts, e)) ev
+
+let to_trace items =
+  let tr = Shm.Trace.create `Full in
+  List.iter
+    (fun it ->
+      match it with
+      | Event { step; event } -> Shm.Trace.record tr ~step event
+      | Record r -> (
+          match event_of_record r with
+          | Some (step, ev) -> Shm.Trace.record tr ~step ev
+          | None -> ()))
+    items;
+  tr
+
+(* ---------- merge ---------- *)
+
+let vclock_of_item = function
+  | Event _ -> None
+  | Record (r : Sink.record) -> (
+      match List.assoc_opt "vc" r.args with
+      | Some (Json.List l) ->
+          let ints = List.filter_map Json.get_int l in
+          if List.length ints = List.length l && ints <> [] then
+            Some (Array.of_list ints)
+          else None
+      | _ -> None)
+
+(* strict happens-before on vector clocks (shorter clocks padded with 0) *)
+let hb a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get v i = if i < Array.length v then v.(i) else 0 in
+  let leq = ref true and lt = ref false in
+  for i = 0 to n - 1 do
+    if get a i > get b i then leq := false else if get a i < get b i then lt := true
+  done;
+  !leq && !lt
+
+let ts_of_item = function
+  | Record (r : Sink.record) -> r.ts
+  | Event { step; _ } -> step
+
+let pid_of_item = function
+  | Record (r : Sink.record) -> r.pid
+  | Event { event; _ } -> Shm.Event.pid event
+
+let merge journals =
+  let heads = Array.map (fun l -> ref l) journals in
+  let out = ref [] in
+  let running = ref true in
+  while !running do
+    let cands =
+      Array.to_list heads
+      |> List.mapi (fun i h ->
+             match !h with [] -> None | it :: _ -> Some (i, it, vclock_of_item it))
+      |> List.filter_map Fun.id
+    in
+    match cands with
+    | [] -> running := false
+    | _ ->
+        (* causally minimal heads: no other head happens-before them *)
+        let minimal =
+          List.filter
+            (fun (i, _, vc) ->
+              match vc with
+              | None -> true
+              | Some v ->
+                  not
+                    (List.exists
+                       (fun (j, _, vc') ->
+                         j <> i
+                         && match vc' with Some v' -> hb v' v | None -> false)
+                       cands))
+            cands
+        in
+        let pool = if minimal = [] then cands else minimal in
+        let key (i, it, _) = (ts_of_item it, pid_of_item it, i) in
+        let best =
+          List.fold_left
+            (fun acc c -> if compare (key c) (key acc) < 0 then c else acc)
+            (List.hd pool) (List.tl pool)
+        in
+        let i, it, _ = best in
+        (heads.(i) := match !(heads.(i)) with [] -> [] | _ :: tl -> tl);
+        out := (i, it) :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,125 @@
+(** Binary journal codec + flight-recorder dumps + offline engine.
+
+    The wire format (DESIGN.md §13) is a compact, self-describing
+    binary encoding of observability events.  Every segment file
+    starts with a 5-byte header — magic ["AMOJ"] plus a schema-version
+    byte — and then holds a sequence of framed records:
+
+    {v
+      varint payload_length | payload bytes | 1-byte xor checksum
+    v}
+
+    The checksum is the xor of the payload bytes (seeded with [0xA5]),
+    so a flipped byte is caught at the damaged record, and a journal
+    truncated mid-record still yields every complete record before the
+    damage together with the byte offset where decoding stopped.
+    Integers are zigzag varints, floats are exact IEEE-754 bit
+    patterns, so [decode (encode x) = x] holds for every item
+    (QCheck-verified in [test/test_flight.ml]).
+
+    Two payload shapes share the stream: a generic {!Sink.record}
+    (written by the {!Sink.journal} variant, via {!sink}) and a
+    compact executor event (written by the lean {!probe} — the
+    always-on write path, small enough to stay under the E19 overhead
+    gate).  {!record_of_item} renders both into {!Sink.record} form
+    for uniform querying. *)
+
+val magic : string
+(** ["AMOJ"]. *)
+
+val version : int
+val header : string
+(** [magic] plus the version byte; prefixes every segment file. *)
+
+type item =
+  | Record of Sink.record
+  | Event of { step : int; event : Shm.Event.t }
+
+(** {2 Codec} *)
+
+val encode : item -> string
+(** One framed record (no file header). *)
+
+val encode_to : payload:Buffer.t -> frame:Buffer.t -> item -> unit
+(** Hot-path variant: encodes into caller-reused scratch buffers
+    (cleared first); the framed bytes end up in [frame]. *)
+
+type damage = { offset : int; reason : string }
+(** Where decoding stopped: [offset] is the byte offset (within the
+    input as given, header included for {!decode_file}) of the first
+    byte of the damaged record. *)
+
+val decode_string : ?base:int -> string -> item list * damage option
+(** Decode a raw framed-record stream (no file header).  Returns every
+    complete, checksum-valid record before the first damage; [base]
+    (default 0) offsets reported damage positions. *)
+
+val decode_file : string -> (item list * damage option, string) result
+(** Read one segment file: validates the header (wrong magic or
+    version is [Error], not damage), then {!decode_string}. *)
+
+(** {2 Write paths} *)
+
+val sink : Flight.t -> Sink.t
+(** [Sink.journal] over the standard codec: each emitted record is
+    framed as a {!Record} item. *)
+
+val probe : Flight.t -> Shm.Probe.t
+(** The lean always-on write path: encodes each executor event as a
+    compact {!Event} item straight into the flight, reusing scratch
+    buffers, skipping the phase lookup ([needs_phase = false]) and the
+    per-event {!Sink.record} construction.  This is the path the E19
+    bench holds under 5% overhead versus a null probe. *)
+
+(** {2 Dumps} *)
+
+val dump :
+  ?trigger:string ->
+  ?extra:(string * Json.t) list ->
+  dir:string ->
+  Flight.t ->
+  string
+(** Persist the flight's retained segments into [dir] (created if
+    missing): each segment becomes [segment-NNN.amoj] (header plus raw
+    bytes), then [manifest.json] lists the segment files with their
+    record counts alongside the flight's drop counters, the [trigger]
+    (e.g. ["violation"], ["on-demand"]) and any [extra] metadata.
+    Every file is written atomically (tmp+rename, {!Prom} style) with
+    the manifest last, so a manifest's presence implies a complete
+    dump.  Returns the manifest path. *)
+
+val load_dump : string -> (item list * (string * damage) list, string) result
+(** Read a dump back: [path] is either a dump directory (segments are
+    read in manifest order) or a single segment file.  Returns all
+    decoded items plus per-file damage reports ([(file, damage)];
+    empty means a clean decode).  [Error] on unreadable input or a
+    bad header/manifest. *)
+
+(** {2 Offline engine} *)
+
+val record_of_item : item -> Sink.record
+(** {!Record} unwraps; {!Event} renders via {!Bridge.record_of_event}
+    (no phase — the lean probe does not capture it). *)
+
+val event_of_record : Sink.record -> (int * Shm.Event.t) option
+(** Inverse of {!Bridge.record_of_event} where possible: recognizes
+    the executor naming scheme (["do(3)"], ["crash"], ["read next1"],
+    …) and rebuilds [(step, event)]; [None] for records that are not
+    executor events (counters, bench marks, net messages). *)
+
+val to_trace : item list -> Shm.Trace.t
+(** Rebuild a [`Full] trace from the executor events among the items
+    (compact events directly, generic records via
+    {!event_of_record}) — the bridge back into every trace consumer:
+    {!Span.causal_chain} for [trace query --why], {!Chrome_trace} for
+    [trace decode]. *)
+
+val merge : item list array -> (int * item) list
+(** Merge per-domain / per-node journals into one causally consistent
+    stream, tagged with the source journal's index.  Items carrying
+    vector clocks (a ["vc"] arg holding a list of ints, as written by
+    [Msg.Net] journals) are ordered by happens-before; concurrent or
+    clockless items tie-break deterministically on [(ts, pid, source
+    index)] — so merging the same journals always yields the same
+    stream.  Each input must itself be in causal order (true of any
+    single writer's journal). *)

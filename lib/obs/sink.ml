@@ -35,6 +35,7 @@ type t =
   | Memory of { cap : int; q : record Queue.t; mutable total : int }
   | Jsonl of { oc : out_channel; mutable total : int }
   | Ring of record Ring.t
+  | Journal of { fl : Flight.t; enc : record -> string }
   | Locked of { mu : Mutex.t; inner : t }
   | Tee of t list
 
@@ -48,10 +49,11 @@ let memory ?(capacity = default_capacity) () =
 
 let jsonl oc = Jsonl { oc; total = 0 }
 let ring r = Ring r
+let journal ~encode fl = Journal { fl; enc = encode }
 
 let rec is_null = function
   | Null -> true
-  | Memory _ | Jsonl _ | Ring _ -> false
+  | Memory _ | Jsonl _ | Ring _ | Journal _ -> false
   | Locked { inner; _ } -> is_null inner
   | Tee sinks -> List.for_all is_null sinks
 
@@ -75,6 +77,7 @@ let rec emit t r =
       Json.to_channel j.oc (record_to_json r);
       j.total <- j.total + 1
   | Ring rg -> ignore (Ring.push rg r)
+  | Journal { fl; enc } -> Flight.push fl (enc r)
   | Locked { mu; inner } ->
       Mutex.lock mu;
       Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> emit inner r)
@@ -83,7 +86,7 @@ let rec emit t r =
 let rec records = function
   | Memory m -> List.of_seq (Queue.to_seq m.q)
   | Ring rg -> Ring.peek rg
-  | Null | Jsonl _ -> []
+  | Null | Jsonl _ | Journal _ -> []
   | Locked { mu; inner } ->
       Mutex.lock mu;
       Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> records inner)
@@ -94,12 +97,13 @@ let rec total_emitted = function
   | Memory m -> m.total
   | Jsonl j -> j.total
   | Ring rg -> Ring.total_offered rg
+  | Journal { fl; _ } -> Flight.total_records fl
   | Locked { inner; _ } -> total_emitted inner
   | Tee sinks -> List.fold_left (fun acc s -> acc + total_emitted s) 0 sinks
 
 let rec flush = function
   | Jsonl j -> Stdlib.flush j.oc
-  | Null | Memory _ | Ring _ -> ()
+  | Null | Memory _ | Ring _ | Journal _ -> ()
   | Locked { mu; inner } ->
       Mutex.lock mu;
       Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> flush inner)

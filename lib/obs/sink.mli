@@ -59,6 +59,16 @@ val ring : record Ring.t -> t
     peeks the buffered records, {!total_emitted} counts accepted plus
     dropped.  SPSC: one emitting domain, one draining domain. *)
 
+val journal : encode:(record -> string) -> Flight.t -> t
+(** Binary flight-recorder sink: [emit] encodes the record with
+    [encode] and appends the bytes to the caller-owned {!Flight}
+    (drop-oldest retention; see {!Journal.sink} for the standard
+    codec — the encoder is injected here so this module stays
+    codec-agnostic).  {!records} is empty — the retained bytes are
+    read back offline via [Journal.dump]/[Journal.decode];
+    {!total_emitted} reports the flight's [total_records], which
+    counts every producer writing to that flight. *)
+
 val locked : t -> t
 (** Mutex-wraps a sink so whole records are emitted atomically —
     required when multiple domains share one sink (multicore runs,

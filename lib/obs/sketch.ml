@@ -62,7 +62,12 @@ let max_value t = if t.n = 0 then 0 else t.max_v
 let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
 
 let merge a b =
-  if a.k <> b.k then invalid_arg "Sketch.merge: differing sub_buckets";
+  if a.k <> b.k then
+    invalid_arg
+      (Printf.sprintf
+         "Sketch.merge: cannot merge sketches with differing sub_buckets (%d \
+          vs %d) — their bucket grids are incompatible"
+         a.k b.k);
   let t = create ~sub_buckets:a.k () in
   Array.blit a.counts 0 t.counts 0 (Array.length a.counts);
   Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;

@@ -46,7 +46,7 @@ val relative_error : t -> float
 
 val merge : t -> t -> t
 (** Pointwise sum; exact.  @raise Invalid_argument on differing
-    [sub_buckets]. *)
+    [sub_buckets], naming both [k] values. *)
 
 val buckets : t -> (int * int) list
 (** Non-empty [(flat_slot, count)] pairs, ascending. *)

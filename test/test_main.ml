@@ -26,6 +26,7 @@ let () =
       ("multicore", Test_multicore.suite);
       ("msg", Test_msg.suite);
       ("obs", Test_obs.suite);
+      ("flight", Test_flight.suite);
       ("telemetry", Test_telemetry.suite);
       ("observatory", Test_observatory.suite);
       ("fault", Test_fault.suite);

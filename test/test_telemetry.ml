@@ -138,9 +138,18 @@ let test_sketch_basics () =
       ignore (Sk.percentile sk 101.))
 
 let test_sketch_merge_mismatch () =
+  (* regression: the error must name BOTH k values, in argument order,
+     so a mis-sharded pipeline is diagnosable from the message alone *)
   Alcotest.check_raises "merge needs equal k"
-    (Invalid_argument "Sketch.merge: differing sub_buckets") (fun () ->
-      ignore (Sk.merge (Sk.create ~sub_buckets:8 ()) (Sk.create ())))
+    (Invalid_argument
+       "Sketch.merge: cannot merge sketches with differing sub_buckets (8 vs \
+        4) — their bucket grids are incompatible") (fun () ->
+      ignore (Sk.merge (Sk.create ~sub_buckets:8 ()) (Sk.create ~sub_buckets:4 ())));
+  Alcotest.check_raises "argument order preserved"
+    (Invalid_argument
+       "Sketch.merge: cannot merge sketches with differing sub_buckets (4 vs \
+        8) — their bucket grids are incompatible") (fun () ->
+      ignore (Sk.merge (Sk.create ~sub_buckets:4 ()) (Sk.create ~sub_buckets:8 ())))
 
 (* QCheck: the (1 + 1/k) relative-error bound against exact sorted
    quantiles, for every k and any sample set. *)
